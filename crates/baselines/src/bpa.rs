@@ -1,0 +1,287 @@
+//! Basic Push Algorithm for top-k Personalized PageRank
+//! (Gupta, Pathak & Chakrabarti, WWW 2008).
+//!
+//! Maintains the push invariant
+//! `p = est + Σ_w r(w) · p⁽ʷ⁾` where `p⁽ʷ⁾` is the RWR vector started at
+//! `w`, derived from the column identity
+//! `p⁽ʷ⁾ = c·e_w + (1−c)·Σ_u A_uw · p⁽ᵘ⁾`.
+//! Pushing the node with the largest residual either expands it along its
+//! out-edges or — when the node is one of the `H` precomputed *hub*
+//! nodes — consumes its residual in one shot by adding `r(w)·p⁽ʷ⁾`
+//! exactly.
+//!
+//! Because `p⁽ʷ⁾(u) ≤ 1`, `est(u) + R` (with `R` the total outstanding
+//! residual) upper-bounds every proximity, which yields a stopping rule
+//! with guaranteed recall: once the K-th best estimate exceeds
+//! `est(u) + R` for every other `u`, the true top-k set is inside the
+//! returned set. As the paper notes, the answer set may therefore contain
+//! *more* than `k` nodes, and its internal ranking is approximate.
+
+use crate::{IterativeRwr, Scored, TopKEngine};
+use kdash_graph::{CsrGraph, NodeId};
+use kdash_sparse::{transition_matrix, CscMatrix, DanglingPolicy};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// BPA tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BpaOptions {
+    /// Number of hub nodes with precomputed exact vectors (Figure 3/4
+    /// sweep this from 100 to 1 000).
+    pub num_hubs: usize,
+    /// Restart probability.
+    pub restart_probability: f64,
+    /// Push-step budget per query before declaring convergence-by-budget
+    /// (the answer is still returned from the estimates).
+    pub max_pushes: usize,
+}
+
+impl Default for BpaOptions {
+    fn default() -> Self {
+        BpaOptions { num_hubs: 100, restart_probability: 0.95, max_pushes: 500_000 }
+    }
+}
+
+/// The precomputed BPA engine.
+pub struct Bpa {
+    a: CscMatrix,
+    c: f64,
+    num_hubs: usize,
+    /// `hub_vector[v]` = Some(full exact RWR vector of v) for hub nodes.
+    hub_vector: Vec<Option<Vec<f64>>>,
+    max_pushes: usize,
+}
+
+/// Max-heap entry ordered by residual value.
+struct QueueEntry(f64, NodeId);
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("finite residuals").then(self.1.cmp(&other.1))
+    }
+}
+
+impl Bpa {
+    /// Offline phase: pick the `num_hubs` highest-total-degree nodes and
+    /// compute their exact RWR vectors (power iteration; with `c = 0.95`
+    /// convergence takes a handful of sparse matvecs per hub).
+    pub fn build(graph: &CsrGraph, options: BpaOptions) -> Bpa {
+        let c = options.restart_probability;
+        assert!(c > 0.0 && c < 1.0, "restart probability must be in (0, 1)");
+        let n = graph.num_nodes();
+        let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+        let degrees = graph.total_degrees();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse((degrees[v as usize], v)));
+        let solver = IterativeRwr::new(graph, c);
+        let mut hub_vector: Vec<Option<Vec<f64>>> = vec![None; n];
+        for &h in by_degree.iter().take(options.num_hubs.min(n)) {
+            hub_vector[h as usize] = Some(solver.full(h));
+        }
+        Bpa {
+            a: transition_matrix(graph, DanglingPolicy::Keep),
+            c,
+            num_hubs: options.num_hubs,
+            hub_vector,
+            max_pushes: options.max_pushes,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.a.ncols()
+    }
+
+    /// Runs the push process for query `q` until the top-k stopping rule
+    /// fires (or the push budget runs out). Returns the estimate vector
+    /// and the outstanding residual mass `R`.
+    fn push_until_stable(&self, q: NodeId, k: usize) -> (Vec<f64>, f64) {
+        let n = self.num_nodes();
+        assert!((q as usize) < n, "query {q} out of bounds");
+        let mut est = vec![0.0f64; n];
+        let mut residual = vec![0.0f64; n];
+        residual[q as usize] = 1.0;
+        let mut total_r = 1.0f64;
+        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        queue.push(QueueEntry(1.0, q));
+        let mut pushes = 0usize;
+        let check_interval = 64usize;
+
+        while let Some(QueueEntry(rw, w)) = queue.pop() {
+            if residual[w as usize] != rw || rw <= 0.0 {
+                continue; // stale entry
+            }
+            residual[w as usize] = 0.0;
+            if let Some(hub) = &self.hub_vector[w as usize] {
+                // Consume the residual exactly through the hub vector.
+                for (e, hv) in est.iter_mut().zip(hub) {
+                    *e += rw * hv;
+                }
+                total_r -= rw;
+            } else {
+                est[w as usize] += self.c * rw;
+                let spread = (1.0 - self.c) * rw;
+                let (rows, vals) = self.a.col(w);
+                for (&u, &a_uw) in rows.iter().zip(vals) {
+                    let nu = residual[u as usize] + spread * a_uw;
+                    residual[u as usize] = nu;
+                    queue.push(QueueEntry(nu, u));
+                }
+                // Mass conservation: c·rw became estimate; dangling columns
+                // lose the rest.
+                let col_sum: f64 = vals.iter().sum();
+                total_r -= rw - spread * col_sum;
+            }
+            pushes += 1;
+            if pushes % check_interval == 0 || queue.is_empty() {
+                if self.stopping_rule(&est, total_r, k) {
+                    break;
+                }
+                if pushes >= self.max_pushes {
+                    break;
+                }
+            }
+        }
+        (est, total_r.max(0.0))
+    }
+
+    /// True when the K-th best estimate dominates `est(u) + R` for every
+    /// node outside the current top-k — the recall-1 condition.
+    fn stopping_rule(&self, est: &[f64], total_r: f64, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        // Find the k-th and (k+1)-th largest estimates.
+        let mut top: Vec<f64> = est.to_vec();
+        let idx = k.min(top.len().saturating_sub(1));
+        top.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("finite"));
+        let kth = if k <= top.len() { top[k - 1] } else { 0.0 };
+        let next = if k < top.len() { top[k] } else { 0.0 };
+        kth >= next + total_r
+    }
+}
+
+impl TopKEngine for Bpa {
+    fn name(&self) -> String {
+        format!("BPA({})", self.num_hubs)
+    }
+
+    /// Returns every node whose upper bound `est(u) + R` reaches the K-th
+    /// best estimate — at least `k` nodes (recall ≥ 1 of the true top-k
+    /// when the stopping rule fired), possibly more.
+    fn top_k(&self, q: NodeId, k: usize) -> Vec<Scored> {
+        let (est, total_r) = self.push_until_stable(q, k);
+        let mut pairs: Vec<Scored> =
+            est.iter().enumerate().map(|(i, &s)| (i as NodeId, s)).collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        if pairs.len() <= k {
+            return pairs;
+        }
+        let theta = pairs[k - 1].1;
+        let cut = pairs.iter().position(|&(_, s)| s + total_r < theta).unwrap_or(pairs.len());
+        pairs.truncate(cut.max(k));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdash_graph::GraphBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_graph(n: usize, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            for _ in 0..rng.gen_range(2..6) {
+                let t = rng.gen_range(0..n);
+                if t != v {
+                    b.add_edge(v as NodeId, t as NodeId, 1.0);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn recall_of_true_top_k_is_one() {
+        let g = random_graph(80, 3);
+        let c = 0.9;
+        let bpa = Bpa::build(
+            &g,
+            BpaOptions { num_hubs: 20, restart_probability: c, ..Default::default() },
+        );
+        let exact = IterativeRwr::new(&g, c);
+        for q in [0u32, 33, 79] {
+            let k = 5;
+            let truth: Vec<NodeId> = exact.top_k(q, k).iter().map(|&(n, _)| n).collect();
+            let answer: Vec<NodeId> = bpa.top_k(q, k).iter().map(|&(n, _)| n).collect();
+            for t in &truth {
+                assert!(answer.contains(t), "q={q}: true answer {t} missing from {answer:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn may_return_more_than_k() {
+        let g = random_graph(60, 5);
+        let bpa = Bpa::build(&g, BpaOptions { num_hubs: 5, ..Default::default() });
+        let ans = bpa.top_k(7, 5);
+        assert!(ans.len() >= 5);
+    }
+
+    #[test]
+    fn all_hubs_makes_queries_one_shot() {
+        // Every node a hub: the very first pop consumes everything.
+        let g = random_graph(40, 7);
+        let c = 0.9;
+        let bpa = Bpa::build(
+            &g,
+            BpaOptions { num_hubs: 40, restart_probability: c, ..Default::default() },
+        );
+        let exact = IterativeRwr::new(&g, c);
+        for q in [3u32, 21] {
+            let (est, r) = bpa.push_until_stable(q, 5);
+            assert!(r < 1e-9, "residual {r} should be fully consumed");
+            let truth = exact.full(q);
+            for (a, b) in est.iter().zip(&truth) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_hubs_still_converges() {
+        let g = random_graph(50, 9);
+        let bpa = Bpa::build(&g, BpaOptions { num_hubs: 0, ..Default::default() });
+        let exact = IterativeRwr::new(&g, 0.95);
+        let truth: Vec<NodeId> = exact.top_k(11, 5).iter().map(|&(n, _)| n).collect();
+        let ans: Vec<NodeId> = bpa.top_k(11, 5).iter().map(|&(n, _)| n).collect();
+        for t in &truth {
+            assert!(ans.contains(t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn hub_selection_prefers_high_degree() {
+        let mut b = GraphBuilder::new(10);
+        for t in 1..10 {
+            b.add_undirected_edge(0, t, 1.0); // node 0 is the star hub
+        }
+        let g = b.build().unwrap();
+        let bpa = Bpa::build(&g, BpaOptions { num_hubs: 1, ..Default::default() });
+        assert!(bpa.hub_vector[0].is_some());
+        assert!(bpa.hub_vector[1].is_none());
+    }
+}

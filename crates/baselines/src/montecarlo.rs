@@ -1,0 +1,184 @@
+//! Monte-Carlo top-k estimation (Avrachenkov, Litvak, Nemirovsky,
+//! Smirnova & Sokol, "Quick Detection of Top-k Personalized PageRank
+//! Lists", WAW 2011).
+//!
+//! The paper's §6 discusses this method as the other contemporaneous
+//! top-k approach and dismisses it because — unlike BPA — it offers no
+//! recall guarantee. It is included here as an extension baseline: simulate
+//! `walks` restart-walks from the query; the empirical visit frequencies
+//! converge to the RWR proximities. Detecting the top-k *list* needs far
+//! fewer walks than accurate value estimation, which is exactly the
+//! trade-off the WAW paper exploits — and the lack of any certificate is
+//! what K-dash's exactness argument is contrasted against.
+
+use crate::{top_k_of_dense, Scored, TopKEngine};
+use kdash_graph::{CsrGraph, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Monte-Carlo RWR engine.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    graph: CsrGraph,
+    c: f64,
+    walks: usize,
+    seed: u64,
+    /// Cumulative out-weight tables per node for O(log d) edge sampling.
+    cumulative: Vec<Vec<f64>>,
+}
+
+impl MonteCarlo {
+    /// Prepares the sampler. `walks` is the number of simulated walks per
+    /// query (the accuracy knob).
+    pub fn build(graph: &CsrGraph, c: f64, walks: usize, seed: u64) -> MonteCarlo {
+        assert!(c > 0.0 && c < 1.0, "restart probability must be in (0, 1)");
+        assert!(walks > 0, "need at least one walk");
+        let cumulative = (0..graph.num_nodes() as NodeId)
+            .map(|v| {
+                let mut acc = 0.0;
+                graph
+                    .out_weights(v)
+                    .iter()
+                    .map(|w| {
+                        acc += w;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        MonteCarlo { graph: graph.clone(), c, walks, seed, cumulative }
+    }
+
+    /// Empirical visit-frequency estimates of the proximity vector.
+    ///
+    /// Each walk starts at `q`, terminates with probability `c` per step
+    /// (equivalent to restarting), and every visited node is counted; the
+    /// normalised counts estimate `p` because the stationary equation
+    /// weights node visits by `c·(1−c)^t` over walk prefixes.
+    pub fn full(&self, q: NodeId) -> Vec<f64> {
+        let n = self.graph.num_nodes();
+        assert!((q as usize) < n, "query {q} out of bounds");
+        // Per-query deterministic seed so engines are reproducible.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (0x9E37_79B9_7F4A_7C15u64 ^ u64::from(q)));
+        let mut counts = vec![0u64; n];
+        let mut total = 0u64;
+        for _ in 0..self.walks {
+            let mut at = q;
+            loop {
+                counts[at as usize] += 1;
+                total += 1;
+                if rng.gen_bool(self.c) {
+                    break; // restart == terminate this walk
+                }
+                let (neighbors, _) = (self.graph.out_neighbors(at), ());
+                if neighbors.is_empty() {
+                    break; // dangling: walk dies (DanglingPolicy::Keep)
+                }
+                let cum = &self.cumulative[at as usize];
+                let target = rng.gen_range(0.0..*cum.last().expect("non-empty"));
+                let idx = cum.partition_point(|&x| x <= target).min(neighbors.len() - 1);
+                at = neighbors[idx];
+            }
+        }
+        let norm = 1.0 / total.max(1) as f64;
+        // Visit frequency normalised by walk count estimates p directly:
+        // E[visits of u per walk] = p_u / c, and E[total] = 1/c.
+        counts.into_iter().map(|ct| ct as f64 * norm).collect()
+    }
+}
+
+impl TopKEngine for MonteCarlo {
+    fn name(&self) -> String {
+        format!("MonteCarlo({})", self.walks)
+    }
+
+    fn top_k(&self, q: NodeId, k: usize) -> Vec<Scored> {
+        top_k_of_dense(&self.full(q), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IterativeRwr;
+    use kdash_graph::GraphBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_graph(n: usize, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            for _ in 0..rng.gen_range(2..5) {
+                let t = rng.gen_range(0..n);
+                if t != v {
+                    b.add_edge(v as NodeId, t as NodeId, rng.gen_range(0.5..2.0));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn estimates_converge_to_iterative() {
+        let g = random_graph(30, 1);
+        let c = 0.5;
+        let mc = MonteCarlo::build(&g, c, 60_000, 7);
+        let exact = IterativeRwr::new(&g, c);
+        let q = 4;
+        let approx = mc.full(q);
+        let truth = exact.full(q);
+        for (i, (a, t)) in approx.iter().zip(&truth).enumerate() {
+            assert!((a - t).abs() < 0.01, "node {i}: {a} vs {t}");
+        }
+    }
+
+    #[test]
+    fn top_k_detection_needs_fewer_walks_than_values() {
+        // The WAW 2011 observation: ranking stabilises early.
+        let g = random_graph(60, 3);
+        let c = 0.7;
+        let mc = MonteCarlo::build(&g, c, 4_000, 11);
+        let exact = IterativeRwr::new(&g, c);
+        let q = 10;
+        let truth: Vec<NodeId> = exact.top_k(q, 5).into_iter().map(|(n, _)| n).collect();
+        let got: Vec<NodeId> = mc.top_k(q, 5).into_iter().map(|(n, _)| n).collect();
+        let hits = got.iter().filter(|n| truth.contains(n)).count();
+        assert!(hits >= 4, "top-5 detection should be nearly right: {hits}/5");
+    }
+
+    #[test]
+    fn weighted_edges_bias_the_walk() {
+        // 0 -> 1 (weight 9), 0 -> 2 (weight 1): node 1 visited ~9x more.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 9.0);
+        b.add_edge(0, 2, 1.0);
+        let g = b.build().unwrap();
+        let mc = MonteCarlo::build(&g, 0.5, 40_000, 3);
+        let p = mc.full(0);
+        let ratio = p[1] / p[2].max(1e-12);
+        assert!((ratio - 9.0).abs() < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = random_graph(20, 5);
+        let a = MonteCarlo::build(&g, 0.6, 500, 9).full(3);
+        let b = MonteCarlo::build(&g, 0.6, 500, 9).full(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_recall_guarantee_unlike_bpa() {
+        // With very few walks the answer can miss true top-k nodes — the
+        // paper's §6 reason for comparing against BPA instead.
+        let g = random_graph(80, 8);
+        let mc = MonteCarlo::build(&g, 0.9, 20, 1);
+        let exact = IterativeRwr::new(&g, 0.9);
+        let mut misses = 0;
+        for q in [0u32, 20, 40, 60] {
+            let truth: Vec<NodeId> = exact.top_k(q, 5).into_iter().map(|(n, _)| n).collect();
+            let got: Vec<NodeId> = mc.top_k(q, 5).into_iter().map(|(n, _)| n).collect();
+            misses += truth.iter().filter(|t| !got.contains(t)).count();
+        }
+        assert!(misses > 0, "20 walks cannot reliably find every top-5 node");
+    }
+}

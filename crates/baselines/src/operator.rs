@@ -1,0 +1,53 @@
+//! Adapter exposing a sparse matrix as a `kdash-linalg` linear operator,
+//! so the randomized SVD can sketch it without a dependency cycle.
+
+use kdash_linalg::svd::LinearOperator;
+use kdash_sparse::CscMatrix;
+
+/// Borrowed view of a [`CscMatrix`] as a [`LinearOperator`].
+pub struct CscOperator<'a>(pub &'a CscMatrix);
+
+impl LinearOperator for CscOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.0.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.0.ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        self.0.matvec_add(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        self.0.matvec_transpose_add(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdash_linalg::{randomized_svd, SvdOptions};
+
+    #[test]
+    fn svd_through_sparse_operator() {
+        // Rank-1 sparse matrix: outer product of indicator vectors.
+        let m = CscMatrix::from_triplets(4, 4, &[(0, 1, 2.0), (1, 1, 2.0), (2, 1, 2.0), (3, 1, 2.0)])
+            .unwrap();
+        let svd = randomized_svd(&CscOperator(&m), 2, SvdOptions::default()).unwrap();
+        assert_eq!(svd.rank(), 1);
+        assert!((svd.s[0] - 4.0).abs() < 1e-9, "sigma {}", svd.s[0]); // ||col|| = sqrt(4)*2
+    }
+
+    #[test]
+    fn operator_apply_matches_matrix() {
+        let m = CscMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (2, 1, 3.0)]).unwrap();
+        let op = CscOperator(&m);
+        let mut y = vec![9.0; 3];
+        op.apply(&[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 6.0]);
+        let mut yt = vec![9.0; 2];
+        op.apply_transpose(&[1.0, 1.0, 1.0], &mut yt);
+        assert_eq!(yt, vec![1.0, 3.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion view of Figure 2: K-dash query latency per dataset and K.
+//! The cross-engine comparison lives in `fig4_baseline_latency.rs` and the
+//! `experiments fig2` subcommand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdash_bench::{all_datasets, queries_for, HarnessConfig};
+use kdash_core::{IndexOptions, KdashIndex};
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig { target_nodes: 800, queries: 8, seed: 42 };
+    let mut group = c.benchmark_group("fig2_kdash_query");
+    group.sample_size(20);
+    for (profile, graph) in all_datasets(&config) {
+        let index = KdashIndex::build(&graph, IndexOptions::default()).expect("index");
+        let queries = queries_for(&graph, config.queries);
+        for k in [5usize, 25, 50] {
+            group.bench_with_input(
+                BenchmarkId::new(profile.name(), k),
+                &k,
+                |b, &k| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let q = queries[i % queries.len()];
+                        i += 1;
+                        std::hint::black_box(index.top_k(q, k).expect("query"))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion view of Figures 2/4: per-query latency of every engine on the
+//! Dictionary stand-in. The paper's headline — K-dash orders of magnitude
+//! below the approximations — shows up directly in these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdash_baselines::{Bpa, BpaOptions, IterativeRwr, NbLin, NbLinOptions, TopKEngine};
+use kdash_bench::{dataset, queries_for, HarnessConfig};
+use kdash_core::{IndexOptions, KdashIndex};
+use kdash_datagen::DatasetProfile;
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig { target_nodes: 800, queries: 8, seed: 42 };
+    let graph = dataset(DatasetProfile::Dictionary, &config);
+    let n = graph.num_nodes();
+    let queries = queries_for(&graph, config.queries);
+    let k = 5usize;
+
+    let index = KdashIndex::build(&graph, IndexOptions::default()).expect("index");
+    let nblin = NbLin::build(
+        &graph,
+        NbLinOptions {
+            target_rank: config.scaled_rank(1000, n),
+            restart_probability: 0.95,
+            seed: config.seed,
+        },
+    )
+    .expect("nblin");
+    let bpa = Bpa::build(
+        &graph,
+        BpaOptions {
+            num_hubs: config.scaled_hubs(1000, n),
+            restart_probability: 0.95,
+            ..Default::default()
+        },
+    );
+    let iterative = IterativeRwr::new(&graph, 0.95);
+
+    let mut group = c.benchmark_group("fig4_engines");
+    group.sample_size(15);
+    let mut i = 0usize;
+    group.bench_function("kdash", |b| {
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(index.top_k(q, k).expect("query"))
+        })
+    });
+    group.bench_function("nblin", |b| {
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(nblin.top_k(q, k))
+        })
+    });
+    group.bench_function("bpa", |b| {
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(bpa.top_k(q, k))
+        })
+    });
+    group.bench_function("iterative", |b| {
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(iterative.top_k(q, k))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion view of Figure 6: index precomputation time per reordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdash_bench::{dataset, HarnessConfig};
+use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_datagen::DatasetProfile;
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig { target_nodes: 600, queries: 4, seed: 42 };
+    let graph = dataset(DatasetProfile::Dictionary, &config);
+    let mut group = c.benchmark_group("fig6_precompute");
+    group.sample_size(10);
+    for ordering in [
+        NodeOrdering::Degree,
+        NodeOrdering::Cluster,
+        NodeOrdering::Hybrid,
+        NodeOrdering::Random { seed: 42 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ordering.name()),
+            &ordering,
+            |b, &ordering| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        KdashIndex::build(&graph, IndexOptions { ordering, ..Default::default() })
+                            .expect("build"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

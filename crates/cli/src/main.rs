@@ -1,0 +1,219 @@
+//! `kdash` — command-line top-k RWR search.
+//!
+//! ```text
+//! kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid]
+//! kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...]
+//! kdash info  <index.kdash>
+//! kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]
+//! ```
+//!
+//! Edge lists are plain text (`src dst [weight]`, `#`/`%` comments) — the
+//! format of the SNAP / Pajek exports the paper's datasets use. Indexes
+//! are the versioned binary format of `kdash_core::persist`.
+
+use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_datagen::DatasetProfile;
+use kdash_graph::io::read_edge_list;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "kdash — exact top-k Random Walk with Restart search (VLDB 2012 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid]\n\
+         \x20 kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
+         \x20 kdash info  <index.kdash>\n\
+         \x20 kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
+         \n\
+         ORDERINGS: natural random degree cluster hybrid rcm mindegree\n\
+         PROFILES:  dictionary internet citation social email"
+    );
+}
+
+/// Pulls `--flag value` out of an argument list; remaining positionals are
+/// returned in order.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} expects a value"))?;
+            flags.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+fn parse_ordering(text: &str) -> Result<NodeOrdering, String> {
+    Ok(match text {
+        "natural" => NodeOrdering::Natural,
+        "random" => NodeOrdering::Random { seed: 42 },
+        "degree" => NodeOrdering::Degree,
+        "cluster" => NodeOrdering::Cluster,
+        "hybrid" => NodeOrdering::Hybrid,
+        "rcm" => NodeOrdering::ReverseCuthillMcKee,
+        "mindegree" => NodeOrdering::MinDegree,
+        other => return Err(format!("unknown ordering '{other}'")),
+    })
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let [edges_path, index_path] = pos.as_slice() else {
+        return Err("usage: kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid]"
+            .into());
+    };
+    let c: f64 = flag(&flags, "c").unwrap_or("0.95").parse().map_err(|_| "invalid --c")?;
+    let ordering = parse_ordering(flag(&flags, "ordering").unwrap_or("hybrid"))?;
+
+    let file = File::open(edges_path).map_err(|e| format!("open {edges_path}: {e}"))?;
+    let graph = read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
+    println!("loaded {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+
+    let t = Instant::now();
+    let index = KdashIndex::build(
+        &graph,
+        IndexOptions { ordering, restart_probability: c, ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "built index in {:?} ({} ordering, inverse nnz/m = {:.1})",
+        t.elapsed(),
+        ordering.name(),
+        index.stats().inverse_nnz_ratio()
+    );
+
+    let out = File::create(index_path).map_err(|e| format!("create {index_path}: {e}"))?;
+    let mut w = BufWriter::new(out);
+    index.save(&mut w).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!("wrote {index_path}");
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<KdashIndex, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    KdashIndex::load(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let [index_path, node_text] = pos.as_slice() else {
+        return Err("usage: kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]"
+            .into());
+    };
+    let q: u32 = node_text.parse().map_err(|_| "invalid node id")?;
+    let k: usize = flag(&flags, "k").unwrap_or("5").parse().map_err(|_| "invalid --k")?;
+    let index = load_index(index_path)?;
+
+    let t = Instant::now();
+    let result = if let Some(theta_text) = flag(&flags, "theta") {
+        let theta: f64 = theta_text.parse().map_err(|_| "invalid --theta")?;
+        index.nodes_above(q, theta).map_err(|e| e.to_string())?
+    } else if let Some(set_text) = flag(&flags, "set") {
+        let mut sources: Vec<u32> = vec![q];
+        for tok in set_text.split(',').filter(|s| !s.is_empty()) {
+            sources.push(tok.parse().map_err(|_| format!("invalid set member '{tok}'"))?);
+        }
+        index.top_k_from_set(&sources, k).map_err(|e| e.to_string())?
+    } else {
+        index.top_k(q, k).map_err(|e| e.to_string())?
+    };
+    let elapsed = t.elapsed();
+
+    for (rank, item) in result.items.iter().enumerate() {
+        println!("{:<4} node {:<10} proximity {:.6e}", rank + 1, item.node, item.proximity);
+    }
+    println!(
+        "-- {:?}; visited {}, computed {}, early-termination {}",
+        elapsed, result.stats.visited, result.stats.proximity_computations,
+        result.stats.terminated_early
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args)?;
+    let [index_path] = pos.as_slice() else {
+        return Err("usage: kdash info <index.kdash>".into());
+    };
+    let index = load_index(index_path)?;
+    let s = index.stats();
+    println!("nodes              {}", s.num_nodes);
+    println!("edges              {}", s.num_edges);
+    println!("restart prob. c    {}", index.restart_probability());
+    println!("ordering           {}", index.ordering().name());
+    println!("nnz(L⁻¹)           {}", s.nnz_l_inv);
+    println!("nnz(U⁻¹)           {}", s.nnz_u_inv);
+    println!("inverse nnz / m    {:.2}", s.inverse_nnz_ratio());
+    println!("inverse heap bytes {}", s.inverse_heap_bytes);
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let [profile_text, out_path] = pos.as_slice() else {
+        return Err("usage: kdash gen <profile> <edges.txt> [--nodes 2000] [--seed 42]".into());
+    };
+    let profile = match *profile_text {
+        "dictionary" => DatasetProfile::Dictionary,
+        "internet" => DatasetProfile::Internet,
+        "citation" => DatasetProfile::Citation,
+        "social" => DatasetProfile::Social,
+        "email" => DatasetProfile::Email,
+        other => return Err(format!("unknown profile '{other}'")),
+    };
+    let nodes: usize =
+        flag(&flags, "nodes").unwrap_or("2000").parse().map_err(|_| "invalid --nodes")?;
+    let seed: u64 = flag(&flags, "seed").unwrap_or("42").parse().map_err(|_| "invalid --seed")?;
+    let graph = profile.generate(profile.scale_for_nodes(nodes), seed);
+    let out = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(out);
+    kdash_graph::io::write_edge_list(&graph, &mut w).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} profile, {} nodes, {} edges)",
+        out_path,
+        profile.name(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}

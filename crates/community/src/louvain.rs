@@ -1,0 +1,297 @@
+//! The Louvain method: greedy modularity optimisation with graph
+//! aggregation (Blondel, Guillaume, Lambiotte & Lefebvre, 2008).
+
+use crate::{modularity, Partition};
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+/// Tuning parameters. The defaults mirror common implementations; the
+/// `resolution` parameter (γ) is an extension — γ = 1 is classic Louvain,
+/// larger values produce more, smaller communities.
+#[derive(Debug, Clone, Copy)]
+pub struct LouvainOptions {
+    /// Maximum number of aggregation levels.
+    pub max_levels: usize,
+    /// Maximum local-move passes per level.
+    pub max_passes: usize,
+    /// Minimum modularity gain to keep iterating.
+    pub min_gain: f64,
+    /// Seed for the node-visit shuffles (deterministic results per seed).
+    pub seed: u64,
+    /// Resolution parameter γ.
+    pub resolution: f64,
+}
+
+impl Default for LouvainOptions {
+    fn default() -> Self {
+        LouvainOptions { max_levels: 16, max_passes: 16, min_gain: 1e-7, seed: 0xC0FFEE, resolution: 1.0 }
+    }
+}
+
+/// Runs Louvain on a *directed* graph by symmetrising it first.
+pub fn louvain(graph: &CsrGraph, options: LouvainOptions) -> Partition {
+    louvain_undirected(&graph.symmetrize(), options)
+}
+
+/// Runs Louvain on a graph that is already symmetric (both directions of
+/// every edge stored with equal weights; self-loops stored once).
+pub fn louvain_undirected(graph: &CsrGraph, options: LouvainOptions) -> Partition {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Partition::from_labels(&[]);
+    }
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    // assignment of original nodes, refined level by level
+    let mut global: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = graph.clone();
+    let mut last_q = modularity(graph, &Partition::from_labels(&global));
+
+    for _level in 0..options.max_levels {
+        let local = one_level(&level_graph, options, &mut rng);
+        // Fold the level assignment into the global one. After this fold,
+        // `global` holds `local`'s dense community ids — exactly the node
+        // ids of the aggregated graph built below, so no renumbering may
+        // happen in between.
+        for g in global.iter_mut() {
+            *g = local.community_of(*g);
+        }
+        let q = modularity(graph, &Partition::from_labels(&global));
+        if q - last_q < options.min_gain || local.num_communities() == 1 {
+            return Partition::from_labels(&global);
+        }
+        last_q = q;
+        level_graph = aggregate(&level_graph, &local);
+    }
+    Partition::from_labels(&global)
+}
+
+/// One local-moving phase. Returns the (renumbered) community assignment of
+/// the level graph's nodes.
+fn one_level(graph: &CsrGraph, options: LouvainOptions, rng: &mut StdRng) -> Partition {
+    let n = graph.num_nodes();
+    // Weighted degree (self-loops twice) and self-loop weight per node.
+    let mut k = vec![0.0f64; n];
+    let mut self_w = vec![0.0f64; n];
+    for v in 0..n as NodeId {
+        for (t, w) in graph.out_edges(v) {
+            k[v as usize] += w;
+            if t == v {
+                k[v as usize] += w;
+                self_w[v as usize] += w;
+            }
+        }
+    }
+    let two_m: f64 = k.iter().sum();
+    if two_m == 0.0 {
+        return Partition::singletons(n);
+    }
+    let gamma = options.resolution;
+
+    let mut comm: Vec<u32> = (0..n as u32).collect();
+    let mut sigma_tot: Vec<f64> = k.clone();
+
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    // Scratch: community -> accumulated edge weight from the current node.
+    let mut neigh_w = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for _pass in 0..options.max_passes {
+        order.shuffle(rng);
+        let mut moved = 0usize;
+        for &v in &order {
+            let vc = comm[v as usize];
+            // Gather neighbour-community weights (excluding self-loops).
+            touched.clear();
+            for (t, w) in graph.out_edges(v) {
+                if t == v {
+                    continue;
+                }
+                let tc = comm[t as usize];
+                if neigh_w[tc as usize] == 0.0 {
+                    touched.push(tc);
+                }
+                neigh_w[tc as usize] += w;
+            }
+            // Remove v from its community.
+            sigma_tot[vc as usize] -= k[v as usize];
+            // Best destination: maximise k_in − γ·Σ_tot·k_v / 2m.
+            let kv = k[v as usize];
+            let mut best_c = vc;
+            let mut best_gain = neigh_w[vc as usize] - gamma * sigma_tot[vc as usize] * kv / two_m;
+            for &c in &touched {
+                let gain = neigh_w[c as usize] - gamma * sigma_tot[c as usize] * kv / two_m;
+                if gain > best_gain + 1e-15 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c as usize] += kv;
+            if best_c != vc {
+                comm[v as usize] = best_c;
+                moved += 1;
+            }
+            for &c in &touched {
+                neigh_w[c as usize] = 0.0;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    Partition::from_labels(&comm)
+}
+
+/// Builds the community super-graph: one node per community, edge weights
+/// summed, intra-community weight becoming a self-loop.
+fn aggregate(graph: &CsrGraph, partition: &Partition) -> CsrGraph {
+    let nc = partition.num_communities();
+    let mut b = GraphBuilder::with_capacity(nc, graph.num_edges());
+    for v in 0..graph.num_nodes() as NodeId {
+        let cv = partition.community_of(v);
+        for (t, w) in graph.out_edges(v) {
+            let ct = partition.community_of(t);
+            if cv == ct {
+                // Both directions of an intra edge fold into one self-loop
+                // entry each; halve so the self-loop is stored once with the
+                // undirected weight (v==t contributes w directly).
+                if v == t {
+                    b.add_edge(cv, cv, w);
+                } else {
+                    b.add_edge(cv, cv, w / 2.0);
+                }
+            } else {
+                b.add_edge(cv, ct, w);
+            }
+        }
+    }
+    b.build().expect("aggregation preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique_pair(k: usize) -> CsrGraph {
+        // Two k-cliques joined by a single edge.
+        let n = 2 * k;
+        let mut b = GraphBuilder::new(n);
+        for base in [0, k] {
+            for i in 0..k {
+                for j in i + 1..k {
+                    b.add_undirected_edge((base + i) as NodeId, (base + j) as NodeId, 1.0);
+                }
+            }
+        }
+        b.add_undirected_edge((k - 1) as NodeId, k as NodeId, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn splits_two_cliques() {
+        let g = clique_pair(5);
+        let p = louvain_undirected(&g, LouvainOptions::default());
+        assert_eq!(p.num_communities(), 2);
+        for i in 0..5u32 {
+            assert_eq!(p.community_of(i), p.community_of(0));
+            assert_eq!(p.community_of(i + 5), p.community_of(5));
+        }
+        assert_ne!(p.community_of(0), p.community_of(5));
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        // 4 triangles in a ring; expected: one community per triangle.
+        let k = 3;
+        let rings = 4;
+        let n = k * rings;
+        let mut b = GraphBuilder::new(n);
+        for r in 0..rings {
+            let base = r * k;
+            for i in 0..k {
+                for j in i + 1..k {
+                    b.add_undirected_edge((base + i) as NodeId, (base + j) as NodeId, 1.0);
+                }
+            }
+            let next = ((r + 1) % rings) * k;
+            b.add_undirected_edge((base + k - 1) as NodeId, next as NodeId, 1.0);
+        }
+        let g = b.build().unwrap();
+        let p = louvain_undirected(&g, LouvainOptions::default());
+        assert_eq!(p.num_communities(), rings);
+        for r in 0..rings {
+            let c = p.community_of((r * k) as NodeId);
+            for i in 1..k {
+                assert_eq!(p.community_of((r * k + i) as NodeId), c);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = clique_pair(4);
+        let p1 = louvain_undirected(&g, LouvainOptions::default());
+        let p2 = louvain_undirected(&g, LouvainOptions::default());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn improves_modularity_over_singletons() {
+        let g = clique_pair(6);
+        let p = louvain_undirected(&g, LouvainOptions::default());
+        let q = modularity(&g, &p);
+        let q0 = modularity(&g, &Partition::singletons(g.num_nodes()));
+        assert!(q > q0, "{q} vs {q0}");
+        assert!(q > 0.3, "two cliques should be strongly modular, got {q}");
+    }
+
+    #[test]
+    fn edgeless_graph_gives_singletons() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        let p = louvain_undirected(&g, LouvainOptions::default());
+        assert_eq!(p.num_communities(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let p = louvain_undirected(&g, LouvainOptions::default());
+        assert_eq!(p.num_communities(), 0);
+    }
+
+    #[test]
+    fn directed_entry_point_symmetrises() {
+        // Directed two-clique pair still splits.
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v, 1.0); // one direction only
+        }
+        b.add_edge(2, 3, 1.0);
+        let g = b.build().unwrap();
+        let p = louvain(&g, LouvainOptions::default());
+        assert_eq!(p.num_communities(), 2);
+    }
+
+    #[test]
+    fn high_resolution_splits_more() {
+        let g = clique_pair(8);
+        let coarse = louvain_undirected(&g, LouvainOptions::default());
+        let fine = louvain_undirected(
+            &g,
+            LouvainOptions { resolution: 30.0, ..LouvainOptions::default() },
+        );
+        assert!(fine.num_communities() >= coarse.num_communities());
+    }
+
+    #[test]
+    fn aggregate_conserves_weight() {
+        let g = clique_pair(4);
+        let p = louvain_undirected(&g, LouvainOptions::default());
+        let agg = aggregate(&g, &p);
+        // Total undirected weight: symmetric storage sums each edge twice;
+        // aggregation folds intra edges into self-loops stored once.
+        let orig: f64 = g.edges().map(|(_, _, w)| w).sum();
+        let agg_total: f64 =
+            agg.edges().map(|(u, v, w)| if u == v { 2.0 * w } else { w }).sum();
+        assert!((orig - agg_total).abs() < 1e-9, "{orig} vs {agg_total}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Newman modularity of a partition.
+
+use crate::Partition;
+use kdash_graph::CsrGraph;
+
+/// Computes the (weighted) Newman modularity of `partition` on an
+/// **undirected** graph given as a symmetric CSR (both directions stored;
+/// self-loops stored once).
+///
+/// Conventions: `2m = Σ_v k_v` with `k_v` = sum of the stored incident
+/// weights plus the self-loop weight counted twice — the convention under
+/// which a self-loop contributes one full edge to the graph.
+///
+/// `Q = Σ_c [ in_c / 2m − (tot_c / 2m)² ]` where `in_c` counts intra-
+/// community directed entries (each undirected edge twice, self-loops
+/// twice) and `tot_c = Σ_{v ∈ c} k_v`.
+pub fn modularity(graph: &CsrGraph, partition: &Partition) -> f64 {
+    assert_eq!(graph.num_nodes(), partition.num_nodes(), "partition size mismatch");
+    let n = graph.num_nodes();
+    let nc = partition.num_communities();
+    if n == 0 || nc == 0 {
+        return 0.0;
+    }
+    let mut k = vec![0.0f64; n];
+    for v in 0..n as kdash_graph::NodeId {
+        for (t, w) in graph.out_edges(v) {
+            k[v as usize] += w;
+            if t == v {
+                k[v as usize] += w; // self-loop counts twice toward degree
+            }
+        }
+    }
+    let two_m: f64 = k.iter().sum();
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let mut intra = vec![0.0f64; nc];
+    let mut tot = vec![0.0f64; nc];
+    for v in 0..n as kdash_graph::NodeId {
+        let cv = partition.community_of(v) as usize;
+        tot[cv] += k[v as usize];
+        for (t, w) in graph.out_edges(v) {
+            if partition.community_of(t) as usize == cv {
+                intra[cv] += if t == v { 2.0 * w } else { w };
+            }
+        }
+    }
+    (0..nc).map(|c| intra[c] / two_m - (tot[c] / two_m).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdash_graph::GraphBuilder;
+
+    /// Two triangles joined by one edge, symmetric storage.
+    fn two_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_undirected_edge(u, v, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn natural_split_beats_singletons_and_lump() {
+        let g = two_triangles();
+        let split = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let lump = Partition::from_labels(&[0, 0, 0, 0, 0, 0]);
+        let single = Partition::singletons(6);
+        let q_split = modularity(&g, &split);
+        let q_lump = modularity(&g, &lump);
+        let q_single = modularity(&g, &single);
+        assert!(q_split > q_lump, "{q_split} vs {q_lump}");
+        assert!(q_split > q_single, "{q_split} vs {q_single}");
+        // Known value: 7 edges, intra = 6, m = 7.
+        // Q = 2*(3/7 - (7/14)^2) = 6/7 - 1/2
+        let expect = 6.0 / 7.0 - 0.5;
+        assert!((q_split - expect).abs() < 1e-12, "{q_split} vs {expect}");
+    }
+
+    #[test]
+    fn lump_partition_modularity_is_zero() {
+        let g = two_triangles();
+        let lump = Partition::from_labels(&[0; 6]);
+        assert!(modularity(&g, &lump).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(modularity(&g, &Partition::singletons(3)), 0.0);
+    }
+
+    #[test]
+    fn self_loops_count_once_as_edges() {
+        // One self-loop only: the single community holds all weight.
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 0, 1.0);
+        let g = b.build().unwrap();
+        let q = modularity(&g, &Partition::from_labels(&[0]));
+        // in = 2w, 2m = 2w, tot = 2w -> Q = 1 - 1 = 0
+        assert!(q.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Dense node partitions.
+
+use kdash_graph::NodeId;
+
+/// An assignment of every node to one of `count` communities, with labels
+/// dense in `0..count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    count: usize,
+}
+
+impl Partition {
+    /// Builds a partition from raw labels, renumbering them densely in
+    /// order of first appearance.
+    pub fn from_labels(labels: &[u32]) -> Partition {
+        let mut remap: Vec<u32> = vec![u32::MAX; labels.len().max(1)];
+        // Labels may exceed n when produced by intermediate passes; grow on
+        // demand via a simple linear probe table keyed by label value.
+        let max_label = labels.iter().copied().max().unwrap_or(0) as usize;
+        if remap.len() <= max_label {
+            remap.resize(max_label + 1, u32::MAX);
+        }
+        let mut next = 0u32;
+        let mut assignment = Vec::with_capacity(labels.len());
+        for &l in labels {
+            if remap[l as usize] == u32::MAX {
+                remap[l as usize] = next;
+                next += 1;
+            }
+            assignment.push(remap[l as usize]);
+        }
+        Partition { assignment, count: next as usize }
+    }
+
+    /// Each node in its own community.
+    pub fn singletons(n: usize) -> Partition {
+        Partition { assignment: (0..n as u32).collect(), count: n }
+    }
+
+    /// Community of node `v`.
+    #[inline]
+    pub fn community_of(&self, v: NodeId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Number of communities.
+    #[inline]
+    pub fn num_communities(&self) -> usize {
+        self.count
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The raw assignment slice.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Members of every community: `members()[c]` lists the nodes of `c`
+    /// in ascending order.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(v as NodeId);
+        }
+        out
+    }
+
+    /// Community sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.count];
+        for &c in &self.assignment {
+            s[c as usize] += 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumbering_is_dense_and_order_preserving() {
+        let p = Partition::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(p.num_communities(), 3);
+        assert_eq!(p.assignment(), &[0, 0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn singletons() {
+        let p = Partition::singletons(4);
+        assert_eq!(p.num_communities(), 4);
+        assert_eq!(p.sizes(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn members_sorted() {
+        let p = Partition::from_labels(&[1, 0, 1, 0]);
+        let m = p.members();
+        assert_eq!(m[0], vec![0, 2]);
+        assert_eq!(m[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::from_labels(&[]);
+        assert_eq!(p.num_communities(), 0);
+        assert_eq!(p.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Parallel batch queries.
+//!
+//! A built [`KdashIndex`] is immutable, hence `Sync`: independent queries
+//! can run on separate threads with zero coordination. This module chunks
+//! a query batch over scoped `std::thread`s — the natural serving pattern
+//! for the recommender / captioning workloads the paper motivates.
+
+use crate::{KdashIndex, Result, TopKResult};
+use kdash_graph::NodeId;
+
+/// Runs `top_k` for every query, fanning out over at most `threads`
+/// worker threads. Results are returned in query order; the first error
+/// (e.g. an out-of-bounds query) aborts the batch.
+pub fn batch_top_k(
+    index: &KdashIndex,
+    queries: &[NodeId],
+    k: usize,
+    threads: usize,
+) -> Result<Vec<TopKResult>> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads == 1 {
+        return queries.iter().map(|&q| index.top_k(q, k)).collect();
+    }
+    let chunk_size = queries.len().div_ceil(threads);
+    let chunk_results: Vec<Result<Vec<TopKResult>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || chunk.iter().map(|&q| index.top_k(q, k)).collect())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(queries.len());
+    for chunk in chunk_results {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexOptions;
+    use kdash_graph::GraphBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn graph(n: usize, seed: u64) -> kdash_graph::CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            for _ in 0..3 {
+                let t = rng.gen_range(0..n);
+                if t != v {
+                    b.add_edge(v as NodeId, t as NodeId, 1.0);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = graph(120, 4);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries: Vec<NodeId> = (0..40).map(|i| i * 3).collect();
+        let sequential = batch_top_k(&index, &queries, 5, 1).unwrap();
+        let parallel = batch_top_k(&index, &queries, 5, 4).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.nodes(), p.nodes());
+            for (a, b) in s.items.iter().zip(&p.items) {
+                assert_eq!(a.proximity, b.proximity);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_errors_propagate() {
+        let g = graph(10, 5);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries = vec![0, 5, 99]; // 99 out of bounds
+        assert!(batch_top_k(&index, &queries, 3, 2).is_err());
+    }
+
+    #[test]
+    fn empty_batch_and_excess_threads() {
+        let g = graph(10, 6);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        assert!(batch_top_k(&index, &[], 3, 8).unwrap().is_empty());
+        let one = batch_top_k(&index, &[2], 3, 64).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+}

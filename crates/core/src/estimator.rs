@@ -1,0 +1,258 @@
+//! The proximity upper-bound estimators.
+//!
+//! [`LayerEstimator`] implements the paper's Definition 1 with the `O(1)`
+//! incremental update of Definition 2: when nodes are visited (and
+//! selected) in BFS-layer order from the query node, the estimate of the
+//! next node derives from the previous node's three terms
+//!
+//! ```text
+//! p̄_u = c'_u · ( Σ_{v ∈ V_{l−1}(u)} p_v·A_max(v)     (term 1)
+//!              + Σ_{v ∈ V_l(u)}     p_v·A_max(v)      (term 2)
+//!              + (1 − Σ_{v ∈ V_s} p_v) · A_max )      (term 3)
+//! ```
+//!
+//! Lemma 1 guarantees `p̄_u ≥ p_u`; Lemma 2 guarantees the sequence of
+//! bounds is non-increasing across the visit order, which is what lets the
+//! search *terminate* the first time a bound drops below θ.
+//!
+//! Note on the paper text: Definition 2's root case writes the third term
+//! as `(1 − p_q)·A_max(u)`; consistency with Definition 1 and with Lemma 2
+//! requires the **global** `A_max` there, which is what this implementation
+//! (and the paper's own Definition 1) uses.
+//!
+//! [`ArbitraryOrderBound`] is the weaker bound used by the random-root
+//! ablation (paper Appendix D.1): it stays valid for *any* visit order but
+//! is not monotone, so it can only skip individual nodes, never terminate.
+
+/// Incremental Definition 1 / Definition 2 estimator.
+///
+/// The implementation generalises the paper's `u′ = q` special case into
+/// the uniform rule "fold the previous node into term 2, rotate terms on a
+/// layer change": starting from `(0, 0, A_max)` with the root recorded as
+/// an ordinary layer-0 selection reproduces Definition 2 exactly for a
+/// single root *and* stays correct when several nodes occupy layer 0 —
+/// which is what the multi-source (restart-set) extension needs.
+#[derive(Debug, Clone)]
+pub struct LayerEstimator {
+    /// Global maximum of the transition matrix (`A_max`).
+    a_max: f64,
+    /// Three terms of the *previous* visited node's estimate.
+    term1: f64,
+    term2: f64,
+    term3: f64,
+    /// Previous node's layer, exact proximity and column maximum.
+    prev: Option<Prev>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Prev {
+    layer: u32,
+    proximity: f64,
+    col_max: f64,
+}
+
+impl LayerEstimator {
+    /// A fresh estimator for one query; `a_max` is the global maximum
+    /// element of the transition matrix. Initial terms are
+    /// `(0, 0, A_max)` — no mass selected yet.
+    pub fn new(a_max: f64) -> Self {
+        LayerEstimator { a_max, term1: 0.0, term2: 0.0, term3: a_max, prev: None }
+    }
+
+    /// Records the root (query) node: its exact proximity and its column
+    /// maximum `A_max(q)`. Equivalent to
+    /// [`record_selected`](Self::record_selected) at layer 0; kept as a
+    /// named entry point for readability at call sites.
+    pub fn record_root(&mut self, p_q: f64, col_max_q: f64) {
+        debug_assert!(self.prev.is_none(), "root recorded twice");
+        self.record_selected(0, p_q, col_max_q);
+    }
+
+    /// Advances to the node about to be visited at `layer` and returns the
+    /// raw term sum `term1 + term2 + term3`. The caller multiplies by the
+    /// node-specific `c'_u = (1−c)/(1 − A_uu + c·A_uu)` to get `p̄_u`.
+    ///
+    /// Panics in debug builds if the visit order violates BFS layering.
+    pub fn advance(&mut self, layer: u32) -> f64 {
+        let prev = self.prev.expect("advance called before recording a first node");
+        debug_assert!(
+            layer == prev.layer || layer == prev.layer + 1,
+            "BFS order violated: layer {layer} after {}",
+            prev.layer
+        );
+        if layer == prev.layer {
+            self.term2 += prev.proximity * prev.col_max;
+            self.term3 -= prev.proximity * self.a_max;
+        } else {
+            self.term1 = self.term2 + prev.proximity * prev.col_max;
+            self.term2 = 0.0;
+            self.term3 -= prev.proximity * self.a_max;
+        }
+        // Floating-point cancellation may push term3 a hair negative once
+        // almost all probability mass is accounted for; the mathematical
+        // value is >= 0 and clamping keeps the bound sound.
+        if self.term3 < 0.0 {
+            self.term3 = 0.0;
+        }
+        self.term1 + self.term2 + self.term3
+    }
+
+    /// Records the node just visited (after its exact proximity was
+    /// computed) so the next [`advance`](LayerEstimator::advance) can build
+    /// on it.
+    pub fn record_selected(&mut self, layer: u32, proximity: f64, col_max: f64) {
+        self.prev = Some(Prev { layer, proximity, col_max });
+    }
+}
+
+/// Order-agnostic upper bound:
+/// `p_u ≤ c'_u · ( Σ_{v ∈ V_s} p_v·A_max(v) + (1 − Σ_{v ∈ V_s} p_v)·A_max )`
+/// for every non-query `u`. Every in-neighbour of `u` is either selected
+/// (covered by the first sum) or not (covered by the remainder term), so no
+/// layer structure is needed — at the price of a much looser bound and no
+/// termination guarantee.
+#[derive(Debug, Clone)]
+pub struct ArbitraryOrderBound {
+    a_max: f64,
+    /// `Σ_{v ∈ V_s} p_v · A_max(v)`.
+    selected_sum: f64,
+    /// `1 − Σ_{v ∈ V_s} p_v`.
+    remainder: f64,
+}
+
+impl ArbitraryOrderBound {
+    /// Fresh bound state (no nodes selected yet).
+    pub fn new(a_max: f64) -> Self {
+        ArbitraryOrderBound { a_max, selected_sum: 0.0, remainder: 1.0 }
+    }
+
+    /// The raw bound term; multiply by the node's `c'_u`.
+    /// Only valid for non-query nodes.
+    pub fn bound_term(&self) -> f64 {
+        self.selected_sum + self.remainder.max(0.0) * self.a_max
+    }
+
+    /// Accounts a newly selected node.
+    pub fn record(&mut self, proximity: f64, col_max: f64) {
+        self.selected_sum += proximity * col_max;
+        self.remainder -= proximity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Re-computes Definition 1 from scratch for a visit trace and checks
+    /// the incremental estimator agrees at every step.
+    #[test]
+    fn incremental_matches_definition_one() {
+        let a_max = 0.9;
+        // Synthetic visit trace: (layer, exact proximity, col_max).
+        let trace: &[(u32, f64, f64)] = &[
+            (0, 0.5, 0.7),  // root
+            (1, 0.2, 0.6),
+            (1, 0.1, 0.9),
+            (2, 0.05, 0.5),
+            (2, 0.04, 0.4),
+            (2, 0.03, 0.3),
+            (3, 0.02, 0.8),
+        ];
+        let mut est = LayerEstimator::new(a_max);
+        est.record_root(trace[0].1, trace[0].2);
+        for i in 1..trace.len() {
+            let (layer, p, cm) = trace[i];
+            let got = est.advance(layer);
+            // Definition 1 from scratch over the prefix [0, i).
+            let selected = &trace[..i];
+            let t1: f64 = selected
+                .iter()
+                .filter(|(l, _, _)| *l + 1 == layer)
+                .map(|(_, p, cm)| p * cm)
+                .sum();
+            let t2: f64 = selected
+                .iter()
+                .filter(|(l, _, _)| *l == layer)
+                .map(|(_, p, cm)| p * cm)
+                .sum();
+            let total_p: f64 = selected.iter().map(|(_, p, _)| p).sum();
+            let t3 = (1.0 - total_p) * a_max;
+            let expect = t1 + t2 + t3;
+            assert!((got - expect).abs() < 1e-12, "step {i}: {got} vs {expect}");
+            est.record_selected(layer, p, cm);
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_non_increasing() {
+        // Lemma 2 at the raw-term level (equal c' across nodes).
+        let mut est = LayerEstimator::new(0.8);
+        est.record_root(0.6, 0.8);
+        let trace: &[(u32, f64, f64)] =
+            &[(1, 0.15, 0.5), (1, 0.1, 0.7), (2, 0.05, 0.6), (2, 0.02, 0.8), (3, 0.01, 0.4)];
+        let mut last = f64::INFINITY;
+        for &(layer, p, cm) in trace {
+            let term = est.advance(layer);
+            assert!(term <= last + 1e-12, "bound increased: {term} > {last}");
+            last = term;
+            est.record_selected(layer, p, cm);
+        }
+    }
+
+    #[test]
+    fn term3_clamps_at_zero() {
+        let mut est = LayerEstimator::new(1.0);
+        est.record_root(0.9, 1.0);
+        let _ = est.advance(1);
+        est.record_selected(1, 0.2, 1.0); // total p now > 1 (adversarial input)
+        let term = est.advance(1);
+        assert!(term >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance called before recording")]
+    fn advance_requires_root() {
+        let mut est = LayerEstimator::new(0.5);
+        let _ = est.advance(1);
+    }
+
+    /// The generalised chain handles several layer-0 nodes (multi-source
+    /// search): after recording all sources, the first layer-1 bound must
+    /// cover every source in its first term, exactly as Definition 1.
+    #[test]
+    fn multi_source_layer_zero_accumulates() {
+        let a_max = 0.9;
+        let sources = [(0.30, 0.8), (0.20, 0.5), (0.10, 0.9)];
+        let mut est = LayerEstimator::new(a_max);
+        est.record_root(sources[0].0, sources[0].1);
+        for &(p, cm) in &sources[1..] {
+            let _ = est.advance(0); // bound unused for sources
+            est.record_selected(0, p, cm);
+        }
+        let got = est.advance(1);
+        let t1: f64 = sources.iter().map(|(p, cm)| p * cm).sum();
+        let total_p: f64 = sources.iter().map(|(p, _)| p).sum();
+        let expect = t1 + (1.0 - total_p) * a_max;
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn arbitrary_bound_shrinks_as_mass_accumulates() {
+        let mut b = ArbitraryOrderBound::new(0.9);
+        let before = b.bound_term();
+        assert!((before - 0.9).abs() < 1e-15);
+        b.record(0.5, 0.3);
+        let after = b.bound_term();
+        // 0.5·0.3 + 0.5·0.9 = 0.6 < 0.9
+        assert!((after - 0.6).abs() < 1e-12);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn arbitrary_bound_never_negative() {
+        let mut b = ArbitraryOrderBound::new(0.9);
+        b.record(0.8, 0.1);
+        b.record(0.3, 0.1); // over-accounted mass
+        assert!(b.bound_term() >= 0.0);
+    }
+}

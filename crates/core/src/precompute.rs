@@ -1,0 +1,529 @@
+//! Index construction (§4.2 of the paper).
+//!
+//! Builds everything a query needs: the reordering permutation, the
+//! permuted graph (for BFS), the sparse triangular inverses `L⁻¹` / `U⁻¹`,
+//! and the estimator's precomputed quantities `A_max`, `A_max(v)` and the
+//! per-node `c'` factors.
+
+use crate::{compute_ordering, IndexStats, KdashError, NodeOrdering, Result};
+use kdash_graph::{CsrGraph, NodeId, Permutation};
+use kdash_sparse::{
+    invert_lower_unit, invert_upper, sparse_lu, transition_matrix, w_matrix, CscMatrix, CsrMatrix,
+    DanglingPolicy, LuFactors,
+};
+use std::time::Instant;
+
+/// Index construction options. Defaults follow the paper's evaluation:
+/// hybrid reordering, `c = 0.95`, dangling nodes kept as-is.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// Node reordering applied before LU (Figure 5/6 variable).
+    pub ordering: NodeOrdering,
+    /// Restart probability `c` (the paper uses 0.95 throughout).
+    pub restart_probability: f64,
+    /// Treatment of nodes without out-edges.
+    pub dangling: DanglingPolicy,
+    /// Keep the raw LU factors alongside the inverses. Costs extra memory;
+    /// enables [`KdashIndex::proximities_via_factors`], the
+    /// "solve instead of stored inverses" ablation.
+    pub keep_factors: bool,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            ordering: NodeOrdering::Hybrid,
+            restart_probability: 0.95,
+            dangling: DanglingPolicy::Keep,
+            keep_factors: false,
+        }
+    }
+}
+
+/// The precomputed K-dash index: everything needed to answer exact top-k
+/// RWR queries without touching the original graph again.
+///
+/// All internal state lives in *permuted* node ids; the public API
+/// translates at the boundary, so callers only ever see original ids.
+#[derive(Debug, Clone)]
+pub struct KdashIndex {
+    c: f64,
+    ordering: NodeOrdering,
+    perm: Permutation,
+    /// The permuted graph (drives the BFS tree construction per query).
+    graph: CsrGraph,
+    /// `L⁻¹`, column-major: column `q` is `L⁻¹ e_q`.
+    linv: CscMatrix,
+    /// `U⁻¹`, row-major: a node's proximity is one sparse row·column dot.
+    uinv: CsrMatrix,
+    /// `A_max(v)` per (permuted) node.
+    a_col_max: Vec<f64>,
+    /// Global `A_max`.
+    a_max: f64,
+    /// Per-node `c'_u = (1−c)/(1 − A_uu + c·A_uu)`.
+    c_prime: Vec<f64>,
+    /// `max_u c'_u` — the factor the *termination* test must use: Lemma 2
+    /// makes the term sum monotone, but with self-loops `c'` varies per
+    /// node, so a later node may carry a larger factor than the node that
+    /// triggered termination. Multiplying the monotone terms by the
+    /// maximum keeps the early exit sound for every unvisited node (and
+    /// degenerates to the paper's constant `1−c` on self-loop-free
+    /// graphs).
+    c_prime_max: f64,
+    /// Raw factors, kept only when requested.
+    factors: Option<LuFactors>,
+    stats: IndexStats,
+}
+
+impl KdashIndex {
+    /// Builds the index. Runs the reordering, assembles
+    /// `W = I − (1−c)A`, factors it and inverts the triangular factors.
+    pub fn build(graph: &CsrGraph, options: IndexOptions) -> Result<KdashIndex> {
+        let t0 = Instant::now();
+        let perm = compute_ordering(graph, options.ordering);
+        let permuted = graph.permute(&perm)?;
+        let ordering_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let a = transition_matrix(&permuted, options.dangling);
+        let w = w_matrix(&a, options.restart_probability)?;
+        let factors = sparse_lu(&w)?;
+        let factorization_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let linv = invert_lower_unit(&factors.l)?;
+        let uinv_csc = invert_upper(&factors.u)?;
+        let uinv = CsrMatrix::from_csc(&uinv_csc);
+        let inversion_time = t2.elapsed();
+
+        let a_col_max = a.col_max();
+        let a_max = a.global_max();
+        let c = options.restart_probability;
+        let c_prime: Vec<f64> = (0..permuted.num_nodes() as NodeId)
+            .map(|v| {
+                let a_vv = a.get(v, v).unwrap_or(0.0);
+                (1.0 - c) / (1.0 - a_vv + c * a_vv)
+            })
+            .collect();
+
+        let c_prime_max = c_prime.iter().copied().fold(0.0f64, f64::max);
+        let stats = IndexStats {
+            ordering_time,
+            factorization_time,
+            inversion_time,
+            nnz_l: factors.l.nnz(),
+            nnz_u: factors.u.nnz(),
+            nnz_l_inv: linv.nnz(),
+            nnz_u_inv: uinv.nnz(),
+            num_edges: graph.num_edges(),
+            num_nodes: graph.num_nodes(),
+            inverse_heap_bytes: linv.heap_bytes() + uinv.heap_bytes(),
+        };
+
+        Ok(KdashIndex {
+            c,
+            ordering: options.ordering,
+            perm,
+            graph: permuted,
+            linv,
+            uinv,
+            a_col_max,
+            a_max,
+            c_prime,
+            c_prime_max,
+            factors: options.keep_factors.then_some(factors),
+            stats,
+        })
+    }
+
+    /// Number of indexed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The restart probability the index was built with.
+    pub fn restart_probability(&self) -> f64 {
+        self.c
+    }
+
+    /// The reordering strategy the index was built with.
+    pub fn ordering(&self) -> NodeOrdering {
+        self.ordering
+    }
+
+    /// Build-time statistics (Figure 5/6 quantities).
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Exact proximity of a single node `u` with respect to query `q`
+    /// (both in original ids): `c · (U⁻¹)ᵤ,⋆ · (L⁻¹ e_q)`.
+    pub fn proximity(&self, q: NodeId, u: NodeId) -> Result<f64> {
+        self.check_node(q)?;
+        self.check_node(u)?;
+        let (qi, ui) = (self.perm.new_of(q), self.perm.new_of(u));
+        let (idx, val) = self.linv.col(qi);
+        Ok(self.c * self.uinv.row_dot_sparse(ui, idx, val))
+    }
+
+    /// The full proximity vector for `q` in original id space,
+    /// `p = c · U⁻¹ (L⁻¹ e_q)`. `O(nnz(L⁻¹ column) + nnz(U⁻¹))`.
+    pub fn full_proximities(&self, q: NodeId) -> Result<Vec<f64>> {
+        self.check_node(q)?;
+        let qi = self.perm.new_of(q);
+        let (idx, val) = self.linv.col(qi);
+        let n = self.num_nodes();
+        let mut y = vec![0.0; n];
+        for (&i, &v) in idx.iter().zip(val) {
+            y[i as usize] = v;
+        }
+        let mut permuted = self.uinv.matvec(&y);
+        for p in &mut permuted {
+            *p *= self.c;
+        }
+        // Back to original ids.
+        let mut out = vec![0.0; n];
+        for (new, p) in permuted.into_iter().enumerate() {
+            out[self.perm.old_of(new as NodeId) as usize] = p;
+        }
+        Ok(out)
+    }
+
+    /// Full proximity vector for a *restart set*: the walk restarts
+    /// uniformly over `sources` (`q = (1/|S|) Σ_s e_s`), the Personalized
+    /// PageRank generalisation the paper's footnote 6 mentions. By
+    /// linearity this is the average of the single-source vectors, but it
+    /// is computed in one pass over the merged `L⁻¹` columns.
+    pub fn full_proximities_from_set(&self, sources: &[NodeId]) -> Result<Vec<f64>> {
+        let (idx, val) = self.merged_query_column(sources)?;
+        let n = self.num_nodes();
+        let mut y = vec![0.0; n];
+        for (&i, &v) in idx.iter().zip(&val) {
+            y[i as usize] = v;
+        }
+        let mut permuted = self.uinv.matvec(&y);
+        for p in &mut permuted {
+            *p *= self.c;
+        }
+        let mut out = vec![0.0; n];
+        for (new, p) in permuted.into_iter().enumerate() {
+            out[self.perm.old_of(new as NodeId) as usize] = p;
+        }
+        Ok(out)
+    }
+
+    /// Merges the `L⁻¹` columns of a restart set into one sorted sparse
+    /// vector `(1/|S|) Σ_s L⁻¹ e_s` (permuted index space). Validates and
+    /// rejects empty or duplicate-containing sets.
+    pub(crate) fn merged_query_column(
+        &self,
+        sources: &[NodeId],
+    ) -> Result<(Vec<NodeId>, Vec<f64>)> {
+        if sources.is_empty() {
+            return Err(KdashError::Graph(kdash_graph::GraphError::InvalidPermutation(
+                "restart set must be non-empty".into(),
+            )));
+        }
+        let mut seen = std::collections::HashSet::with_capacity(sources.len());
+        for &s in sources {
+            self.check_node(s)?;
+            if !seen.insert(s) {
+                return Err(KdashError::Graph(kdash_graph::GraphError::InvalidPermutation(
+                    format!("node {s} appears twice in the restart set"),
+                )));
+            }
+        }
+        let weight = 1.0 / sources.len() as f64;
+        let mut pairs: Vec<(NodeId, f64)> = Vec::new();
+        for &s in sources {
+            let (idx, val) = self.linv.col(self.perm.new_of(s));
+            pairs.extend(idx.iter().zip(val).map(|(&i, &v)| (i, v * weight)));
+        }
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut out_idx: Vec<NodeId> = Vec::with_capacity(pairs.len());
+        let mut out_val: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if out_idx.last() == Some(&i) {
+                *out_val.last_mut().expect("parallel arrays") += v;
+            } else {
+                out_idx.push(i);
+                out_val.push(v);
+            }
+        }
+        Ok((out_idx, out_val))
+    }
+
+    /// The "no stored inverses" alternative: solves `L y = e_q`, `U x = y`
+    /// per query via Gilbert–Peierls. Requires `keep_factors`; returns the
+    /// full proximity vector in original ids. Benchmarked against
+    /// [`full_proximities`](Self::full_proximities) by
+    /// `ablation_solve_vs_inverse`.
+    pub fn proximities_via_factors(&self, q: NodeId) -> Result<Option<Vec<f64>>> {
+        self.check_node(q)?;
+        let Some(factors) = &self.factors else {
+            return Ok(None);
+        };
+        let qi = self.perm.new_of(q);
+        let mut ws = kdash_sparse::SolveWorkspace::new(self.num_nodes());
+        let (xi, xv) = factors.solve_unit_sparse(&mut ws, qi)?;
+        let mut out = vec![0.0; self.num_nodes()];
+        for (&i, &v) in xi.iter().zip(&xv) {
+            out[self.perm.old_of(i) as usize] = self.c * v;
+        }
+        Ok(Some(out))
+    }
+
+    /// Reassembles an index from previously validated components
+    /// (deserialisation path). Statistics carry the nnz counts but zero
+    /// durations. Fails when component dimensions disagree.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        c: f64,
+        ordering: NodeOrdering,
+        perm: Permutation,
+        graph: CsrGraph,
+        linv: CscMatrix,
+        uinv: CsrMatrix,
+        a_col_max: Vec<f64>,
+        a_max: f64,
+        c_prime: Vec<f64>,
+    ) -> Result<KdashIndex> {
+        let n = graph.num_nodes();
+        kdash_sparse::rwr::validate_restart(c)?;
+        if perm.len() != n
+            || linv.nrows() != n
+            || linv.ncols() != n
+            || uinv.nrows() != n
+            || uinv.ncols() != n
+            || a_col_max.len() != n
+            || c_prime.len() != n
+        {
+            return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
+                "component dimensions disagree".into(),
+            )));
+        }
+        let stats = IndexStats {
+            nnz_l_inv: linv.nnz(),
+            nnz_u_inv: uinv.nnz(),
+            num_edges: graph.num_edges(),
+            num_nodes: n,
+            inverse_heap_bytes: linv.heap_bytes() + uinv.heap_bytes(),
+            ..Default::default()
+        };
+        let c_prime_max = c_prime.iter().copied().fold(0.0f64, f64::max);
+        Ok(KdashIndex {
+            c,
+            ordering,
+            perm,
+            graph,
+            linv,
+            uinv,
+            a_col_max,
+            a_max,
+            c_prime,
+            c_prime_max,
+            factors: None,
+            stats,
+        })
+    }
+
+    /// Validates a caller-supplied node id.
+    pub(crate) fn check_node(&self, v: NodeId) -> Result<()> {
+        if (v as usize) < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(KdashError::NodeOutOfBounds { node: v, num_nodes: self.num_nodes() })
+        }
+    }
+
+    // Internal accessors for the search module.
+    pub(crate) fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+    pub(crate) fn permuted_graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+    pub(crate) fn linv(&self) -> &CscMatrix {
+        &self.linv
+    }
+    pub(crate) fn uinv(&self) -> &CsrMatrix {
+        &self.uinv
+    }
+    pub(crate) fn a_col_max(&self) -> &[f64] {
+        &self.a_col_max
+    }
+    pub(crate) fn a_max(&self) -> f64 {
+        self.a_max
+    }
+    pub(crate) fn c_prime(&self) -> &[f64] {
+        &self.c_prime
+    }
+    pub(crate) fn c_prime_max(&self) -> f64 {
+        self.c_prime_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdash_graph::GraphBuilder;
+    use kdash_sparse::rwr::rwr_step;
+
+    fn ring_with_chords(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            b.add_edge(v as NodeId, ((v + 1) % n) as NodeId, 1.0);
+            if v % 3 == 0 {
+                b.add_edge(v as NodeId, ((v + n / 2) % n) as NodeId, 0.5);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// Ground truth via power iteration on the original graph.
+    fn iterative_proximities(g: &CsrGraph, c: f64, q: NodeId) -> Vec<f64> {
+        let a = transition_matrix(g, DanglingPolicy::Keep);
+        let n = g.num_nodes();
+        let mut p = vec![0.0; n];
+        p[q as usize] = 1.0;
+        let mut next = vec![0.0; n];
+        for _ in 0..2000 {
+            rwr_step(&a, c, q, &p, &mut next);
+            std::mem::swap(&mut p, &mut next);
+        }
+        p
+    }
+
+    #[test]
+    fn full_proximities_match_iterative() {
+        let g = ring_with_chords(24);
+        for ordering in [NodeOrdering::Natural, NodeOrdering::Degree, NodeOrdering::Hybrid] {
+            let index = KdashIndex::build(
+                &g,
+                IndexOptions { ordering, restart_probability: 0.8, ..Default::default() },
+            )
+            .unwrap();
+            for q in [0u32, 5, 13] {
+                let got = index.full_proximities(q).unwrap();
+                let expect = iterative_proximities(&g, 0.8, q);
+                for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                    assert!((a - b).abs() < 1e-9, "{ordering:?} q={q} node {i}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_proximity_matches_vector() {
+        let g = ring_with_chords(15);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let full = index.full_proximities(3).unwrap();
+        for u in 0..15u32 {
+            let single = index.proximity(3, u).unwrap();
+            assert!((single - full[u as usize]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn proximities_sum_to_one_without_dangling() {
+        let g = ring_with_chords(12);
+        assert_eq!(g.num_dangling(), 0);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let p = index.full_proximities(0).unwrap();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn dangling_keep_leaks_mass_self_loop_preserves_it() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0); // 1 and 2 dangle
+        let g = b.build().unwrap();
+        let keep = KdashIndex::build(
+            &g,
+            IndexOptions { dangling: DanglingPolicy::Keep, ..Default::default() },
+        )
+        .unwrap();
+        let p_keep: f64 = keep.full_proximities(0).unwrap().iter().sum();
+        assert!(p_keep < 1.0);
+        let looped = KdashIndex::build(
+            &g,
+            IndexOptions { dangling: DanglingPolicy::SelfLoop, ..Default::default() },
+        )
+        .unwrap();
+        let p_loop: f64 = looped.full_proximities(0).unwrap().iter().sum();
+        assert!((p_loop - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factors_path_matches_inverse_path() {
+        let g = ring_with_chords(20);
+        let index =
+            KdashIndex::build(&g, IndexOptions { keep_factors: true, ..Default::default() })
+                .unwrap();
+        let via_inv = index.full_proximities(7).unwrap();
+        let via_lu = index.proximities_via_factors(7).unwrap().expect("factors kept");
+        for (a, b) in via_inv.iter().zip(&via_lu) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Without keep_factors the ablation path is unavailable.
+        let plain = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        assert!(plain.proximities_via_factors(7).unwrap().is_none());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = ring_with_chords(18);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let s = index.stats();
+        assert_eq!(s.num_nodes, 18);
+        assert_eq!(s.num_edges, g.num_edges());
+        assert!(s.nnz_l_inv >= 18, "diagonal alone is n entries");
+        assert!(s.nnz_u_inv >= 18);
+        assert!(s.inverse_heap_bytes > 0);
+        assert!(s.inverse_nnz_ratio() > 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let g = ring_with_chords(6);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        assert!(matches!(
+            index.proximity(9, 0),
+            Err(KdashError::NodeOutOfBounds { node: 9, .. })
+        ));
+        assert!(index.full_proximities(6).is_err());
+    }
+
+    #[test]
+    fn invalid_restart_probability_rejected() {
+        let g = ring_with_chords(6);
+        let r = KdashIndex::build(
+            &g,
+            IndexOptions { restart_probability: 1.5, ..Default::default() },
+        );
+        assert!(matches!(r, Err(KdashError::Sparse(_))));
+    }
+
+    #[test]
+    fn self_loops_shape_c_prime() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 1.0);
+        let g = b.build().unwrap();
+        let c = 0.9;
+        let index = KdashIndex::build(
+            &g,
+            IndexOptions { restart_probability: c, ..Default::default() },
+        )
+        .unwrap();
+        // Node 0 has A_00 = 0.5 -> c' = (1-c)/(1 - 0.5 + 0.45) != (1-c).
+        let new0 = index.permutation().new_of(0);
+        let expect = (1.0 - c) / (1.0 - 0.5 + c * 0.5);
+        assert!((index.c_prime()[new0 as usize] - expect).abs() < 1e-12);
+        let new1 = index.permutation().new_of(1);
+        assert!((index.c_prime()[new1 as usize] - (1.0 - c)).abs() < 1e-12);
+    }
+}

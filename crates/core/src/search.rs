@@ -1,0 +1,721 @@
+//! The top-k search (Algorithm 4 of the paper).
+//!
+//! Nodes are visited in BFS-layer order from the query node. Each visited
+//! node first receives the `O(1)` upper bound of Definition 2; if the bound
+//! of the node about to be visited is below the current K-th candidate
+//! proximity θ, the whole search terminates — Lemma 2 guarantees every
+//! remaining node is bounded by the same value, so no answer can be missed
+//! (Theorem 2). Surviving nodes get their exact proximity from the stored
+//! sparse inverses.
+//!
+//! Three entry points:
+//! * [`KdashIndex::top_k`] — the real algorithm,
+//! * [`KdashIndex::top_k_unpruned`] — pruning disabled (Figure 7 ablation),
+//! * [`KdashIndex::top_k_random_root`] — BFS tree rooted away from the
+//!   query (Appendix D.1 / Figure 9 ablation). A tree rooted elsewhere
+//!   breaks the layer structure Definition 1 needs, so this variant uses
+//!   the weaker order-agnostic bound of
+//!   [`ArbitraryOrderBound`](crate::ArbitraryOrderBound): still exact, can
+//!   skip individual nodes, but can never terminate early — which is
+//!   precisely why it performs many more proximity computations.
+
+use crate::{ArbitraryOrderBound, KdashIndex, LayerEstimator, Result, SearchStats};
+use kdash_graph::{bfs::UNREACHABLE, BfsTree, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One answer entry: a node and its exact RWR proximity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedNode {
+    /// Node id in the caller's (original) id space.
+    pub node: NodeId,
+    /// Exact proximity `p_node` with respect to the query.
+    pub proximity: f64,
+}
+
+/// The result of a top-k query.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// Exactly `min(k, n)` nodes in descending proximity order.
+    pub items: Vec<RankedNode>,
+    /// Work counters for this query.
+    pub stats: SearchStats,
+}
+
+impl TopKResult {
+    /// Just the node ids, in rank order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.items.iter().map(|r| r.node).collect()
+    }
+}
+
+/// Fixed-capacity min-heap keeping the K largest `(proximity, node)` pairs.
+/// θ (the K-th best proximity so far) is the root once the heap is full.
+struct TopKHeap {
+    k: usize,
+    entries: Vec<(f64, NodeId)>,
+}
+
+impl TopKHeap {
+    fn new(k: usize) -> Self {
+        TopKHeap { k, entries: Vec::with_capacity(k) }
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() >= self.k
+    }
+
+    /// The paper's θ: K-th best proximity, 0 while dummies remain.
+    fn threshold(&self) -> f64 {
+        if self.k > 0 && self.is_full() {
+            self.entries[0].0
+        } else {
+            0.0
+        }
+    }
+
+    fn offer(&mut self, proximity: f64, node: NodeId) {
+        if self.k == 0 {
+            return;
+        }
+        if !self.is_full() {
+            self.entries.push((proximity, node));
+            let mut i = self.entries.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if self.entries[parent].0 <= self.entries[i].0 {
+                    break;
+                }
+                self.entries.swap(i, parent);
+                i = parent;
+            }
+        } else if proximity > self.entries[0].0 {
+            self.entries[0] = (proximity, node);
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut smallest = i;
+                if l < self.entries.len() && self.entries[l].0 < self.entries[smallest].0 {
+                    smallest = l;
+                }
+                if r < self.entries.len() && self.entries[r].0 < self.entries[smallest].0 {
+                    smallest = r;
+                }
+                if smallest == i {
+                    break;
+                }
+                self.entries.swap(i, smallest);
+                i = smallest;
+            }
+        }
+    }
+
+    /// Drains into descending proximity order (ties by ascending node id
+    /// for determinism).
+    fn into_sorted(mut self) -> Vec<(f64, NodeId)> {
+        self.entries.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("finite proximities").then(a.1.cmp(&b.1))
+        });
+        self.entries
+    }
+}
+
+impl KdashIndex {
+    /// Exact top-k search (Algorithm 4). Returns `min(k, n)` nodes in
+    /// descending proximity order; when fewer than `k` nodes are reachable
+    /// the remainder is padded with unreachable nodes at proximity 0.
+    pub fn top_k(&self, q: NodeId, k: usize) -> Result<TopKResult> {
+        self.check_node(q)?;
+        let qp = self.permutation().new_of(q);
+        let bfs = BfsTree::new(self.permuted_graph(), qp);
+        let (col_idx, col_val) = self.linv().col(qp);
+        let c = self.restart_probability();
+
+        let mut heap = TopKHeap::new(k);
+        let mut estimator = LayerEstimator::new(self.a_max());
+        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
+
+        for (pos, &u) in bfs.order.iter().enumerate() {
+            stats.visited += 1;
+            let layer = bfs.layer[u as usize];
+            if pos == 0 {
+                // The root is the query: p̄_q = 1 by definition, never pruned.
+                let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
+                stats.proximity_computations += 1;
+                estimator.record_root(p, self.a_col_max()[u as usize]);
+                heap.offer(p, u);
+                continue;
+            }
+            let terms = estimator.advance(layer);
+            // Termination must cover every unvisited node, whose c' may
+            // exceed this node's when self-loops are present — use max c'.
+            if heap.is_full() && self.c_prime_max() * terms < heap.threshold() {
+                // Lemma 2: every unvisited node is bounded by this too.
+                stats.terminated_early = true;
+                break;
+            }
+            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
+            stats.proximity_computations += 1;
+            estimator.record_selected(layer, p, self.a_col_max()[u as usize]);
+            heap.offer(p, u);
+        }
+
+        Ok(self.finish(heap, k, &bfs.layer, stats))
+    }
+
+    /// Algorithm 4 with the termination test removed: computes the exact
+    /// proximity of every reachable node. This is the "Without pruning"
+    /// series of Figure 7.
+    pub fn top_k_unpruned(&self, q: NodeId, k: usize) -> Result<TopKResult> {
+        self.check_node(q)?;
+        let qp = self.permutation().new_of(q);
+        let bfs = BfsTree::new(self.permuted_graph(), qp);
+        let (col_idx, col_val) = self.linv().col(qp);
+        let c = self.restart_probability();
+
+        let mut heap = TopKHeap::new(k);
+        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
+        for &u in &bfs.order {
+            stats.visited += 1;
+            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
+            stats.proximity_computations += 1;
+            heap.offer(p, u);
+        }
+        Ok(self.finish(heap, k, &bfs.layer, stats))
+    }
+
+    /// Exact *threshold* query: every node whose proximity is at least
+    /// `theta`, in descending order. Extension beyond the paper, enabled
+    /// by the same machinery: visit in BFS-layer order and stop as soon as
+    /// the Lemma 2 bound falls below `theta` — every unvisited node is
+    /// then provably below the threshold.
+    pub fn nodes_above(&self, q: NodeId, theta: f64) -> Result<TopKResult> {
+        self.check_node(q)?;
+        assert!(theta > 0.0 && theta.is_finite(), "threshold must be positive and finite");
+        let qp = self.permutation().new_of(q);
+        let bfs = BfsTree::new(self.permuted_graph(), qp);
+        let (col_idx, col_val) = self.linv().col(qp);
+        let c = self.restart_probability();
+
+        let mut hits: Vec<(f64, NodeId)> = Vec::new();
+        let mut estimator = LayerEstimator::new(self.a_max());
+        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
+        for (pos, &u) in bfs.order.iter().enumerate() {
+            stats.visited += 1;
+            let layer = bfs.layer[u as usize];
+            if pos > 0 {
+                let bound = self.c_prime_max() * estimator.advance(layer);
+                if bound < theta {
+                    stats.terminated_early = true;
+                    break;
+                }
+            }
+            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
+            stats.proximity_computations += 1;
+            if pos == 0 {
+                estimator.record_root(p, self.a_col_max()[u as usize]);
+            } else {
+                estimator.record_selected(layer, p, self.a_col_max()[u as usize]);
+            }
+            if p >= theta {
+                hits.push((p, u));
+            }
+        }
+        hits.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        let items = hits
+            .into_iter()
+            .map(|(p, u)| RankedNode { node: self.permutation().old_of(u), proximity: p })
+            .collect();
+        Ok(TopKResult { items, stats })
+    }
+
+    /// Exact top-k for a *restart set*: the walk restarts uniformly over
+    /// `sources` (Personalized PageRank in the sense of the paper's
+    /// footnote 6). All sources form layer 0 of the search tree and are
+    /// computed exactly; pruning starts at layer 1, where Lemma 1/2 hold
+    /// unchanged (every non-source node still satisfies
+    /// `p_u = c'_u Σ_v A_uv p_v`).
+    pub fn top_k_from_set(&self, sources: &[NodeId], k: usize) -> Result<TopKResult> {
+        let (col_idx, col_val) = self.merged_query_column(sources)?;
+        let sources_p: Vec<NodeId> =
+            sources.iter().map(|&s| self.permutation().new_of(s)).collect();
+        let bfs = BfsTree::new_multi(self.permuted_graph(), &sources_p);
+        let c = self.restart_probability();
+
+        let mut heap = TopKHeap::new(k);
+        let mut estimator = LayerEstimator::new(self.a_max());
+        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
+
+        for (pos, &u) in bfs.order.iter().enumerate() {
+            stats.visited += 1;
+            let layer = bfs.layer[u as usize];
+            if layer == 0 {
+                // Sources carry the restart term; their proximities are
+                // computed unconditionally and feed the estimator chain.
+                let p = c * self.uinv().row_dot_sparse(u, &col_idx, &col_val);
+                stats.proximity_computations += 1;
+                if pos > 0 {
+                    let _ = estimator.advance(0);
+                }
+                estimator.record_selected(0, p, self.a_col_max()[u as usize]);
+                heap.offer(p, u);
+                continue;
+            }
+            let terms = estimator.advance(layer);
+            if heap.is_full() && self.c_prime_max() * terms < heap.threshold() {
+                stats.terminated_early = true;
+                break;
+            }
+            let p = c * self.uinv().row_dot_sparse(u, &col_idx, &col_val);
+            stats.proximity_computations += 1;
+            estimator.record_selected(layer, p, self.a_col_max()[u as usize]);
+            heap.offer(p, u);
+        }
+        Ok(self.finish(heap, k, &bfs.layer, stats))
+    }
+
+    /// The Appendix D.1 ablation: the search tree is rooted at a random
+    /// node instead of the query. The layer bound is no longer valid, so an
+    /// order-agnostic bound is used — exact answers, per-node skipping
+    /// only, and every node must still be visited.
+    pub fn top_k_random_root(&self, q: NodeId, k: usize, seed: u64) -> Result<TopKResult> {
+        let n = self.num_nodes();
+        self.check_node(q)?;
+        let root = StdRng::seed_from_u64(seed).gen_range(0..n) as NodeId;
+        self.top_k_from_root(q, k, root)
+    }
+
+    /// Random-root search with an explicit root (exposed for tests).
+    pub fn top_k_from_root(&self, q: NodeId, k: usize, root: NodeId) -> Result<TopKResult> {
+        self.check_node(q)?;
+        self.check_node(root)?;
+        let qp = self.permutation().new_of(q);
+        let rootp = self.permutation().new_of(root);
+        let bfs = BfsTree::new(self.permuted_graph(), rootp);
+        let (col_idx, col_val) = self.linv().col(qp);
+        let c = self.restart_probability();
+
+        // Visit order: BFS from the root, then every node the root cannot
+        // reach (they may still be answers — the walk starts at q, not at
+        // the root).
+        let mut order = bfs.order.clone();
+        order.extend(
+            (0..self.num_nodes() as NodeId).filter(|&v| bfs.layer[v as usize] == UNREACHABLE),
+        );
+
+        let mut heap = TopKHeap::new(k);
+        let mut bound_state = ArbitraryOrderBound::new(self.a_max());
+        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
+        for &u in &order {
+            stats.visited += 1;
+            // The order-agnostic bound only holds for non-query nodes.
+            if u != qp {
+                let bound = self.c_prime()[u as usize] * bound_state.bound_term();
+                if heap.is_full() && bound < heap.threshold() {
+                    stats.skipped += 1;
+                    continue;
+                }
+            }
+            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
+            stats.proximity_computations += 1;
+            bound_state.record(p, self.a_col_max()[u as usize]);
+            heap.offer(p, u);
+        }
+        // Every node was visited (or skipped soundly); no padding needed
+        // beyond the usual zero-fill for tiny graphs.
+        let layers = vec![0u32; self.num_nodes()];
+        Ok(self.finish(heap, k, &layers, stats))
+    }
+
+    /// Shared epilogue: pads with unreachable (zero-proximity) nodes when
+    /// fewer than `k` candidates exist, sorts, and maps back to original
+    /// ids.
+    fn finish(
+        &self,
+        heap: TopKHeap,
+        k: usize,
+        layer: &[u32],
+        stats: SearchStats,
+    ) -> TopKResult {
+        let mut sorted = heap.into_sorted();
+        if sorted.len() < k {
+            let have: std::collections::HashSet<NodeId> =
+                sorted.iter().map(|&(_, u)| u).collect();
+            for v in 0..self.num_nodes() as NodeId {
+                if sorted.len() >= k {
+                    break;
+                }
+                if layer[v as usize] == UNREACHABLE && !have.contains(&v) {
+                    sorted.push((0.0, v));
+                }
+            }
+        }
+        let items = sorted
+            .into_iter()
+            .map(|(p, u)| RankedNode { node: self.permutation().old_of(u), proximity: p })
+            .collect();
+        TopKResult { items, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexOptions, KdashIndex, NodeOrdering};
+    use kdash_graph::{CsrGraph, GraphBuilder};
+    use kdash_sparse::{rwr::rwr_step, transition_matrix, DanglingPolicy};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_graph(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            for _ in 0..rng.gen_range(1..=avg_deg * 2) {
+                let t = rng.gen_range(0..n);
+                if t != v {
+                    b.add_edge(v as NodeId, t as NodeId, rng.gen_range(0.5..2.0));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn iterative_top_k(g: &CsrGraph, c: f64, q: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let a = transition_matrix(g, DanglingPolicy::Keep);
+        let n = g.num_nodes();
+        let mut p = vec![0.0; n];
+        p[q as usize] = 1.0;
+        let mut next = vec![0.0; n];
+        for _ in 0..3000 {
+            rwr_step(&a, c, q, &p, &mut next);
+            std::mem::swap(&mut p, &mut next);
+        }
+        let mut pairs: Vec<(NodeId, f64)> =
+            p.iter().enumerate().map(|(i, &v)| (i as NodeId, v)).collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// The exactness contract: the returned proximity multiset must match
+    /// the iterative ground truth (ids may differ under exact ties).
+    fn assert_matches_ground_truth(result: &TopKResult, truth: &[(NodeId, f64)]) {
+        assert_eq!(result.items.len(), truth.len());
+        for (got, want) in result.items.iter().zip(truth) {
+            assert!(
+                (got.proximity - want.1).abs() < 1e-9,
+                "proximity mismatch: {} vs {}",
+                got.proximity,
+                want.1
+            );
+        }
+    }
+
+    #[test]
+    fn exact_against_iterative_many_graphs() {
+        for seed in 0..5u64 {
+            let g = random_graph(60, 3, seed);
+            let index = KdashIndex::build(
+                &g,
+                IndexOptions { restart_probability: 0.9, ..Default::default() },
+            )
+            .unwrap();
+            for q in [0u32, 17, 42] {
+                for k in [1usize, 5, 12] {
+                    let result = index.top_k(q, k).unwrap();
+                    let truth = iterative_top_k(&g, 0.9, q, k);
+                    assert_matches_ground_truth(&result, &truth);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_node_ranks_first_under_high_restart() {
+        let g = random_graph(40, 3, 9);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        for q in 0..40u32 {
+            let r = index.top_k(q, 3).unwrap();
+            assert_eq!(r.items[0].node, q, "c = 0.95 makes the query dominate");
+        }
+    }
+
+    #[test]
+    fn unpruned_agrees_with_pruned() {
+        let g = random_graph(80, 4, 3);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        for q in [2u32, 31, 77] {
+            let a = index.top_k(q, 8).unwrap();
+            let b = index.top_k_unpruned(q, 8).unwrap();
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert!((x.proximity - y.proximity).abs() < 1e-12);
+            }
+            // Pruning can only reduce work.
+            assert!(a.stats.proximity_computations <= b.stats.proximity_computations);
+        }
+    }
+
+    #[test]
+    fn pruning_terminates_early_on_community_graphs() {
+        // A graph with strong locality: pruning must kick in.
+        let mut b = GraphBuilder::new(300);
+        for blk in 0..30 {
+            let base = blk * 10;
+            for i in 0..10u32 {
+                for j in 0..10u32 {
+                    if i != j {
+                        b.add_edge(base + i, base + j, 1.0);
+                    }
+                }
+            }
+            let next = ((blk + 1) % 30) * 10;
+            b.add_edge(base, next, 0.1);
+        }
+        let g = b.build().unwrap();
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let r = index.top_k(5, 5).unwrap();
+        assert!(r.stats.terminated_early, "expected early termination");
+        assert!(
+            r.stats.proximity_computations < g.num_nodes(),
+            "visited {} of {}",
+            r.stats.proximity_computations,
+            g.num_nodes()
+        );
+        // And still exact.
+        let truth = iterative_top_k(&g, 0.95, 5, 5);
+        assert_matches_ground_truth(&r, &truth);
+    }
+
+    #[test]
+    fn random_root_is_exact_but_works_harder() {
+        let g = random_graph(100, 4, 7);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        for q in [4u32, 55] {
+            let normal = index.top_k(q, 5).unwrap();
+            for root in [0u32, 50, 99] {
+                let rr = index.top_k_from_root(q, 5, root).unwrap();
+                for (x, y) in normal.items.iter().zip(&rr.items) {
+                    assert!(
+                        (x.proximity - y.proximity).abs() < 1e-9,
+                        "root {root}: {} vs {}",
+                        x.proximity,
+                        y.proximity
+                    );
+                }
+                assert!(rr.stats.proximity_computations >= normal.stats.proximity_computations);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_reachable_pads_with_zeros() {
+        // 0 -> 1 -> 2, node 3 isolated.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build().unwrap();
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let r = index.top_k(0, 4).unwrap();
+        assert_eq!(r.items.len(), 4);
+        assert_eq!(r.items[3].proximity, 0.0);
+        assert_eq!(r.items[3].node, 3);
+        assert_eq!(r.stats.reachable, 3);
+    }
+
+    #[test]
+    fn k_zero_and_k_equals_n() {
+        let g = random_graph(25, 3, 1);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        assert!(index.top_k(0, 0).unwrap().items.is_empty());
+        let all = index.top_k(0, 25).unwrap();
+        assert_eq!(all.items.len(), 25);
+        let truth = iterative_top_k(&g, 0.95, 0, 25);
+        assert_matches_ground_truth(&all, &truth);
+    }
+
+    #[test]
+    fn results_identical_across_orderings() {
+        let g = random_graph(70, 3, 12);
+        let mut reference: Option<Vec<f64>> = None;
+        for ordering in [
+            NodeOrdering::Natural,
+            NodeOrdering::Random { seed: 5 },
+            NodeOrdering::Degree,
+            NodeOrdering::Cluster,
+            NodeOrdering::Hybrid,
+            NodeOrdering::ReverseCuthillMcKee,
+            NodeOrdering::MinDegree,
+        ] {
+            let index =
+                KdashIndex::build(&g, IndexOptions { ordering, ..Default::default() }).unwrap();
+            let r = index.top_k(11, 6).unwrap();
+            let proximities: Vec<f64> = r.items.iter().map(|i| i.proximity).collect();
+            match &reference {
+                None => reference = Some(proximities),
+                Some(expect) => {
+                    for (a, b) in proximities.iter().zip(expect) {
+                        assert!((a - b).abs() < 1e-9, "{ordering:?}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_upper_bounds_hold_during_search() {
+        // Instrument a manual replay of the search loop: every bound must
+        // dominate the node's exact proximity (Lemma 1).
+        let g = random_graph(50, 3, 21);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let q = 13u32;
+        let qp = index.permutation().new_of(q);
+        let bfs = BfsTree::new(index.permuted_graph(), qp);
+        let (ci, cv) = index.linv().col(qp);
+        let c = index.restart_probability();
+        let mut est = LayerEstimator::new(index.a_max());
+        for (pos, &u) in bfs.order.iter().enumerate() {
+            let p = c * index.uinv().row_dot_sparse(u, ci, cv);
+            if pos == 0 {
+                est.record_root(p, index.a_col_max()[u as usize]);
+                continue;
+            }
+            let layer = bfs.layer[u as usize];
+            let bound = index.c_prime()[u as usize] * est.advance(layer);
+            assert!(
+                bound >= p - 1e-12,
+                "Lemma 1 violated at node {u}: bound {bound} < p {p}"
+            );
+            est.record_selected(layer, p, index.a_col_max()[u as usize]);
+        }
+    }
+
+    #[test]
+    fn threshold_query_matches_filtered_ground_truth() {
+        let g = random_graph(80, 3, 14);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        for q in [0u32, 25, 77] {
+            let full = index.full_proximities(q).unwrap();
+            for theta in [1e-2, 1e-4, 1e-7] {
+                let got = index.nodes_above(q, theta).unwrap();
+                let mut expect: Vec<(NodeId, f64)> = full
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p >= theta)
+                    .map(|(i, &p)| (i as NodeId, p))
+                    .collect();
+                expect.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                assert_eq!(got.items.len(), expect.len(), "q={q} theta={theta}");
+                for (g_, e) in got.items.iter().zip(&expect) {
+                    assert!((g_.proximity - e.1).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_query_terminates_early_for_high_theta() {
+        let g = random_graph(200, 4, 15);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let r = index.nodes_above(5, 0.05).unwrap();
+        assert!(r.stats.terminated_early);
+        assert!(r.stats.proximity_computations < 200);
+        // The query itself always clears any theta <= c.
+        assert_eq!(r.items[0].node, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn threshold_query_rejects_nonpositive_theta() {
+        let g = random_graph(10, 2, 16);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let _ = index.nodes_above(0, 0.0);
+    }
+
+    #[test]
+    fn multi_source_matches_averaged_singles() {
+        // Linearity: the restart-set vector is the average of the
+        // single-source vectors, so its top-k must match the top-k of the
+        // averaged iterative solutions.
+        let g = random_graph(70, 3, 31);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let sources = [3u32, 40, 66];
+        let n = g.num_nodes();
+        let mut avg = vec![0.0; n];
+        for &s in &sources {
+            let a = transition_matrix(&g, DanglingPolicy::Keep);
+            let mut p = vec![0.0; n];
+            p[s as usize] = 1.0;
+            let mut next = vec![0.0; n];
+            for _ in 0..3000 {
+                rwr_step(&a, 0.95, s, &p, &mut next);
+                std::mem::swap(&mut p, &mut next);
+            }
+            for (acc, v) in avg.iter_mut().zip(&p) {
+                *acc += v / sources.len() as f64;
+            }
+        }
+        // Full-vector check.
+        let full = index.full_proximities_from_set(&sources).unwrap();
+        for (i, (a, b)) in full.iter().zip(&avg).enumerate() {
+            assert!((a - b).abs() < 1e-9, "node {i}: {a} vs {b}");
+        }
+        // Search check: proximities of the returned top-k match the truth.
+        let mut truth: Vec<(NodeId, f64)> =
+            avg.iter().enumerate().map(|(i, &v)| (i as NodeId, v)).collect();
+        truth.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let result = index.top_k_from_set(&sources, 8).unwrap();
+        for (got, want) in result.items.iter().zip(&truth) {
+            assert!(
+                (got.proximity - want.1).abs() < 1e-9,
+                "{} vs {}",
+                got.proximity,
+                want.1
+            );
+        }
+    }
+
+    #[test]
+    fn multi_source_singleton_equals_top_k() {
+        let g = random_graph(50, 3, 8);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let a = index.top_k(7, 6).unwrap();
+        let b = index.top_k_from_set(&[7], 6).unwrap();
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.node, y.node);
+            assert!((x.proximity - y.proximity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_source_validates_input() {
+        let g = random_graph(20, 3, 5);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        assert!(index.top_k_from_set(&[], 3).is_err());
+        assert!(index.top_k_from_set(&[1, 1], 3).is_err());
+        assert!(index.top_k_from_set(&[99], 3).is_err());
+    }
+
+    #[test]
+    fn heap_keeps_largest_k() {
+        let mut h = TopKHeap::new(3);
+        for (p, n) in [(0.1, 1u32), (0.5, 2), (0.3, 3), (0.9, 4), (0.2, 5)] {
+            h.offer(p, n);
+        }
+        let sorted = h.into_sorted();
+        let nodes: Vec<NodeId> = sorted.iter().map(|&(_, n)| n).collect();
+        assert_eq!(nodes, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn heap_threshold_tracks_kth_best() {
+        let mut h = TopKHeap::new(2);
+        assert_eq!(h.threshold(), 0.0);
+        h.offer(0.4, 1);
+        assert_eq!(h.threshold(), 0.0, "not full yet");
+        h.offer(0.7, 2);
+        assert!((h.threshold() - 0.4).abs() < 1e-15);
+        h.offer(0.5, 3);
+        assert!((h.threshold() - 0.5).abs() < 1e-15);
+        h.offer(0.1, 4); // too small, ignored
+        assert!((h.threshold() - 0.5).abs() < 1e-15);
+    }
+}

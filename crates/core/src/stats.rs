@@ -1,0 +1,86 @@
+//! Instrumentation records for precomputation and search.
+
+use std::time::Duration;
+
+/// What index construction cost and produced — the quantities behind the
+/// paper's Figures 5 (nnz ratio) and 6 (precomputation time).
+#[derive(Debug, Clone, Default)]
+pub struct IndexStats {
+    /// Time spent computing the node ordering.
+    pub ordering_time: Duration,
+    /// Time spent assembling `A` and `W` and factoring `W = LU`.
+    pub factorization_time: Duration,
+    /// Time spent inverting the triangular factors.
+    pub inversion_time: Duration,
+    /// Stored entries of the factor `L` (diagonal implicit).
+    pub nnz_l: usize,
+    /// Stored entries of the factor `U`.
+    pub nnz_u: usize,
+    /// Stored entries of `L⁻¹` (diagonal explicit).
+    pub nnz_l_inv: usize,
+    /// Stored entries of `U⁻¹` (diagonal explicit).
+    pub nnz_u_inv: usize,
+    /// Edges of the indexed graph.
+    pub num_edges: usize,
+    /// Nodes of the indexed graph.
+    pub num_nodes: usize,
+    /// Approximate heap footprint of the stored inverses in bytes.
+    pub inverse_heap_bytes: usize,
+}
+
+impl IndexStats {
+    /// Total wall-clock spent building the index.
+    pub fn total_time(&self) -> Duration {
+        self.ordering_time + self.factorization_time + self.inversion_time
+    }
+
+    /// The Figure 5 metric: stored inverse entries per graph edge.
+    pub fn inverse_nnz_ratio(&self) -> f64 {
+        if self.num_edges == 0 {
+            return 0.0;
+        }
+        (self.nnz_l_inv + self.nnz_u_inv) as f64 / self.num_edges as f64
+    }
+}
+
+/// Per-query counters (Figures 7 and 9).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes whose upper bound was evaluated.
+    pub visited: usize,
+    /// Nodes whose exact proximity was computed (Fig. 9's y-axis).
+    pub proximity_computations: usize,
+    /// Nodes skipped by a per-node bound without terminating
+    /// (random-root variant only).
+    pub skipped: usize,
+    /// True when the search ended through the Lemma 2 early-termination.
+    pub terminated_early: bool,
+    /// Nodes reachable from the BFS root.
+    pub reachable: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_empty_graph() {
+        let s = IndexStats::default();
+        assert_eq!(s.inverse_nnz_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_and_total_time() {
+        let s = IndexStats {
+            ordering_time: Duration::from_millis(1),
+            factorization_time: Duration::from_millis(2),
+            inversion_time: Duration::from_millis(3),
+            nnz_l_inv: 30,
+            nnz_u_inv: 20,
+            num_edges: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(6));
+        assert!((s.inverse_nnz_ratio() - 5.0).abs() < 1e-12);
+    }
+}

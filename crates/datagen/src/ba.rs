@@ -1,0 +1,89 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces the heavy-tailed degree distributions of Internet-style graphs
+//! (the paper's *Internet* dataset is the Oregon AS topology, a canonical
+//! preferential-attachment graph).
+
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Grows a graph by attaching each new node to `m_attach` existing nodes
+/// with probability proportional to their degree. Edges are inserted in
+/// both directions (the AS graph is undirected).
+///
+/// The seed graph is a `(m_attach + 1)`-clique; `n` must exceed that.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1, "attachment degree must be >= 1");
+    assert!(n > m_attach + 1, "need more than {} nodes", m_attach + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n * m_attach);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+
+    let clique = m_attach + 1;
+    for i in 0..clique {
+        for j in i + 1..clique {
+            b.add_undirected_edge(i as NodeId, j as NodeId, 1.0);
+            endpoints.push(i as NodeId);
+            endpoints.push(j as NodeId);
+        }
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for v in clique..n {
+        chosen.clear();
+        // Rejection-sample m_attach distinct targets.
+        while chosen.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_undirected_edge(v as NodeId, t, 1.0);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = 200;
+        let m_attach = 3;
+        let g = barabasi_albert(n, m_attach, 5);
+        assert_eq!(g.num_nodes(), n);
+        // clique edges + attachment edges, both directions
+        let clique_edges = (m_attach + 1) * m_attach / 2;
+        let expected = 2 * (clique_edges + (n - m_attach - 1) * m_attach);
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = barabasi_albert(2000, 2, 11);
+        let mut degrees = g.total_degrees();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let max = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        assert!(max > 10 * median, "max {max} vs median {median} — no hub formed");
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let g = barabasi_albert(100, 2, 3);
+        for (u, v, _) in g.edges() {
+            assert!(g.has_edge(v, u), "missing reverse of {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(120, 2, 42), barabasi_albert(120, 2, 42));
+    }
+}

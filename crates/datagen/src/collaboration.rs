@@ -1,0 +1,86 @@
+//! Co-authorship graphs with Newman's weighting.
+//!
+//! Stands in for the paper's *Citation* dataset (cond-mat co-authorship):
+//! authors co-author papers drawn from a skewed activity distribution, and
+//! every pair of co-authors of a `k`-author paper receives weight
+//! `1/(k−1)` (Newman, 2001) — summed over shared papers. Undirected.
+
+use crate::util::power_law;
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates a weighted co-authorship graph over `n_authors` authors and
+/// `n_papers` papers. Papers have 2–6 authors; author selection is
+/// preferential in past activity, creating the community-and-hub structure
+/// of real co-authorship networks.
+pub fn collaboration(n_authors: usize, n_papers: usize, seed: u64) -> CsrGraph {
+    assert!(n_authors >= 6, "need at least 6 authors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n_authors);
+    // Activity-proportional sampling pool, seeded with every author once so
+    // newcomers can be drawn.
+    let mut pool: Vec<NodeId> = (0..n_authors as NodeId).collect();
+    let mut authors: Vec<NodeId> = Vec::with_capacity(8);
+    for _ in 0..n_papers {
+        let k = power_law(&mut rng, 2.0, 6.0, 2.5) as usize;
+        authors.clear();
+        let mut guard = 0;
+        while authors.len() < k && guard < 100 {
+            guard += 1;
+            let a = pool[rng.gen_range(0..pool.len())];
+            if !authors.contains(&a) {
+                authors.push(a);
+            }
+        }
+        if authors.len() < 2 {
+            continue;
+        }
+        let w = 1.0 / (authors.len() as f64 - 1.0);
+        for i in 0..authors.len() {
+            for j in i + 1..authors.len() {
+                b.add_undirected_edge(authors[i], authors[j], w);
+            }
+            pool.push(authors[i]); // preferential reinforcement
+        }
+    }
+    b.build().expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_weighted_symmetric_graph() {
+        let g = collaboration(200, 400, 1);
+        assert_eq!(g.num_nodes(), 200);
+        assert!(g.num_edges() > 0);
+        for (u, v, w) in g.edges() {
+            assert_eq!(g.edge_weight(v, u), Some(w), "asymmetric weight {u}<->{v}");
+        }
+    }
+
+    #[test]
+    fn pair_paper_weight_is_one() {
+        // With only 2-author papers every edge weight is a whole number of
+        // collaborations; more broadly weights are sums of 1/(k-1) <= 1 per
+        // paper, so some weight below 1 must appear for k > 2 papers.
+        let g = collaboration(300, 600, 2);
+        let has_fractional = g.edges().any(|(_, _, w)| w < 0.999);
+        assert!(has_fractional, "power-law paper sizes should produce k>2 papers");
+    }
+
+    #[test]
+    fn activity_is_skewed() {
+        let g = collaboration(1000, 3000, 3);
+        let mut degrees = g.total_degrees();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let nonzero: Vec<_> = degrees.iter().copied().filter(|&d| d > 0).collect();
+        assert!(nonzero[0] > 5 * nonzero[nonzero.len() / 2], "no prolific authors emerged");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(collaboration(150, 250, 9), collaboration(150, 250, 9));
+    }
+}

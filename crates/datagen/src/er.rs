@@ -1,0 +1,64 @@
+//! Directed Erdős–Rényi G(n, m) graphs.
+
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples a directed graph with exactly `m` distinct edges chosen
+/// uniformly among the `n·(n−1)` ordered pairs (no self-loops).
+///
+/// # Panics
+/// If `m` exceeds 80% of the possible pairs (rejection sampling would
+/// degenerate; dense graphs are outside this library's use cases).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let possible = n.saturating_mul(n.saturating_sub(1));
+    assert!(
+        m as f64 <= 0.8 * possible as f64,
+        "requested {m} edges out of {possible} possible pairs"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && seen.insert((u, v)) {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    b.build().expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(50, 200, 7);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(30, 100, 8);
+        assert!(g.edges().all(|(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(40, 120, 9), erdos_renyi(40, 120, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(erdos_renyi(40, 120, 1), erdos_renyi(40, 120, 2));
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(10, 0, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! R-MAT (recursive matrix) scale-free directed graphs
+//! (Chakrabarti, Zhan & Faloutsos, 2004).
+//!
+//! Stands in for the paper's *Social* (Epinions trust) and *Email* (EuAll)
+//! datasets: strongly skewed in/out-degrees, directed, low average degree.
+
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Quadrant probabilities of the recursive split. Must sum to 1.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (hub-to-hub mass).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        // The canonical "social network" setting.
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+/// Generates a directed graph with `2^scale` nodes and (up to) `m` edges.
+/// Duplicate placements are merged by weight summation, so the final edge
+/// count may be slightly below `m` — that mirrors the reference generator.
+/// Self-loops are dropped.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    let total = params.a + params.b + params.c + params.d;
+    assert!((total - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    builder.set_allow_self_loops(false);
+    for _ in 0..m {
+        let (mut r0, mut r1) = (0usize, n);
+        let (mut c0, mut c1) = (0usize, n);
+        while r1 - r0 > 1 {
+            // Add +-10% noise per level to avoid staircase artefacts.
+            let noise = |p: f64, rng: &mut StdRng| (p * rng.gen_range(0.9..1.1)).max(1e-9);
+            let (pa, pb, pc) =
+                (noise(params.a, &mut rng), noise(params.b, &mut rng), noise(params.c, &mut rng));
+            let pd = noise(params.d, &mut rng);
+            let norm = pa + pb + pc + pd;
+            let u: f64 = rng.gen_range(0.0..1.0) * norm;
+            let rm = (r0 + r1) / 2;
+            let cm = (c0 + c1) / 2;
+            if u < pa {
+                r1 = rm;
+                c1 = cm;
+            } else if u < pa + pb {
+                r1 = rm;
+                c0 = cm;
+            } else if u < pa + pb + pc {
+                r0 = rm;
+                c1 = cm;
+            } else {
+                r0 = rm;
+                c0 = cm;
+            }
+        }
+        builder.add_edge(r0 as NodeId, c0 as NodeId, 1.0);
+    }
+    builder.build().expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let g = rmat(8, 1000, RmatParams::default(), 1);
+        assert_eq!(g.num_nodes(), 256);
+        assert!(g.num_edges() <= 1000);
+        assert!(g.num_edges() > 500, "merging should not halve the edges");
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = rmat(11, 12000, RmatParams::default(), 2);
+        let mut degrees = g.total_degrees();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let nonzero: Vec<_> = degrees.iter().copied().filter(|&d| d > 0).collect();
+        let max = nonzero[0];
+        let median = nonzero[nonzero.len() / 2];
+        assert!(max > 20 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn uniform_params_are_er_like() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let g = rmat(9, 4000, p, 3);
+        let mut degrees = g.total_degrees();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let max = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        assert!(max < 8 * median.max(1), "uniform R-MAT should be flat, max {max} median {median}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(7, 800, RmatParams::default(), 4);
+        assert!(g.edges().all(|(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams::default();
+        assert_eq!(rmat(8, 900, p, 6).num_edges(), rmat(8, 900, p, 6).num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_params_panic() {
+        rmat(4, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 1);
+    }
+}

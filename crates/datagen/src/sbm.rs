@@ -1,0 +1,237 @@
+//! Directed planted-partition graphs (two-parameter stochastic block
+//! model). The block structure is what the paper's cluster reordering
+//! exploits, so this generator drives the Fig. 5 / Fig. 6 shape.
+
+use crate::util::poisson;
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples a directed SBM with `communities` equally sized blocks, edge
+/// probability `p_in` within a block and `p_out` across blocks.
+///
+/// Edge counts per block pair are drawn Poisson (sparse-regime
+/// approximation of the Binomial), then that many distinct ordered pairs
+/// are placed uniformly — `O(n + m)` rather than `O(n²)`.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(communities >= 1 && communities <= n.max(1), "invalid community count");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Block boundaries: community c covers [bounds[c], bounds[c+1]).
+    let bounds: Vec<usize> = (0..=communities).map(|c| c * n / communities).collect();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+
+    for ci in 0..communities {
+        let (i0, i1) = (bounds[ci], bounds[ci + 1]);
+        let rows = i1 - i0;
+        if rows == 0 {
+            continue;
+        }
+        for cj in 0..communities {
+            let (j0, j1) = (bounds[cj], bounds[cj + 1]);
+            let cols = j1 - j0;
+            if cols == 0 {
+                continue;
+            }
+            let p = if ci == cj { p_in } else { p_out };
+            let pairs = if ci == cj { rows * (cols - 1) } else { rows * cols };
+            let target = poisson(&mut rng, p * pairs as f64).min(pairs as u64 / 2 + 1);
+            let mut placed = 0u64;
+            let mut attempts = 0u64;
+            while placed < target && attempts < 20 * target + 100 {
+                attempts += 1;
+                let u = rng.gen_range(i0..i1) as NodeId;
+                let v = rng.gen_range(j0..j1) as NodeId;
+                if u != v && seen.insert((u, v)) {
+                    b.add_edge(u, v, 1.0);
+                    placed += 1;
+                }
+            }
+        }
+    }
+    b.build().expect("generated edges are valid")
+}
+
+/// Like [`planted_partition`], but cross-community edges run only between
+/// designated *gateway* nodes (the first `gateway_fraction` of every
+/// block). Real modular graphs route inter-community traffic through hub
+/// nodes; concentrating the cut on gateways reproduces the
+/// doubly-bordered block-diagonal structure of the paper's Figure 1,
+/// where the border partition stays small.
+///
+/// `cross_per_node` is the expected number of cross edges per node,
+/// redistributed onto the gateways.
+pub fn gateway_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    cross_per_node: f64,
+    gateway_fraction: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(communities >= 1 && communities <= n.max(1), "invalid community count");
+    assert!((0.0..=1.0).contains(&p_in));
+    assert!(gateway_fraction > 0.0 && gateway_fraction <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let bounds: Vec<usize> = (0..=communities).map(|c| c * n / communities).collect();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+
+    // Intra-block edges exactly as in the plain planted partition.
+    for ci in 0..communities {
+        let (i0, i1) = (bounds[ci], bounds[ci + 1]);
+        let rows = i1 - i0;
+        if rows < 2 {
+            continue;
+        }
+        let pairs = rows * (rows - 1);
+        let target = poisson(&mut rng, p_in * pairs as f64).min(pairs as u64 / 2 + 1);
+        let mut placed = 0u64;
+        let mut attempts = 0u64;
+        while placed < target && attempts < 20 * target + 100 {
+            attempts += 1;
+            let u = rng.gen_range(i0..i1) as NodeId;
+            let v = rng.gen_range(i0..i1) as NodeId;
+            if u != v && seen.insert((u, v)) {
+                b.add_edge(u, v, 1.0);
+                placed += 1;
+            }
+        }
+    }
+    // Cross edges only among gateways.
+    let gateways: Vec<Vec<NodeId>> = (0..communities)
+        .map(|c| {
+            let (i0, i1) = (bounds[c], bounds[c + 1]);
+            let g = (((i1 - i0) as f64 * gateway_fraction).ceil() as usize).max(1).min(i1 - i0);
+            (i0..i0 + g).map(|v| v as NodeId).collect()
+        })
+        .collect();
+    let total_cross = poisson(&mut rng, cross_per_node * n as f64);
+    let mut placed = 0u64;
+    let mut attempts = 0u64;
+    while placed < total_cross && attempts < 20 * total_cross + 100 && communities > 1 {
+        attempts += 1;
+        let ci = rng.gen_range(0..communities);
+        let cj = loop {
+            let c = rng.gen_range(0..communities);
+            if c != ci {
+                break c;
+            }
+        };
+        if gateways[ci].is_empty() || gateways[cj].is_empty() {
+            continue;
+        }
+        let u = gateways[ci][rng.gen_range(0..gateways[ci].len())];
+        let v = gateways[cj][rng.gen_range(0..gateways[cj].len())];
+        if seen.insert((u, v)) {
+            b.add_edge(u, v, 1.0);
+            placed += 1;
+        }
+    }
+    b.build().expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 400;
+        let k = 4;
+        let (p_in, p_out) = (0.1, 0.002);
+        let g = planted_partition(n, k, p_in, p_out, 7);
+        let block = n / k;
+        let expect = k as f64 * p_in * (block * (block - 1)) as f64
+            + (k * k - k) as f64 * p_out * (block * block) as f64;
+        let m = g.num_edges() as f64;
+        assert!((m - expect).abs() < 0.25 * expect, "m {m} expect {expect}");
+    }
+
+    #[test]
+    fn intra_edges_dominate() {
+        let n = 300;
+        let k = 3;
+        let g = planted_partition(n, k, 0.15, 0.001, 9);
+        let block = n / k;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v, _) in g.edges() {
+            if (u as usize) / block == (v as usize) / block {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 10 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = planted_partition(120, 4, 0.2, 0.01, 3);
+        assert!(g.edges().all(|(u, v, _)| u != v));
+        // builder would have summed duplicates to weight 2.0
+        assert!(g.edges().all(|(_, _, w)| w == 1.0));
+    }
+
+    #[test]
+    fn single_community_is_er_like() {
+        let g = planted_partition(100, 1, 0.05, 0.0, 5);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(planted_partition(150, 3, 0.1, 0.01, 8), planted_partition(150, 3, 0.1, 0.01, 8));
+    }
+
+    #[test]
+    fn gateway_cross_edges_touch_only_gateways() {
+        let n = 400;
+        let k = 8;
+        let g = gateway_partition(n, k, 0.15, 1.0, 0.1, 5);
+        let block = n / k;
+        let gateway_cap = (block as f64 * 0.1).ceil() as usize;
+        for (u, v, _) in g.edges() {
+            let (bu, bv) = (u as usize / block, v as usize / block);
+            if bu != bv {
+                assert!(
+                    u as usize % block < gateway_cap && v as usize % block < gateway_cap,
+                    "cross edge {u}->{v} touches a non-gateway node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_partition_bounds_border_size() {
+        // Nodes with cross edges are a small minority.
+        let n = 600;
+        let g = gateway_partition(n, 10, 0.12, 1.0, 0.1, 9);
+        let block = n / 10;
+        let mut has_cross = vec![false; n];
+        for (u, v, _) in g.edges() {
+            if u as usize / block != v as usize / block {
+                has_cross[u as usize] = true;
+                has_cross[v as usize] = true;
+            }
+        }
+        let border = has_cross.iter().filter(|&&b| b).count();
+        assert!(border * 5 <= n, "border {border} of {n} is too large");
+    }
+
+    #[test]
+    fn gateway_partition_deterministic() {
+        assert_eq!(
+            gateway_partition(200, 4, 0.1, 0.8, 0.1, 3),
+            gateway_partition(200, 4, 0.1, 0.8, 0.1, 3)
+        );
+    }
+}

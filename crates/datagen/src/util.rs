@@ -1,0 +1,102 @@
+//! Sampling helpers shared by the generators.
+
+use rand::{rngs::StdRng, Rng};
+
+/// Draws from a Poisson distribution with mean `lambda`.
+///
+/// Knuth's product method below `lambda = 30`, a clamped normal
+/// approximation above — accurate enough for edge-count sampling.
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0f64..1.0);
+            count += 1;
+        }
+        count
+    } else {
+        let draw = lambda + lambda.sqrt() * standard_normal(rng);
+        draw.round().max(0.0) as u64
+    }
+}
+
+/// Box–Muller standard normal.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+/// Draws an integer from a discrete power-law `P(k) ∝ k^(−alpha)` on
+/// `[k_min, k_max]` by inverse-transform on the continuous envelope.
+pub fn power_law(rng: &mut StdRng, k_min: f64, k_max: f64, alpha: f64) -> u64 {
+    debug_assert!(alpha > 1.0 && k_min >= 1.0 && k_max > k_min);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let one_minus = 1.0 - alpha;
+    let x = (k_min.powf(one_minus) + u * (k_max.powf(one_minus) - k_min.powf(one_minus)))
+        .powf(1.0 / one_minus);
+    x.round().clamp(k_min, k_max) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.5, 5.0, 50.0, 500.0] {
+            let trials = 4000;
+            let sum: u64 = (0..trials).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / trials as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn power_law_in_range_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small = 0usize;
+        for _ in 0..2000 {
+            let k = power_law(&mut rng, 1.0, 1000.0, 2.5);
+            assert!((1..=1000).contains(&k));
+            if k <= 3 {
+                small += 1;
+            }
+        }
+        // Heavy skew: most draws are tiny.
+        assert!(small > 1200, "only {small} small draws");
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 8000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

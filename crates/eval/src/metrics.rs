@@ -1,0 +1,70 @@
+//! Ranking-quality metrics.
+
+use kdash_graph::NodeId;
+
+/// The paper's precision (§6.2): the fraction of the approach's top-k
+/// nodes that appear in the exact top-k. Both lists are truncated to `k`;
+/// an empty ground truth yields precision 1 (nothing to miss).
+pub fn precision_at_k(approx: &[NodeId], exact: &[NodeId], k: usize) -> f64 {
+    let k = k.min(exact.len()).max(1);
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let truth: std::collections::HashSet<&NodeId> = exact.iter().take(k).collect();
+    let considered = approx.iter().take(k);
+    let hits = considered.filter(|n| truth.contains(n)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall of the exact top-k inside the (possibly longer) answer list —
+/// the guarantee BPA advertises.
+pub fn recall_at_k(answer: &[NodeId], exact: &[NodeId], k: usize) -> f64 {
+    let k = k.min(exact.len()).max(1);
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let answer_set: std::collections::HashSet<&NodeId> = answer.iter().collect();
+    let hits = exact.iter().take(k).filter(|n| answer_set.contains(n)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_precision() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[3, 2, 1], 3), 1.0);
+    }
+
+    #[test]
+    fn partial_precision() {
+        assert!((precision_at_k(&[1, 2, 9], &[3, 2, 1], 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&[8, 9, 7], &[1, 2, 3], 3), 0.0);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        // Only the first k entries of each side matter.
+        assert_eq!(precision_at_k(&[1, 9, 9, 2], &[1, 5, 6, 2], 2), 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_truth_clamps() {
+        assert_eq!(precision_at_k(&[1, 2], &[1, 2], 10), 1.0);
+    }
+
+    #[test]
+    fn recall_rewards_long_answers() {
+        // BPA returns extra nodes; recall still counts only the true top-k.
+        assert_eq!(recall_at_k(&[5, 4, 3, 2, 1], &[1, 2], 2), 1.0);
+        assert_eq!(recall_at_k(&[5, 4], &[1, 2], 2), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(precision_at_k(&[], &[], 5), 1.0);
+        assert_eq!(recall_at_k(&[], &[], 5), 1.0);
+        assert_eq!(precision_at_k(&[], &[1], 1), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Aligned plain-text tables for experiment output.
+
+/// A simple column-aligned table builder. Rows are strings; the printer
+/// pads every column to its widest cell.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; must match the header arity.
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string (trailing newline included).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(cell);
+                if i + 1 < cols {
+                    for _ in cell.chars().count()..widths[i] + 2 {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["dataset", "time"]);
+        t.add_row(vec!["Dictionary", "1.2e-5"]);
+        t.add_row(vec!["Email", "3.4e-4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The "time" column starts at the same offset in every data row.
+        let off0 = lines[2].find("1.2e-5").unwrap();
+        let off1 = lines[3].find("3.4e-4").unwrap();
+        assert_eq!(off0, off1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new(vec!["a", "b"]).add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.render().starts_with('x'));
+        assert_eq!(t.num_rows(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Breadth-first search layers — the tree structure behind K-dash's
+//! proximity estimation (§4.3 of the paper).
+//!
+//! The random walk moves along *out*-edges, so the search tree follows
+//! out-edges from the query node: layer 0 is the root, layer `i` contains
+//! the nodes exactly `i` hops downstream. Nodes that are not reachable have
+//! RWR proximity exactly 0 and are reported with layer [`UNREACHABLE`].
+
+use crate::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Layer marker for nodes the BFS never reached.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// The result of a breadth-first traversal from a root node.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Root the traversal started from.
+    pub root: NodeId,
+    /// Nodes in visit order (root first). Length = number of reachable nodes.
+    pub order: Vec<NodeId>,
+    /// `layer[v]` = hop distance from the root, or [`UNREACHABLE`].
+    pub layer: Vec<u32>,
+    /// `parent[v]` = BFS tree parent, `parent[root] = root`,
+    /// [`NodeId::MAX`] for unreachable nodes.
+    pub parent: Vec<NodeId>,
+}
+
+impl BfsTree {
+    /// Runs BFS over out-edges from `root`.
+    pub fn new(graph: &CsrGraph, root: NodeId) -> Self {
+        Self::new_multi(graph, &[root])
+    }
+
+    /// Runs BFS over out-edges from several roots simultaneously; all
+    /// roots form layer 0 (in the given order) and are their own parents.
+    /// The multi-source K-dash search (restart sets, Personalized PageRank
+    /// style) builds its layer structure this way. `roots` must be
+    /// non-empty and duplicate-free.
+    pub fn new_multi(graph: &CsrGraph, roots: &[NodeId]) -> Self {
+        let n = graph.num_nodes();
+        assert!(!roots.is_empty(), "BFS needs at least one root");
+        let mut layer = vec![UNREACHABLE; n];
+        let mut parent = vec![NodeId::MAX; n];
+        let mut order = Vec::with_capacity(n.min(1024));
+        let mut queue = VecDeque::new();
+        for &root in roots {
+            assert!((root as usize) < n, "BFS root {root} out of bounds for {n} nodes");
+            assert!(layer[root as usize] == UNREACHABLE, "duplicate BFS root {root}");
+            layer[root as usize] = 0;
+            parent[root as usize] = root;
+            queue.push_back(root);
+        }
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let next_layer = layer[v as usize] + 1;
+            for &t in graph.out_neighbors(v) {
+                if layer[t as usize] == UNREACHABLE {
+                    layer[t as usize] = next_layer;
+                    parent[t as usize] = v;
+                    queue.push_back(t);
+                }
+            }
+        }
+        BfsTree { root: roots[0], order, layer, parent }
+    }
+
+    /// Number of nodes reachable from the root (including the root).
+    #[inline]
+    pub fn num_reachable(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Hop distance of `v` from the root, if reachable.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        let l = self.layer[v as usize];
+        (l != UNREACHABLE).then_some(l)
+    }
+
+    /// The deepest populated layer index (0 for a lone root).
+    pub fn depth(&self) -> u32 {
+        self.order.iter().map(|&v| self.layer[v as usize]).max().unwrap_or(0)
+    }
+
+    /// Verifies the two invariants the K-dash estimator relies on:
+    /// visit order is non-decreasing in layer, and every non-root reachable
+    /// node has a parent exactly one layer above it (roots are their own
+    /// parents at layer 0).
+    pub fn check_invariants(&self, graph: &CsrGraph) -> bool {
+        let mut prev = 0u32;
+        for &v in &self.order {
+            let l = self.layer[v as usize];
+            if l < prev {
+                return false;
+            }
+            prev = l;
+            let p = self.parent[v as usize];
+            if p == v {
+                if l != 0 {
+                    return false;
+                }
+            } else if p == NodeId::MAX
+                || self.layer[p as usize] + 1 != l
+                || !graph.has_edge(p, v)
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_edge(v as NodeId, v as NodeId + 1, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn path_layers() {
+        let g = path_graph(5);
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.layer, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.depth(), 4);
+        assert!(t.check_invariants(&g));
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let g = path_graph(5);
+        let t = BfsTree::new(&g, 2); // 0 and 1 are upstream, unreachable
+        assert_eq!(t.num_reachable(), 3);
+        assert_eq!(t.layer[0], UNREACHABLE);
+        assert_eq!(t.layer[1], UNREACHABLE);
+        assert_eq!(t.distance(0), None);
+        assert_eq!(t.distance(4), Some(2));
+        assert!(t.check_invariants(&g));
+    }
+
+    #[test]
+    fn directed_edges_only() {
+        // 0 -> 1, 2 -> 1 : from 0 we cannot reach 2
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 1, 1.0);
+        let g = b.build().unwrap();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.num_reachable(), 2);
+        assert_eq!(t.layer[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn diamond_parents() {
+        // 0 -> {1, 2}, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build().unwrap();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.layer, vec![0, 1, 1, 2]);
+        assert_eq!(t.parent[0], 0);
+        assert!(t.parent[3] == 1 || t.parent[3] == 2);
+        assert!(t.check_invariants(&g));
+    }
+
+    #[test]
+    fn lone_root() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let t = BfsTree::new(&g, 1);
+        assert_eq!(t.order, vec![1]);
+        assert_eq!(t.depth(), 0);
+        assert!(t.check_invariants(&g));
+    }
+
+    #[test]
+    fn multi_source_layers() {
+        // path 0 -> 1 -> 2 -> 3 -> 4; roots {0, 3}.
+        let g = path_graph(5);
+        let t = BfsTree::new_multi(&g, &[0, 3]);
+        assert_eq!(t.layer, vec![0, 1, 2, 0, 1]);
+        assert_eq!(t.order, vec![0, 3, 1, 4, 2]);
+        assert_eq!(t.parent[0], 0);
+        assert_eq!(t.parent[3], 3);
+        assert!(t.check_invariants(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate BFS root")]
+    fn duplicate_roots_rejected() {
+        let g = path_graph(3);
+        BfsTree::new_multi(&g, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one root")]
+    fn empty_roots_rejected() {
+        let g = path_graph(3);
+        BfsTree::new_multi(&g, &[]);
+    }
+}

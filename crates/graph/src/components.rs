@@ -1,0 +1,127 @@
+//! Connectivity utilities.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Labels of the weakly connected components (edge direction ignored).
+/// Returns `(labels, component_count)`; labels are dense in `0..count`.
+pub fn weakly_connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_nodes();
+    let transpose = graph.transpose();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &t in graph.out_neighbors(v).iter().chain(transpose.out_neighbors(v)) {
+                if label[t as usize] == u32::MAX {
+                    label[t as usize] = count;
+                    stack.push(t);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Extracts the largest weakly connected component.
+/// Returns the component subgraph and the mapping `local id -> original id`.
+pub fn largest_weak_component(graph: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return (GraphBuilder::new(0).build().unwrap(), Vec::new());
+    }
+    let (labels, count) = weakly_connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let biggest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    let nodes: Vec<NodeId> =
+        (0..n as NodeId).filter(|&v| labels[v as usize] == biggest).collect();
+    graph.induced_subgraph(&nodes).expect("component nodes are valid and unique")
+}
+
+/// The set of nodes reachable from `root` following out-edges, in BFS order.
+pub fn reachable_set(graph: &CsrGraph, root: NodeId) -> Vec<NodeId> {
+    crate::BfsTree::new(graph, root).order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_components() {
+        // component {0,1} and {2,3,4}
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(4, 3, 1.0);
+        let g = b.build().unwrap();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn weak_connectivity_ignores_direction() {
+        // 0 -> 1 <- 2 is weakly connected
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 1, 1.0);
+        let g = b.build().unwrap();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1.0); // small component
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.add_edge(4, 5, 1.0); // big component {2..5}
+        let g = b.build().unwrap();
+        let (sub, map) = largest_weak_component(&g);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(map, vec![2, 3, 4, 5]);
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        let (sub, map) = largest_weak_component(&g);
+        assert_eq!(sub.num_nodes(), 1);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn reachable_set_directed() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(3, 0, 1.0);
+        let g = b.build().unwrap();
+        assert_eq!(reachable_set(&g, 0), vec![0, 1, 2]);
+        assert_eq!(reachable_set(&g, 3), vec![3, 0, 1, 2]);
+        assert_eq!(reachable_set(&g, 2), vec![2]);
+    }
+}

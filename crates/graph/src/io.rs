@@ -1,0 +1,120 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format matches the public datasets the paper uses (SNAP / Pajek style
+//! exports): one edge per line, `src dst [weight]`, whitespace separated,
+//! with `#` or `%` comment lines. Node ids must be non-negative integers;
+//! they are used verbatim (the graph gets `max id + 1` nodes).
+
+use crate::{CsrGraph, GraphBuilder, GraphError, NodeId, Result};
+use std::io::{BufRead, Write};
+
+/// Parses an edge list from a reader. Missing weights default to `1.0`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph> {
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    let mut max_node: i64 = -1;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no,
+            message: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src = parse_node(parts.next(), line_no, "source")?;
+        let dst = parse_node(parts.next(), line_no, "target")?;
+        let weight = match parts.next() {
+            None => 1.0,
+            Some(tok) => tok.parse::<f64>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid weight '{tok}'"),
+            })?,
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "expected at most 3 fields (src dst weight)".into(),
+            });
+        }
+        max_node = max_node.max(src as i64).max(dst as i64);
+        edges.push((src, dst, weight));
+    }
+    let n = (max_node + 1) as usize;
+    GraphBuilder::from_edges(n, edges).build()
+}
+
+fn parse_node(tok: Option<&str>, line: usize, what: &str) -> Result<NodeId> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what} node id"),
+    })?;
+    tok.parse::<NodeId>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} node id '{tok}'"),
+    })
+}
+
+/// Writes a graph as `src dst weight` lines (weight omitted when `1.0`).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# kdash edge list: {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    for (s, d, w) in graph.edges() {
+        if w == 1.0 {
+            writeln!(writer, "{s} {d}")?;
+        } else {
+            writeln!(writer, "{s} {d} {w}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let text = "# comment\n0 1\n1 2 2.5\n% also comment\n\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(1, 2), Some(2.5));
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_edge_list("0 1\nx 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("0 1 1.0 extra\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("0 1 notanumber\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_edges_merge_by_sum() {
+        let g = read_edge_list("0 1 1.0\n0 1 2.0\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "0 1\n1 2 2.5\n2 0 0.25\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("# nothing here\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

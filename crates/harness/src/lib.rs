@@ -1,0 +1,80 @@
+//! # kdash-harness
+//!
+//! Hosts the workspace-level integration tests (`/tests`) and runnable
+//! examples (`/examples`), plus a few helpers they share. The crate
+//! re-exports nothing new; its value is wiring every other crate into one
+//! dependency set for cross-crate targets.
+
+use kdash_baselines::{IterativeRwr, TopKEngine};
+use kdash_datagen::DatasetProfile;
+use kdash_graph::{CsrGraph, NodeId};
+
+/// Generates a dataset profile scaled to roughly `target_nodes` nodes.
+pub fn profile_graph(profile: DatasetProfile, target_nodes: usize, seed: u64) -> CsrGraph {
+    profile.generate(profile.scale_for_nodes(target_nodes), seed)
+}
+
+/// Exact ground-truth top-k via power iteration (node ids only).
+pub fn exact_top_k(graph: &CsrGraph, c: f64, q: NodeId, k: usize) -> Vec<NodeId> {
+    IterativeRwr::new(graph, c).top_k(q, k).into_iter().map(|(n, _)| n).collect()
+}
+
+/// Exact ground-truth top-k with proximities.
+pub fn exact_top_k_scored(graph: &CsrGraph, c: f64, q: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    IterativeRwr::new(graph, c).top_k(q, k)
+}
+
+/// Picks `count` query nodes with at least one out-edge, deterministically
+/// spread over the id space (queries from dangling nodes are legal but
+/// uninteresting — their only answer is themselves).
+pub fn sample_queries(graph: &CsrGraph, count: usize) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut queries = Vec::with_capacity(count);
+    if n == 0 {
+        return queries;
+    }
+    let stride = (n / count.max(1)).max(1);
+    let mut v = 0usize;
+    while queries.len() < count && v < n * 2 {
+        let candidate = (v % n) as NodeId;
+        if graph.out_degree(candidate) > 0 && !queries.contains(&candidate) {
+            queries.push(candidate);
+        }
+        v += stride.max(1);
+    }
+    if queries.is_empty() {
+        queries.push(0);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_graph_scales() {
+        let g = profile_graph(DatasetProfile::Internet, 500, 1);
+        assert!(g.num_nodes() >= 300 && g.num_nodes() <= 1500, "{}", g.num_nodes());
+    }
+
+    #[test]
+    fn sample_queries_have_out_edges() {
+        let g = profile_graph(DatasetProfile::Email, 600, 2);
+        let qs = sample_queries(&g, 10);
+        assert!(!qs.is_empty());
+        for q in qs {
+            assert!(g.out_degree(q) > 0);
+        }
+    }
+
+    #[test]
+    fn exact_top_k_starts_at_query() {
+        let g = profile_graph(DatasetProfile::Dictionary, 400, 3);
+        let qs = sample_queries(&g, 3);
+        for q in qs {
+            let top = exact_top_k(&g, 0.95, q, 5);
+            assert_eq!(top[0], q);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Thin QR factorisation via Modified Gram–Schmidt.
+//!
+//! Used to orthonormalise the sketch matrices of the randomized SVD. MGS
+//! with a single re-orthogonalisation pass ("twice is enough", Kahan) is
+//! accurate to machine precision for the well-conditioned tall-skinny
+//! matrices that arise there.
+
+use crate::DenseMatrix;
+
+/// Relative threshold below which a column is treated as linearly dependent.
+const RANK_TOL: f64 = 1e-12;
+
+/// Computes a thin QR factorisation of a tall matrix `a` (`m x k`, `m >= k`).
+///
+/// Returns `(q, r)` with `q` of shape `m x k` having orthonormal (or zero)
+/// columns and `r` upper triangular `k x k` such that `a ≈ q · r`. Columns
+/// that become numerically zero during orthogonalisation (rank deficiency)
+/// are left as zero columns with a zero diagonal in `r`; downstream code
+/// treats the corresponding directions as discarded.
+pub fn thin_qr(a: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
+    let m = a.nrows();
+    let k = a.ncols();
+    // Work on columns; q starts as a copy of a.
+    let mut q_cols: Vec<Vec<f64>> = (0..k).map(|c| a.col(c)).collect();
+    let mut r = DenseMatrix::zeros(k, k);
+    let col_scale = a.max_abs().max(f64::MIN_POSITIVE);
+    for j in 0..k {
+        // Two orthogonalisation passes against previous columns.
+        for _pass in 0..2 {
+            for i in 0..j {
+                let (head, tail) = q_cols.split_at_mut(j);
+                let qi = &head[i];
+                let qj = &mut tail[0];
+                let proj: f64 = qi.iter().zip(qj.iter()).map(|(a, b)| a * b).sum();
+                if proj != 0.0 {
+                    for (x, &y) in qj.iter_mut().zip(qi) {
+                        *x -= proj * y;
+                    }
+                    let rij = r.get(i, j);
+                    r.set(i, j, rij + proj);
+                }
+            }
+        }
+        let norm: f64 = q_cols[j].iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > RANK_TOL * col_scale * (m as f64).sqrt() {
+            r.set(j, j, norm);
+            for v in &mut q_cols[j] {
+                *v /= norm;
+            }
+        } else {
+            // Rank-deficient direction: zero it out.
+            r.set(j, j, 0.0);
+            q_cols[j].fill(0.0);
+        }
+    }
+    let mut q = DenseMatrix::zeros(m, k);
+    for (j, col) in q_cols.iter().enumerate() {
+        q.set_col(j, col);
+    }
+    (q, r)
+}
+
+/// Orthonormality defect `‖QᵀQ − I‖_max` over the non-zero columns —
+/// diagnostic used in tests.
+pub fn orthonormality_defect(q: &DenseMatrix) -> f64 {
+    let k = q.ncols();
+    let mut worst = 0.0f64;
+    for i in 0..k {
+        let ci = q.col(i);
+        let ni: f64 = ci.iter().map(|v| v * v).sum();
+        if ni == 0.0 {
+            continue; // discarded column
+        }
+        for j in i..k {
+            let cj = q.col(j);
+            let nj: f64 = cj.iter().map(|v| v * v).sum();
+            if nj == 0.0 {
+                continue;
+            }
+            let dot: f64 = ci.iter().zip(&cj).map(|(a, b)| a * b).sum();
+            let expect = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((dot - expect).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = DenseMatrix::from_rows(vec![
+            vec![1.0, 2.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![2.0, 1.0],
+        ])
+        .unwrap();
+        let (q, r) = thin_qr(&a);
+        assert!(orthonormality_defect(&q) < 1e-12);
+        let qr = q.matmul(&r).unwrap();
+        assert!(a.sub(&qr).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_tall_matrices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let m = rng.gen_range(5..40);
+            let k = rng.gen_range(1..=m.min(12));
+            let a = DenseMatrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
+            let (q, r) = thin_qr(&a);
+            assert!(orthonormality_defect(&q) < 1e-10);
+            let qr = q.matmul(&r).unwrap();
+            assert!(a.sub(&qr).unwrap().max_abs() < 1e-10);
+            // R is upper triangular.
+            for i in 0..k {
+                for j in 0..i {
+                    assert_eq!(r.get(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficiency_yields_zero_columns() {
+        // Second column is a multiple of the first.
+        let a = DenseMatrix::from_rows(vec![
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+        ])
+        .unwrap();
+        let (q, r) = thin_qr(&a);
+        assert_eq!(r.get(1, 1), 0.0);
+        assert!(q.col(1).iter().all(|&v| v == 0.0));
+        // First column still orthonormal and reconstructs.
+        assert!(orthonormality_defect(&q) < 1e-12);
+    }
+
+    #[test]
+    fn already_orthonormal_input_is_fixed_point() {
+        let a = DenseMatrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
+        let (q, r) = thin_qr(&a);
+        assert!(a.sub(&q).unwrap().max_abs() < 1e-15);
+        assert!((r.get(0, 0) - 1.0).abs() < 1e-15);
+        assert!((r.get(1, 1) - 1.0).abs() < 1e-15);
+    }
+}

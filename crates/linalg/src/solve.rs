@@ -1,0 +1,200 @@
+//! Dense LU with partial pivoting: solve and invert.
+//!
+//! NB_LIN's core matrix `Λ = (S⁻¹ − (1−c) Vᵀ U)⁻¹` is a small dense
+//! `t x t` inverse, and B_LIN additionally inverts each within-partition
+//! block of `W₁`; both go through this module.
+
+use crate::{DenseMatrix, LinalgError, Result};
+
+/// An LU factorisation `P · A = L · U` with partial pivoting, reusable for
+/// multiple right-hand sides.
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    /// Packed factors: strictly-lower L (unit diagonal) + upper U.
+    lu: DenseMatrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Factors a square matrix. Fails with [`LinalgError::Singular`] if a
+    /// pivot column is entirely (numerically) zero.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "LU requires square input, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let (mut pivot_row, mut pivot_val) = (k, lu.get(k, k).abs());
+            for i in k + 1..n {
+                let v = lu.get(i, k).abs();
+                if v > pivot_val {
+                    pivot_row = i;
+                    pivot_val = v;
+                }
+            }
+            if pivot_val <= 1e-14 * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(pivot_row, j));
+                    lu.set(pivot_row, j, tmp);
+                }
+            }
+            let pivot = lu.get(k, k);
+            for i in k + 1..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor != 0.0 {
+                    for j in k + 1..n {
+                        let v = lu.get(i, j) - factor * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Solves `A x = b`.
+    #[allow(clippy::needless_range_loop)] // triangular index patterns
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "rhs has length {}, expected {n}",
+                b.len()
+            )));
+        }
+        // Apply the permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves for every column of the identity, producing `A⁻¹`.
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        let n = self.dim();
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let x = self.solve(&e)?;
+            inv.set_col(c, &x);
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot solve `A x = b`.
+pub fn solve_dense(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    DenseLu::new(a)?.solve(b)
+}
+
+/// One-shot inverse.
+pub fn invert_dense(a: &DenseMatrix) -> Result<DenseMatrix> {
+    DenseLu::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn solves_known_system() {
+        // x + 2y = 5 ; 3x + 4y = 11  ->  x = 1, y = 2
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let x = solve_dense(&a, &[5.0, 11.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve_dense(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(DenseLu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = DenseMatrix::from_rows(vec![
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 5.0, 1.0],
+            vec![1.0, 1.0, 3.0],
+        ])
+        .unwrap();
+        let inv = invert_dense(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let defect = prod.sub(&DenseMatrix::identity(3)).unwrap().max_abs();
+        assert!(defect < 1e-12, "defect {defect}");
+    }
+
+    #[test]
+    fn random_systems_have_small_residuals() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..25);
+            // Diagonally dominated to stay well-conditioned.
+            let a = DenseMatrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    (n as f64) + rng.gen_range(0.0..1.0)
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                }
+            });
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = solve_dense(&a, &b).unwrap();
+            let recon = a.matvec(&x).unwrap();
+            for (r, e) in recon.iter().zip(&b) {
+                assert!((r - e).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn factorisation_is_reusable() {
+        let a = DenseMatrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        let lu = DenseLu::new(&a).unwrap();
+        assert_eq!(lu.solve(&[2.0, 4.0]).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(lu.solve(&[4.0, 8.0]).unwrap(), vec![2.0, 2.0]);
+    }
+}

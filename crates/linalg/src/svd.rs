@@ -1,0 +1,299 @@
+//! Randomized truncated SVD (Halko, Martinsson & Tropp style).
+//!
+//! The NB_LIN / B_LIN baselines approximate the (normalised) adjacency
+//! matrix with a rank-`t` factorisation `A ≈ U S Vᵀ`. The paper uses a
+//! LAPACK SVD; this workspace substitutes a randomized range finder with
+//! power iterations, which preserves the precision-vs-rank trade-off the
+//! evaluation sweeps (see DESIGN.md, Substitutions).
+//!
+//! The matrix enters only through matrix–vector products, abstracted by
+//! [`LinearOperator`], so sparse matrices from `kdash-sparse` can plug in
+//! without a dependency cycle.
+
+use crate::{jacobi_symmetric, thin_qr, DenseMatrix, LinalgError, Result};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Anything that can apply itself and its transpose to a vector.
+pub trait LinearOperator {
+    /// Number of rows of the operator.
+    fn nrows(&self) -> usize;
+    /// Number of columns of the operator.
+    fn ncols(&self) -> usize;
+    /// `y = A · x` (`y` is pre-zeroed by the caller contract).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// `y = Aᵀ · x`.
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for DenseMatrix {
+    fn nrows(&self) -> usize {
+        DenseMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        DenseMatrix::ncols(self)
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(x).expect("operator dims"));
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.transpose_matvec(x).expect("operator dims"));
+    }
+}
+
+/// Tuning knobs for [`randomized_svd`].
+#[derive(Debug, Clone, Copy)]
+pub struct SvdOptions {
+    /// Extra sketch columns beyond the target rank (default 8).
+    pub oversample: usize,
+    /// Power iterations sharpening the spectrum (default 2).
+    pub power_iterations: usize,
+    /// RNG seed for the Gaussian sketch — results are deterministic given
+    /// the seed.
+    pub seed: u64,
+}
+
+impl Default for SvdOptions {
+    fn default() -> Self {
+        SvdOptions { oversample: 8, power_iterations: 2, seed: 0x5eed }
+    }
+}
+
+/// A truncated singular value decomposition `A ≈ U · diag(S) · Vᵀ`.
+///
+/// `rank()` may be smaller than requested when the matrix is numerically
+/// rank deficient; singular values are strictly positive and descending.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x rank` (orthonormal columns).
+    pub u: DenseMatrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors transposed, `rank x n` (orthonormal rows).
+    pub vt: DenseMatrix,
+}
+
+impl Svd {
+    /// Effective rank of the decomposition.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstruction `U diag(S) Vᵀ x` — used by tests and by baselines
+    /// that need the approximated operator.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut tmp = self.vt.matvec(x).expect("svd dims");
+        for (t, s) in tmp.iter_mut().zip(&self.s) {
+            *t *= s;
+        }
+        self.u.matvec(&tmp).expect("svd dims")
+    }
+
+    /// Dense reconstruction, `O(m · n · rank)` — test helper.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let m = self.u.nrows();
+        let n = self.vt.ncols();
+        DenseMatrix::from_fn(m, n, |i, j| {
+            (0..self.rank()).map(|k| self.u.get(i, k) * self.s[k] * self.vt.get(k, j)).sum()
+        })
+    }
+}
+
+/// Computes a rank-`target_rank` randomized SVD of `op`.
+#[allow(clippy::needless_range_loop)] // sketch-column loops index several arrays
+pub fn randomized_svd<O: LinearOperator>(
+    op: &O,
+    target_rank: usize,
+    options: SvdOptions,
+) -> Result<Svd> {
+    let m = op.nrows();
+    let n = op.ncols();
+    if target_rank == 0 {
+        return Err(LinalgError::InvalidParameter("target rank must be >= 1".into()));
+    }
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidParameter("empty operator".into()));
+    }
+    let k = (target_rank + options.oversample).min(m).min(n);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // Gaussian sketch Ω (n x k) and sample Y = A Ω (m x k).
+    let mut y = DenseMatrix::zeros(m, k);
+    {
+        let mut omega_col = vec![0.0; n];
+        let mut y_col = vec![0.0; m];
+        for c in 0..k {
+            for v in omega_col.iter_mut() {
+                *v = standard_normal(&mut rng);
+            }
+            op.apply(&omega_col, &mut y_col);
+            y.set_col(c, &y_col);
+        }
+    }
+    let (mut q, _) = thin_qr(&y);
+
+    // Power iterations with re-orthonormalisation: (A Aᵀ)^p A Ω.
+    let mut z = DenseMatrix::zeros(n, k);
+    let mut zi = vec![0.0; n];
+    let mut yi = vec![0.0; m];
+    for _ in 0..options.power_iterations {
+        for c in 0..k {
+            op.apply_transpose(&q.col(c), &mut zi);
+            z.set_col(c, &zi);
+        }
+        let (qz, _) = thin_qr(&z);
+        for c in 0..k {
+            op.apply(&qz.col(c), &mut yi);
+            y.set_col(c, &yi);
+        }
+        let (qy, _) = thin_qr(&y);
+        q = qy;
+    }
+
+    // B = Qᵀ A, stored as Bt = Aᵀ Q (n x k).
+    let mut bt = DenseMatrix::zeros(n, k);
+    for c in 0..k {
+        op.apply_transpose(&q.col(c), &mut zi);
+        bt.set_col(c, &zi);
+    }
+
+    // Small symmetric eigenproblem: G = B Bᵀ = Btᵀ Bt (k x k).
+    let g = bt.transpose_matmul(&bt)?;
+    let eig = jacobi_symmetric(&g)?;
+
+    // Effective rank: positive eigenvalues above a relative floor.
+    let sigma_max = eig.values.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+    let floor = (1e-12 * sigma_max).max(f64::MIN_POSITIVE);
+    let mut rank = 0usize;
+    for &lambda in eig.values.iter().take(target_rank) {
+        if lambda > 0.0 && lambda.sqrt() > floor {
+            rank += 1;
+        } else {
+            break;
+        }
+    }
+    if rank == 0 {
+        // Zero operator: represent it with a single zero triple.
+        return Ok(Svd { u: DenseMatrix::zeros(m, 0), s: Vec::new(), vt: DenseMatrix::zeros(0, n) });
+    }
+
+    let s: Vec<f64> = eig.values[..rank].iter().map(|&l| l.sqrt()).collect();
+    // U = Q · U_B[:, :rank]
+    let mut ub = DenseMatrix::zeros(k, rank);
+    for c in 0..rank {
+        ub.set_col(c, &eig.vectors.col(c));
+    }
+    let u = q.matmul(&ub)?;
+    // Row i of Vᵀ = (Bt · u_B_i)ᵀ / σ_i
+    let mut vt = DenseMatrix::zeros(rank, n);
+    for i in 0..rank {
+        let bi = bt.matvec(&ub.col(i))?;
+        for (j, &v) in bi.iter().enumerate() {
+            vt.set(i, j, v / s[i]);
+        }
+    }
+    Ok(Svd { u, s, vt })
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_defect;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn exact_rank_one_matrix() {
+        // A = u vᵀ with ||u|| = 2, ||v|| = 3 -> sigma_1 = 6.
+        let u = [1.0, 1.0, 1.0, 1.0];
+        let v = [3.0f64 / 3f64.sqrt(), 3.0 / 3f64.sqrt(), 3.0 / 3f64.sqrt()];
+        let a = DenseMatrix::from_fn(4, 3, |i, j| u[i] * v[j]);
+        let svd = randomized_svd(&a, 2, SvdOptions::default()).unwrap();
+        assert_eq!(svd.rank(), 1, "numerically rank-1 input");
+        assert!((svd.s[0] - 6.0).abs() < 1e-9, "sigma {}", svd.s[0]);
+        let err = a.sub(&svd.to_dense()).unwrap().max_abs();
+        assert!(err < 1e-9, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn full_rank_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = DenseMatrix::from_fn(8, 8, |_, _| rng.gen_range(-1.0..1.0));
+        let svd = randomized_svd(&a, 8, SvdOptions::default()).unwrap();
+        let err = a.sub(&svd.to_dense()).unwrap().max_abs();
+        assert!(err < 1e-8, "reconstruction error {err}");
+        assert!(orthonormality_defect(&svd.u) < 1e-9);
+        assert!(orthonormality_defect(&svd.vt.transpose()) < 1e-9);
+    }
+
+    #[test]
+    fn truncation_captures_dominant_directions() {
+        // Diagonal matrix with widely spread singular values.
+        let diag = [100.0, 10.0, 1.0, 0.1, 0.01];
+        let a = DenseMatrix::from_fn(5, 5, |i, j| if i == j { diag[i] } else { 0.0 });
+        let svd = randomized_svd(&a, 2, SvdOptions::default()).unwrap();
+        assert_eq!(svd.rank(), 2);
+        assert!((svd.s[0] - 100.0).abs() < 1e-6);
+        assert!((svd.s[1] - 10.0).abs() < 1e-6);
+        // Error of the best rank-2 approximation is sigma_3 = 1.
+        let err = a.sub(&svd.to_dense()).unwrap().max_abs();
+        assert!(err < 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn singular_values_descend() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = DenseMatrix::from_fn(10, 6, |_, _| rng.gen_range(-1.0..1.0));
+        let svd = randomized_svd(&a, 6, SvdOptions::default()).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.s.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn apply_matches_dense_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = DenseMatrix::from_fn(7, 5, |_, _| rng.gen_range(-1.0..1.0));
+        let svd = randomized_svd(&a, 5, SvdOptions::default()).unwrap();
+        let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let via_apply = svd.apply(&x);
+        let via_dense = svd.to_dense().matvec(&x).unwrap();
+        for (p, q) in via_apply.iter().zip(&via_dense) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_yields_empty_svd() {
+        let a = DenseMatrix::zeros(4, 4);
+        let svd = randomized_svd(&a, 2, SvdOptions::default()).unwrap();
+        assert_eq!(svd.rank(), 0);
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        let a = DenseMatrix::identity(3);
+        assert!(randomized_svd(&a, 0, SvdOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = DenseMatrix::from_fn(6, 6, |_, _| rng.gen_range(-1.0..1.0));
+        let s1 = randomized_svd(&a, 3, SvdOptions::default()).unwrap();
+        let s2 = randomized_svd(&a, 3, SvdOptions::default()).unwrap();
+        assert_eq!(s1.s, s2.s);
+        assert_eq!(s1.u, s2.u);
+    }
+}

@@ -1,0 +1,406 @@
+//! Compressed sparse column matrices.
+
+use crate::{Index, Result, SparseError};
+
+/// A sparse matrix in compressed-sparse-column form.
+///
+/// Row indices within a column are strictly increasing; stored values may be
+/// zero only transiently (constructors drop explicit zeros).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Index>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// An `nrows x ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix { nrows, ncols, col_ptr: vec![0; ncols + 1], row_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            col_ptr: (0..=n).collect(),
+            row_idx: (0..n as Index).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds from `(row, col, value)` triplets. Duplicates are summed;
+    /// entries that cancel to exactly zero are dropped.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(Index, Index, f64)],
+    ) -> Result<Self> {
+        for &(r, c, v) in triplets {
+            if (r as usize) >= nrows || (c as usize) >= ncols {
+                return Err(SparseError::Malformed(format!(
+                    "triplet ({r}, {c}) out of bounds for {nrows}x{ncols}"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(SparseError::Malformed(format!("non-finite value at ({r}, {c})")));
+            }
+        }
+        let mut count = vec![0usize; ncols + 1];
+        for &(_, c, _) in triplets {
+            count[c as usize + 1] += 1;
+        }
+        for c in 0..ncols {
+            count[c + 1] += count[c];
+        }
+        let mut bucket: Vec<(Index, f64)> = vec![(0, 0.0); triplets.len()];
+        let mut cursor = count.clone();
+        for &(r, c, v) in triplets {
+            bucket[cursor[c as usize]] = (r, v);
+            cursor[c as usize] += 1;
+        }
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        col_ptr.push(0);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        for c in 0..ncols {
+            let slice = &mut bucket[count[c]..count[c + 1]];
+            slice.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < slice.len() {
+                let r = slice[i].0;
+                let mut v = slice[i].1;
+                let mut j = i + 1;
+                while j < slice.len() && slice[j].0 == r {
+                    v += slice[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+                i = j;
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Ok(CscMatrix { nrows, ncols, col_ptr, row_idx, values })
+    }
+
+    /// Builds directly from CSC arrays, validating all invariants.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Index>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if col_ptr.len() != ncols + 1 {
+            return Err(SparseError::Malformed("col_ptr length must be ncols + 1".into()));
+        }
+        if row_idx.len() != values.len() {
+            return Err(SparseError::Malformed("row_idx and values length mismatch".into()));
+        }
+        if col_ptr[0] != 0 || col_ptr[ncols] != row_idx.len() {
+            return Err(SparseError::Malformed("col_ptr bounds are inconsistent".into()));
+        }
+        for c in 0..ncols {
+            if col_ptr[c] > col_ptr[c + 1] {
+                return Err(SparseError::Malformed(format!("col_ptr not monotone at {c}")));
+            }
+            let rows = &row_idx[col_ptr[c]..col_ptr[c + 1]];
+            for (i, &r) in rows.iter().enumerate() {
+                if (r as usize) >= nrows {
+                    return Err(SparseError::Malformed(format!("row {r} out of bounds")));
+                }
+                if i > 0 && rows[i - 1] >= r {
+                    return Err(SparseError::Malformed(format!(
+                        "rows not strictly increasing in column {c}"
+                    )));
+                }
+            }
+        }
+        for &v in &values {
+            if !v.is_finite() {
+                return Err(SparseError::Malformed("non-finite stored value".into()));
+            }
+        }
+        Ok(CscMatrix { nrows, ncols, col_ptr, row_idx, values })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Row indices and values of column `c`.
+    #[inline]
+    pub fn col(&self, c: Index) -> (&[Index], &[f64]) {
+        let c = c as usize;
+        let range = self.col_ptr[c]..self.col_ptr[c + 1];
+        (&self.row_idx[range.clone()], &self.values[range])
+    }
+
+    /// Entry `(r, c)` if stored (binary search).
+    pub fn get(&self, r: Index, c: Index) -> Option<f64> {
+        let (rows, vals) = self.col(c);
+        rows.binary_search(&r).ok().map(|i| vals[i])
+    }
+
+    /// Iterator over all `(row, col, value)` entries in column order.
+    pub fn triplets(&self) -> impl Iterator<Item = (Index, Index, f64)> + '_ {
+        (0..self.ncols as Index).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// The transpose as a new CSC matrix (`O(nnz)` counting transpose).
+    pub fn transpose(&self) -> CscMatrix {
+        let mut col_ptr = vec![0usize; self.nrows + 1];
+        for &r in &self.row_idx {
+            col_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0 as Index; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for c in 0..self.ncols as Index {
+            let (rows, vals) = self.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                let slot = cursor[r as usize];
+                row_idx[slot] = c;
+                values[slot] = v;
+                cursor[r as usize] += 1;
+            }
+        }
+        CscMatrix { nrows: self.ncols, ncols: self.nrows, col_ptr, row_idx, values }
+    }
+
+    /// Dense `y += A · x` accumulation. `x` has `ncols` entries, `y` has
+    /// `nrows`.
+    pub fn matvec_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            let range = self.col_ptr[c]..self.col_ptr[c + 1];
+            for (r, v) in self.row_idx[range.clone()].iter().zip(&self.values[range]) {
+                y[*r as usize] += v * xc;
+            }
+        }
+    }
+
+    /// Dense `y = A · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_add(x, &mut y);
+        y
+    }
+
+    /// `y += Aᵀ · x` without materialising the transpose.
+    pub fn matvec_transpose_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "x length mismatch");
+        assert_eq!(y.len(), self.ncols, "y length mismatch");
+        for (c, yc) in y.iter_mut().enumerate() {
+            let range = self.col_ptr[c]..self.col_ptr[c + 1];
+            let mut acc = 0.0;
+            for (r, v) in self.row_idx[range.clone()].iter().zip(&self.values[range]) {
+                acc += v * x[*r as usize];
+            }
+            *yc += acc;
+        }
+    }
+
+    /// Maximum stored value per column (0.0 for empty columns). This is the
+    /// `A_max(v)` of the paper's Definition 1 when applied to the transition
+    /// matrix (whose entries are all positive).
+    pub fn col_max(&self) -> Vec<f64> {
+        (0..self.ncols as Index)
+            .map(|c| self.col(c).1.iter().copied().fold(0.0f64, f64::max))
+            .collect()
+    }
+
+    /// Maximum stored value across the matrix (the paper's global `A_max`).
+    pub fn global_max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Applies `f` to every stored value, keeping the pattern.
+    pub fn map_values(&self, f: impl Fn(f64) -> f64) -> CscMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Strict triangularity checks used to validate factor outputs.
+    pub fn is_strictly_lower(&self) -> bool {
+        self.triplets().all(|(r, c, _)| r > c)
+    }
+
+    /// True if every stored entry satisfies `row <= col`.
+    pub fn is_upper(&self) -> bool {
+        self.triplets().all(|(r, c, _)| r <= c)
+    }
+
+    /// True if every stored entry satisfies `row >= col`.
+    pub fn is_lower(&self) -> bool {
+        self.triplets().all(|(r, c, _)| r >= c)
+    }
+
+    /// Dense copy in row-major order — test helper, `O(nrows · ncols)`.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for (r, c, v) in self.triplets() {
+            d[r as usize][c as usize] = v;
+        }
+        d
+    }
+
+    /// Raw CSC views `(col_ptr, row_idx, values)`.
+    pub fn raw(&self) -> (&[usize], &[Index], &[f64]) {
+        (&self.col_ptr, &self.row_idx, &self.values)
+    }
+
+    /// Memory used by the index and value arrays in bytes (reported by the
+    /// Fig. 5 experiment alongside nnz ratios).
+    pub fn heap_bytes(&self) -> usize {
+        self.col_ptr.len() * std::mem::size_of::<usize>()
+            + self.row_idx.len() * std::mem::size_of::<Index>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0), (0, 2, 2.0), (2, 2, 5.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn triplet_construction() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(2, 2), Some(5.0));
+        assert_eq!(m.get(1, 0), None);
+        let (rows, vals) = m.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let m = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 1.0), (1, 1, -1.0)])
+            .unwrap();
+        assert_eq!(m.get(0, 0), Some(3.0));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn bounds_and_nan_rejected() {
+        assert!(CscMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CscMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        let d = m.to_dense();
+        let td = t.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d[r][c], td[c][r]);
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = m.matvec(&x);
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 15.0]);
+        let mut yt = vec![0.0; 3];
+        m.matvec_transpose_add(&x, &mut yt);
+        // A^T x: col c of A dot x
+        assert_eq!(yt, vec![1.0 + 12.0, 6.0, 2.0 + 15.0]);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CscMatrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        let z = CscMatrix::zeros(2, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.matvec(&[1.0, 1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn col_max_and_global_max() {
+        let m = sample();
+        assert_eq!(m.col_max(), vec![4.0, 3.0, 5.0]);
+        assert_eq!(m.global_max(), 5.0);
+        assert_eq!(CscMatrix::zeros(2, 2).col_max(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn triangular_predicates() {
+        let lower = CscMatrix::from_triplets(2, 2, &[(1, 0, 1.0)]).unwrap();
+        assert!(lower.is_strictly_lower());
+        assert!(lower.is_lower());
+        assert!(!lower.is_upper());
+        let diag = CscMatrix::identity(2);
+        assert!(diag.is_upper());
+        assert!(diag.is_lower());
+        assert!(!diag.is_strictly_lower());
+    }
+
+    #[test]
+    fn from_raw_parts_validation() {
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // bad col_ptr length
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // unsorted rows
+        assert!(CscMatrix::from_raw_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+        // row out of bounds
+        assert!(CscMatrix::from_raw_parts(2, 1, vec![0, 1], vec![7], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn map_values_keeps_pattern() {
+        let m = sample().map_values(|v| v * 2.0);
+        assert_eq!(m.get(2, 0), Some(8.0));
+        assert_eq!(m.nnz(), 5);
+    }
+}

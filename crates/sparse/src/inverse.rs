@@ -1,0 +1,199 @@
+//! Sparse inverses of triangular factors (Equations (4)–(5) of the paper).
+//!
+//! `L⁻¹` and `U⁻¹` are computed column by column: column `j` of `T⁻¹` is the
+//! solution of `T x = e_j`, obtained with the Gilbert–Peierls sparse solve
+//! so each column costs time proportional to its own nonzero count. The
+//! inverse of a triangular matrix is triangular with the same orientation;
+//! how *sparse* it is depends entirely on the node ordering — this is the
+//! quantity the paper's reordering heuristics (degree / cluster / hybrid)
+//! minimise and that Figure 5 measures.
+
+use crate::{CscMatrix, Index, Result, SolveWorkspace, SparseError, Triangle};
+
+/// Inverts a unit lower triangular matrix given its strictly-lower part
+/// (diagonal implicit, as produced by [`crate::sparse_lu`]).
+///
+/// The returned matrix stores the unit diagonal **explicitly**, so its
+/// column `q` is directly the vector `L⁻¹ e_q` used at query time.
+pub fn invert_lower_unit(l: &CscMatrix) -> Result<CscMatrix> {
+    invert(l, Triangle::Lower, true)
+}
+
+/// Inverts an upper triangular matrix with stored diagonal.
+pub fn invert_upper(u: &CscMatrix) -> Result<CscMatrix> {
+    invert(u, Triangle::Upper, false)
+}
+
+fn invert(t: &CscMatrix, triangle: Triangle, unit_diag: bool) -> Result<CscMatrix> {
+    let n = t.nrows();
+    if t.nrows() != t.ncols() {
+        return Err(SparseError::NotSquare { nrows: t.nrows(), ncols: t.ncols() });
+    }
+    let mut ws = SolveWorkspace::new(n);
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0usize);
+    let mut row_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let (mut xi, mut xv) = (Vec::new(), Vec::new());
+    for j in 0..n as Index {
+        ws.solve_unit(t, triangle, unit_diag, j, &mut xi, &mut xv)?;
+        row_idx.extend_from_slice(&xi);
+        values.extend_from_slice(&xv);
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
+}
+
+/// Total stored entries of the pair `(L⁻¹, U⁻¹)` — the numerator of the
+/// Figure 5 ratio.
+pub fn inverse_nnz(l_inv: &CscMatrix, u_inv: &CscMatrix) -> usize {
+    l_inv.nnz() + u_inv.nnz()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_lu;
+
+    fn assert_is_identity(product: &[Vec<f64>], tol: f64) {
+        for (i, row) in product.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < tol, "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    fn dense_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = a.len();
+        let mut out = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i][k];
+                if aik != 0.0 {
+                    for j in 0..n {
+                        out[i][j] += aik * b[k][j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds an implicit unit diagonal to a dense strictly-lower matrix.
+    fn with_unit_diag(mut d: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        d
+    }
+
+    #[test]
+    fn chain_lower_inverse_is_all_ones() {
+        // L = I - subdiagonal(-1): L^{-1} is lower triangular of all ones.
+        let n = 5;
+        let trips: Vec<(Index, Index, f64)> =
+            (0..n - 1).map(|j| (j as Index + 1, j as Index, -1.0)).collect();
+        let l = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let inv = invert_lower_unit(&l).unwrap();
+        for c in 0..n as Index {
+            let (rows, vals) = inv.col(c);
+            assert_eq!(rows.len(), n - c as usize);
+            assert!(vals.iter().all(|&v| (v - 1.0).abs() < 1e-14));
+        }
+    }
+
+    #[test]
+    fn lower_inverse_times_matrix_is_identity() {
+        let l = CscMatrix::from_triplets(4, 4, &[(1, 0, 0.5), (2, 0, -0.25), (3, 2, 2.0), (2, 1, 1.0)])
+            .unwrap();
+        let inv = invert_lower_unit(&l).unwrap();
+        let product = dense_mul(&inv.to_dense(), &with_unit_diag(l.to_dense()));
+        assert_is_identity(&product, 1e-12);
+    }
+
+    #[test]
+    fn upper_inverse_times_matrix_is_identity() {
+        let u = CscMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 4.0), (0, 2, -1.0), (1, 2, 0.5), (2, 2, 0.25)],
+        )
+        .unwrap();
+        let inv = invert_upper(&u).unwrap();
+        let product = dense_mul(&inv.to_dense(), &u.to_dense());
+        assert_is_identity(&product, 1e-12);
+    }
+
+    #[test]
+    fn inverse_diagonals_are_explicit() {
+        let l = CscMatrix::from_triplets(3, 3, &[(2, 0, 1.0)]).unwrap();
+        let inv = invert_lower_unit(&l).unwrap();
+        for j in 0..3 {
+            assert_eq!(inv.get(j, j), Some(1.0));
+        }
+        let u = CscMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (1, 1, 8.0)]).unwrap();
+        let uinv = invert_upper(&u).unwrap();
+        assert_eq!(uinv.get(0, 0), Some(0.25));
+        assert_eq!(uinv.get(1, 1), Some(0.125));
+    }
+
+    #[test]
+    fn singular_upper_rejected() {
+        let u = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        assert!(matches!(invert_upper(&u), Err(SparseError::SingularPivot { .. })));
+    }
+
+    #[test]
+    fn inverses_reconstruct_w_inverse() {
+        // Verify c * U^{-1} (L^{-1} e_q) == W^{-1} e_q * c for an RWR-like W.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 12;
+        let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+        let mut col_sum = vec![0.0f64; n];
+        for j in 0..n as Index {
+            for i in 0..n as Index {
+                if i != j && rng.gen_bool(0.3) {
+                    let v: f64 = -rng.gen_range(0.01..0.5);
+                    trips.push((i, j, v));
+                    col_sum[j as usize] += v.abs();
+                }
+            }
+        }
+        for (j, &cs) in col_sum.iter().enumerate() {
+            trips.push((j as Index, j as Index, cs + 0.5));
+        }
+        let w = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let f = sparse_lu(&w).unwrap();
+        let linv = invert_lower_unit(&f.l).unwrap();
+        let uinv = invert_upper(&f.u).unwrap();
+        for q in 0..n as Index {
+            // x = U^{-1} (L^{-1} e_q)
+            let (lq_rows, lq_vals) = linv.col(q);
+            let mut y = vec![0.0; n];
+            for (&r, &v) in lq_rows.iter().zip(lq_vals) {
+                y[r as usize] = v;
+            }
+            let x = uinv.matvec(&y);
+            // reference: dense solve of W x = e_q
+            let mut e = vec![0.0; n];
+            e[q as usize] = 1.0;
+            let reference = f.solve_dense(&e).unwrap();
+            for (a, b) in x.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_nnz_helper() {
+        let l = CscMatrix::from_triplets(3, 3, &[(1, 0, 1.0)]).unwrap();
+        let li = invert_lower_unit(&l).unwrap();
+        let u = CscMatrix::identity(3);
+        let ui = invert_upper(&u).unwrap();
+        assert_eq!(inverse_nnz(&li, &ui), li.nnz() + ui.nnz());
+        assert_eq!(ui.nnz(), 3);
+        assert_eq!(li.nnz(), 4); // 3 diagonal ones + one fill entry
+    }
+}

@@ -1,0 +1,80 @@
+//! # kdash-sparse
+//!
+//! Sparse matrix kernels for the K-dash reproduction (*Fujiwara et al.,
+//! PVLDB 2012*). Everything §4.2 of the paper needs:
+//!
+//! * [`CscMatrix`] / [`CsrMatrix`] — compressed sparse column/row storage,
+//! * [`triangular`] — sparse triangular solves with *sparse* right-hand
+//!   sides using Gilbert–Peierls symbolic reachability (`O(flops)`, not
+//!   `O(n)` per solve),
+//! * [`lu`] — left-looking sparse LU factorisation `W = LU` following the
+//!   paper's Equations (6)–(7) (Doolittle form: unit-diagonal `L`). `W` is
+//!   strictly column diagonally dominant, so no pivoting is required,
+//! * [`inverse`] — sparse inverses `L⁻¹` and `U⁻¹` (Equations (4)–(5),
+//!   computed as `n` sparse solves against unit vectors),
+//! * [`rwr`] — the column-normalised transition matrix `A` and
+//!   `W = I − (1−c)A` built straight from a [`kdash_graph::CsrGraph`].
+//!
+//! ## Conventions
+//!
+//! * `L` from the factorisation is unit lower triangular and stored
+//!   *without* its diagonal. `U` stores its diagonal explicitly.
+//! * The inverses store their diagonals explicitly (`L⁻¹` has ones,
+//!   `U⁻¹` has `1/U_jj`), so a column of `L⁻¹` is directly the solution of
+//!   `L x = e_j`.
+//! * Column/row index arrays are sorted ascending; values are finite.
+
+pub mod csc;
+pub mod csr;
+pub mod inverse;
+pub mod lu;
+pub mod rwr;
+pub mod triangular;
+
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use inverse::{invert_lower_unit, invert_upper};
+pub use lu::{sparse_lu, LuFactors};
+pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
+pub use triangular::{SolveWorkspace, Triangle};
+
+/// Index type shared with `kdash-graph`.
+pub type Index = kdash_graph::NodeId;
+
+/// Errors from sparse kernel construction and factorisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Inconsistent dimensions or malformed index arrays.
+    Malformed(String),
+    /// A pivot was zero (or absent) during LU — the matrix is singular.
+    SingularPivot { column: usize, value: f64 },
+    /// Operation requires a square matrix.
+    NotSquare { nrows: usize, ncols: usize },
+    /// Matrix is not triangular in the requested orientation.
+    NotTriangular(String),
+    /// Restart probability outside `(0, 1)`.
+    InvalidRestartProbability(f64),
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::Malformed(m) => write!(f, "malformed sparse matrix: {m}"),
+            SparseError::SingularPivot { column, value } => {
+                write!(f, "singular pivot {value} at column {column}")
+            }
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is {nrows}x{ncols}, expected square")
+            }
+            SparseError::NotTriangular(m) => write!(f, "matrix is not triangular: {m}"),
+            SparseError::InvalidRestartProbability(c) => {
+                write!(f, "restart probability {c} outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SparseError>;

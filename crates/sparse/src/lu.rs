@@ -1,0 +1,378 @@
+//! Left-looking sparse LU factorisation (Gilbert–Peierls).
+//!
+//! Factors `W = L · U` with unit-diagonal `L` (Doolittle form), matching the
+//! paper's Equations (6)–(7): each column of `L` and `U` is computed from
+//! the columns to its left. The numeric core of column `j` is a sparse
+//! triangular solve `L(0..j, 0..j) x = W(:, j)` whose pattern comes from a
+//! DFS over the partially-built `L` — total cost `O(flops)`.
+//!
+//! No pivoting is performed. The intended input `W = I − (1−c)A` with a
+//! column-substochastic `A` and `0 < c < 1` is strictly column diagonally
+//! dominant, for which LU without pivoting is well defined and numerically
+//! stable; a zero pivot on other inputs surfaces as
+//! [`SparseError::SingularPivot`].
+
+use crate::{CscMatrix, Index, Result, SolveWorkspace, SparseError, Triangle};
+
+/// The two triangular factors of `W = L · U`.
+///
+/// * `l` — unit lower triangular, **diagonal not stored** (all entries are
+///   strictly below the diagonal).
+/// * `u` — upper triangular, diagonal stored (last entry of each column).
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Strictly-lower part of the unit lower triangular factor.
+    pub l: CscMatrix,
+    /// Upper triangular factor including the diagonal.
+    pub u: CscMatrix,
+}
+
+impl LuFactors {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.u.ncols()
+    }
+
+    /// Combined stored entries of both factors.
+    pub fn nnz(&self) -> usize {
+        self.l.nnz() + self.u.nnz()
+    }
+
+    /// Dense solve `W x = b` via forward then backward substitution.
+    /// `O(nnz(L) + nnz(U))`.
+    pub fn solve_dense(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SparseError::Malformed(format!(
+                "rhs length {} does not match dimension {n}",
+                b.len()
+            )));
+        }
+        let mut x = b.to_vec();
+        // Forward: L y = b, unit diagonal, column-oriented.
+        for j in 0..n as Index {
+            let xj = x[j as usize];
+            if xj != 0.0 {
+                let (rows, vals) = self.l.col(j);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    x[i as usize] -= v * xj;
+                }
+            }
+        }
+        // Backward: U x = y.
+        for j in (0..n as Index).rev() {
+            let (rows, vals) = self.u.col(j);
+            let diag = match rows.last() {
+                Some(&r) if r == j => *vals.last().expect("parallel arrays"),
+                _ => return Err(SparseError::SingularPivot { column: j as usize, value: 0.0 }),
+            };
+            let xj = x[j as usize] / diag;
+            x[j as usize] = xj;
+            if xj != 0.0 {
+                for (&i, &v) in rows[..rows.len() - 1].iter().zip(&vals[..rows.len() - 1]) {
+                    x[i as usize] -= v * xj;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Sparse solve `W x = e_q` using two Gilbert–Peierls solves. This is
+    /// the "no stored inverses" alternative benchmarked by the
+    /// `ablation_solve_vs_inverse` bench; it returns the sorted sparse
+    /// solution.
+    pub fn solve_unit_sparse(
+        &self,
+        ws: &mut SolveWorkspace,
+        q: Index,
+    ) -> Result<(Vec<Index>, Vec<f64>)> {
+        let (mut yi, mut yv) = (Vec::new(), Vec::new());
+        ws.solve_unit(&self.l, Triangle::Lower, true, q, &mut yi, &mut yv)?;
+        let (mut xi, mut xv) = (Vec::new(), Vec::new());
+        ws.solve(&self.u, Triangle::Upper, false, &yi, &yv, &mut xi, &mut xv)?;
+        Ok((xi, xv))
+    }
+}
+
+/// Factors a square matrix with the left-looking sparse LU algorithm.
+pub fn sparse_lu(w: &CscMatrix) -> Result<LuFactors> {
+    let n = w.nrows();
+    if w.nrows() != w.ncols() {
+        return Err(SparseError::NotSquare { nrows: w.nrows(), ncols: w.ncols() });
+    }
+
+    // Growing CSC arrays for L (strictly lower, unsorted within a column
+    // until finalisation) and U (sorted, diag last).
+    let mut l_ptr: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut l_rows: Vec<Index> = Vec::new();
+    let mut l_vals: Vec<f64> = Vec::new();
+    l_ptr.push(0);
+    let mut u_ptr: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut u_rows: Vec<Index> = Vec::new();
+    let mut u_vals: Vec<f64> = Vec::new();
+    u_ptr.push(0);
+
+    // Scratch.
+    let mut stamp = vec![0u32; n];
+    let mut cur = 0u32;
+    let mut x = vec![0.0f64; n];
+    let mut topo: Vec<Index> = Vec::new();
+    let mut stack: Vec<(Index, usize)> = Vec::new();
+    let mut col_scratch: Vec<(Index, f64)> = Vec::new();
+
+    for j in 0..n as Index {
+        cur += 1;
+        topo.clear();
+        let (b_rows, b_vals) = w.col(j);
+
+        // Symbolic: reach of pattern(W(:,j)) over the partially built L.
+        // Only columns < j exist in L, so nodes >= j have no children.
+        for &r in b_rows {
+            if stamp[r as usize] == cur {
+                continue;
+            }
+            stamp[r as usize] = cur;
+            x[r as usize] = 0.0;
+            stack.push((r, 0));
+            while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+                let children: &[Index] = if node < j {
+                    let range = l_ptr[node as usize]..l_ptr[node as usize + 1];
+                    &l_rows[range]
+                } else {
+                    &[]
+                };
+                if *cursor < children.len() {
+                    let child = children[*cursor];
+                    *cursor += 1;
+                    if stamp[child as usize] != cur {
+                        stamp[child as usize] = cur;
+                        x[child as usize] = 0.0;
+                        stack.push((child, 0));
+                    }
+                } else {
+                    topo.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        for (&r, &v) in b_rows.iter().zip(b_vals) {
+            x[r as usize] = v;
+        }
+
+        // Numeric: reverse postorder = topological order of dependencies.
+        for pos in (0..topo.len()).rev() {
+            let r = topo[pos];
+            if r >= j {
+                continue; // rows at or below the pivot only accumulate
+            }
+            let xr = x[r as usize];
+            if xr != 0.0 {
+                let range = l_ptr[r as usize]..l_ptr[r as usize + 1];
+                for (i, v) in l_rows[range.clone()].iter().zip(&l_vals[range]) {
+                    x[*i as usize] -= v * xr;
+                }
+            }
+        }
+
+        // Pivot.
+        let pivot = if stamp[j as usize] == cur { x[j as usize] } else { 0.0 };
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(SparseError::SingularPivot { column: j as usize, value: pivot });
+        }
+
+        // Emit U(:, j): rows < j, sorted, then the diagonal last.
+        col_scratch.clear();
+        for &r in &topo {
+            if r < j {
+                let v = x[r as usize];
+                if v != 0.0 {
+                    col_scratch.push((r, v));
+                }
+            }
+        }
+        col_scratch.sort_unstable_by_key(|&(r, _)| r);
+        for &(r, v) in &col_scratch {
+            u_rows.push(r);
+            u_vals.push(v);
+        }
+        u_rows.push(j);
+        u_vals.push(pivot);
+        u_ptr.push(u_rows.len());
+
+        // Emit L(:, j): rows > j, divided by the pivot, sorted.
+        col_scratch.clear();
+        for &r in &topo {
+            if r > j {
+                let v = x[r as usize];
+                if v != 0.0 {
+                    col_scratch.push((r, v / pivot));
+                }
+            }
+        }
+        col_scratch.sort_unstable_by_key(|&(r, _)| r);
+        for &(r, v) in &col_scratch {
+            l_rows.push(r);
+            l_vals.push(v);
+        }
+        l_ptr.push(l_rows.len());
+    }
+
+    let l = CscMatrix::from_raw_parts(n, n, l_ptr, l_rows, l_vals)?;
+    let u = CscMatrix::from_raw_parts(n, n, u_ptr, u_rows, u_vals)?;
+    debug_assert!(l.is_strictly_lower());
+    debug_assert!(u.is_upper());
+    Ok(LuFactors { l, u })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense multiply of the stored factors (adding L's implicit diagonal).
+    fn dense_lu_product(f: &LuFactors) -> Vec<Vec<f64>> {
+        let n = f.dim();
+        let ld = f.l.to_dense();
+        let ud = f.u.to_dense();
+        let mut out = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    let l_ik = if i == k { 1.0 } else { ld[i][k] };
+                    acc += l_ik * ud[k][j];
+                }
+                out[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_matrix_close(a: &[Vec<f64>], b: &[Vec<f64>], tol: f64) {
+        for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+            for (j, (x, y)) in ra.iter().zip(rb).enumerate() {
+                assert!((x - y).abs() <= tol * (1.0 + y.abs()), "({i},{j}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn factors_small_dense_matrix() {
+        // W = [4 1 0; 1 4 1; 0 1 4]
+        let w = CscMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 4.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 4.0), (2, 1, 1.0), (1, 2, 1.0), (2, 2, 4.0)],
+        )
+        .unwrap();
+        let f = sparse_lu(&w).unwrap();
+        assert!(f.l.is_strictly_lower());
+        assert!(f.u.is_upper());
+        assert_matrix_close(&dense_lu_product(&f), &w.to_dense(), 1e-12);
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let w = CscMatrix::identity(4);
+        let f = sparse_lu(&w).unwrap();
+        assert_eq!(f.l.nnz(), 0);
+        assert_eq!(f.u.nnz(), 4);
+        assert_eq!(f.solve_dense(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        // second column identically zero
+        let w = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        assert!(matches!(sparse_lu(&w), Err(SparseError::SingularPivot { column: 1, .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let w = CscMatrix::zeros(2, 3);
+        assert!(matches!(sparse_lu(&w), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_dense_matches_reference() {
+        let w = CscMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 4.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 4.0), (2, 1, 1.0), (1, 2, 1.0), (2, 2, 4.0)],
+        )
+        .unwrap();
+        let f = sparse_lu(&w).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = f.solve_dense(&b).unwrap();
+        let recon = w.matvec(&x);
+        for (r, e) in recon.iter().zip(&b) {
+            assert!((r - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_solves_agree() {
+        let w = CscMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 5.0),
+                (1, 1, 5.0),
+                (2, 2, 5.0),
+                (3, 3, 5.0),
+                (1, 0, -1.0),
+                (2, 1, -1.0),
+                (3, 2, -1.0),
+                (0, 3, -1.0),
+            ],
+        )
+        .unwrap();
+        let f = sparse_lu(&w).unwrap();
+        let mut ws = SolveWorkspace::new(4);
+        for q in 0..4 as Index {
+            let (xi, xv) = f.solve_unit_sparse(&mut ws, q).unwrap();
+            let mut e = vec![0.0; 4];
+            e[q as usize] = 1.0;
+            let dense = f.solve_dense(&e).unwrap();
+            let mut sparse = [0.0; 4];
+            for (&i, &v) in xi.iter().zip(&xv) {
+                sparse[i as usize] = v;
+            }
+            for (a, b) in sparse.iter().zip(&dense) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn random_diag_dominant_roundtrip() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..30usize);
+            let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+            let mut col_sum = vec![0.0f64; n];
+            for j in 0..n as Index {
+                for i in 0..n as Index {
+                    if i != j && rng.gen_bool(0.25) {
+                        let v: f64 = rng.gen_range(-1.0..1.0);
+                        trips.push((i, j, v));
+                        col_sum[j as usize] += v.abs();
+                    }
+                }
+            }
+            for (j, &cs) in col_sum.iter().enumerate() {
+                trips.push((j as Index, j as Index, cs + 1.0)); // strictly dominant
+            }
+            let w = CscMatrix::from_triplets(n, n, &trips).unwrap();
+            let f = sparse_lu(&w).unwrap();
+            assert_matrix_close(&dense_lu_product(&f), &w.to_dense(), 1e-10);
+            // Solve against a random RHS and verify the residual.
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = f.solve_dense(&b).unwrap();
+            let recon = w.matvec(&x);
+            for (r, e) in recon.iter().zip(&b) {
+                assert!((r - e).abs() < 1e-8, "{r} vs {e}");
+            }
+        }
+    }
+}

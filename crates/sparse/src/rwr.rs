@@ -1,0 +1,241 @@
+//! RWR-specific matrix assembly.
+//!
+//! Builds the column-normalised transition matrix `A` of Section 3 of the
+//! paper (`A_uv` = probability that the walk moves to `u` given it is at
+//! `v`, i.e. column `v` holds the normalised out-edges of `v`) and the
+//! system matrix `W = I − (1−c)A` of Equation (2).
+
+use crate::{CscMatrix, Index, Result, SparseError};
+use kdash_graph::CsrGraph;
+
+/// How to treat *dangling* nodes (no out-edges), whose transition column
+/// would otherwise be empty and make `A` sub-stochastic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Leave the column empty. The walk's un-restarted mass at a dangling
+    /// node vanishes; `Σ_u p_u` may be < 1 but every K-dash bound still
+    /// holds (they only need `Σ p ≤ 1`) and `W` stays non-singular.
+    #[default]
+    Keep,
+    /// Give dangling nodes a self-loop (`A_vv = 1`): the walker waits in
+    /// place until it restarts. Preserves column stochasticity.
+    SelfLoop,
+}
+
+/// Builds the column-normalised transition matrix of a graph.
+///
+/// Column `v` contains `weight(v→u) / Σ_t weight(v→t)` at row `u`. Row
+/// indices are sorted because the graph's adjacency rows are sorted.
+pub fn transition_matrix(graph: &CsrGraph, policy: DanglingPolicy) -> CscMatrix {
+    let n = graph.num_nodes();
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0usize);
+    let mut row_idx: Vec<Index> = Vec::with_capacity(graph.num_edges());
+    let mut values: Vec<f64> = Vec::with_capacity(graph.num_edges());
+    for v in 0..n as Index {
+        let sum = graph.out_weight_sum(v);
+        if sum > 0.0 {
+            for (t, w) in graph.out_edges(v) {
+                row_idx.push(t);
+                values.push(w / sum);
+            }
+        } else if policy == DanglingPolicy::SelfLoop {
+            row_idx.push(v);
+            values.push(1.0);
+        }
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
+        .expect("normalised adjacency is structurally valid")
+}
+
+/// Validates a restart probability: must be finite and strictly inside
+/// `(0, 1)`.
+pub fn validate_restart(c: f64) -> Result<f64> {
+    if c.is_finite() && c > 0.0 && c < 1.0 {
+        Ok(c)
+    } else {
+        Err(SparseError::InvalidRestartProbability(c))
+    }
+}
+
+/// Builds `W = I − (1−c) A` (Equation (2) of the paper). `W` is strictly
+/// column diagonally dominant for any column-substochastic `A`, which is
+/// what makes pivot-free LU safe.
+pub fn w_matrix(a: &CscMatrix, c: f64) -> Result<CscMatrix> {
+    validate_restart(c)?;
+    let n = a.nrows();
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+    }
+    let damp = 1.0 - c;
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0usize);
+    let mut row_idx: Vec<Index> = Vec::with_capacity(a.nnz() + n);
+    let mut values: Vec<f64> = Vec::with_capacity(a.nnz() + n);
+    for v in 0..n as Index {
+        let (rows, vals) = a.col(v);
+        let mut diag_emitted = false;
+        for (&r, &val) in rows.iter().zip(vals) {
+            match r.cmp(&v) {
+                std::cmp::Ordering::Less => {
+                    row_idx.push(r);
+                    values.push(-damp * val);
+                }
+                std::cmp::Ordering::Equal => {
+                    row_idx.push(v);
+                    values.push(1.0 - damp * val);
+                    diag_emitted = true;
+                }
+                std::cmp::Ordering::Greater => {
+                    if !diag_emitted {
+                        row_idx.push(v);
+                        values.push(1.0);
+                        diag_emitted = true;
+                    }
+                    row_idx.push(r);
+                    values.push(-damp * val);
+                }
+            }
+        }
+        if !diag_emitted {
+            row_idx.push(v);
+            values.push(1.0);
+        }
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
+}
+
+/// One RWR power-iteration step: `p_next = (1−c) A p + c e_q`.
+/// Shared by the iterative baseline and by exactness tests.
+pub fn rwr_step(a: &CscMatrix, c: f64, q: Index, p: &[f64], p_next: &mut [f64]) {
+    p_next.fill(0.0);
+    a.matvec_add(p, p_next);
+    for v in p_next.iter_mut() {
+        *v *= 1.0 - c;
+    }
+    p_next[q as usize] += c;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdash_graph::GraphBuilder;
+
+    fn triangle_graph() -> CsrGraph {
+        // 0 -> 1 (w 1), 0 -> 2 (w 3), 1 -> 2, 2 -> 0
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 3.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 0, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn columns_are_normalised() {
+        let a = transition_matrix(&triangle_graph(), DanglingPolicy::Keep);
+        assert_eq!(a.get(1, 0), Some(0.25));
+        assert_eq!(a.get(2, 0), Some(0.75));
+        assert_eq!(a.get(2, 1), Some(1.0));
+        assert_eq!(a.get(0, 2), Some(1.0));
+        // every column sums to 1
+        for v in 0..3 {
+            let (_, vals) = a.col(v);
+            let s: f64 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn dangling_policies() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0); // node 1 dangles
+        let g = b.build().unwrap();
+        let keep = transition_matrix(&g, DanglingPolicy::Keep);
+        assert_eq!(keep.col(1).0.len(), 0);
+        let looped = transition_matrix(&g, DanglingPolicy::SelfLoop);
+        assert_eq!(looped.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn w_has_unit_diagonal_shift() {
+        let a = transition_matrix(&triangle_graph(), DanglingPolicy::Keep);
+        let c = 0.95;
+        let w = w_matrix(&a, c).unwrap();
+        // diagonal = 1 everywhere (no self loops in the graph)
+        for v in 0..3 {
+            assert_eq!(w.get(v, v), Some(1.0));
+        }
+        assert!((w.get(1, 0).unwrap() - (-(1.0 - c) * 0.25)).abs() < 1e-15);
+        // strict column diagonal dominance
+        for v in 0..3 as Index {
+            let (rows, vals) = w.col(v);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&r, &x) in rows.iter().zip(vals) {
+                if r == v {
+                    diag = x.abs();
+                } else {
+                    off += x.abs();
+                }
+            }
+            assert!(diag > off, "column {v} not dominant: {diag} <= {off}");
+        }
+    }
+
+    #[test]
+    fn w_handles_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 1.0);
+        let g = b.build().unwrap();
+        let a = transition_matrix(&g, DanglingPolicy::Keep);
+        assert_eq!(a.get(0, 0), Some(0.5));
+        let w = w_matrix(&a, 0.9).unwrap();
+        assert!((w.get(0, 0).unwrap() - (1.0 - 0.1 * 0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_restart_rejected() {
+        let a = transition_matrix(&triangle_graph(), DanglingPolicy::Keep);
+        for bad in [0.0, 1.0, -0.5, 1.5, f64::NAN] {
+            assert!(w_matrix(&a, bad).is_err(), "c = {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn rwr_step_conserves_mass_on_stochastic_a() {
+        let a = transition_matrix(&triangle_graph(), DanglingPolicy::Keep);
+        let c = 0.3;
+        let p = vec![0.5, 0.25, 0.25];
+        let mut next = vec![0.0; 3];
+        rwr_step(&a, c, 0, &p, &mut next);
+        let s: f64 = next.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15, "mass {s}");
+    }
+
+    #[test]
+    fn fixed_point_matches_linear_system() {
+        // Iterate to convergence and compare against W p = c e_q.
+        let g = triangle_graph();
+        let a = transition_matrix(&g, DanglingPolicy::Keep);
+        let c = 0.4;
+        let q: Index = 0;
+        let mut p = vec![0.0; 3];
+        p[q as usize] = 1.0;
+        let mut next = vec![0.0; 3];
+        for _ in 0..500 {
+            rwr_step(&a, c, q, &p, &mut next);
+            std::mem::swap(&mut p, &mut next);
+        }
+        let w = w_matrix(&a, c).unwrap();
+        let recon = w.matvec(&p);
+        for (i, r) in recon.iter().enumerate() {
+            let expect = if i == q as usize { c } else { 0.0 };
+            assert!((r - expect).abs() < 1e-12, "residual {r} at {i}");
+        }
+    }
+}

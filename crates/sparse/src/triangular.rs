@@ -1,0 +1,389 @@
+//! Sparse triangular solves with sparse right-hand sides.
+//!
+//! Solving `T x = b` for triangular `T` and sparse `b` is the workhorse of
+//! both the left-looking LU factorisation ([`crate::lu`]) and the triangular
+//! inversion ([`crate::inverse`]). The classic observation of Gilbert &
+//! Peierls (1988) is that the nonzero pattern of `x` is exactly the set of
+//! nodes *reachable* from `pattern(b)` in the directed graph of `T`
+//! (an edge `j -> i` for every stored `T_ij`, `i != j`), and that a DFS
+//! yields that set in topological order — so the whole solve costs
+//! `O(flops)` instead of `O(n)`.
+//!
+//! Supports lower (forward substitution) and upper (backward substitution)
+//! triangles, with either an implicit unit diagonal or an explicitly stored
+//! one. Entries on the "wrong" side of the diagonal are ignored, which lets
+//! the factor `L` (stored without its diagonal) and the inverse `L⁻¹`
+//! (stored with it) share this code.
+
+use crate::{CscMatrix, Index, Result, SparseError};
+
+/// Which triangle a matrix is solved as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Forward substitution; dependencies flow from low to high indices.
+    Lower,
+    /// Backward substitution; dependencies flow from high to low indices.
+    Upper,
+}
+
+/// Reusable scratch space for repeated sparse solves on matrices of the same
+/// dimension. Reuse amortises the `O(n)` allocations away: each solve then
+/// touches only the nonzero pattern it produces.
+#[derive(Debug, Clone)]
+pub struct SolveWorkspace {
+    n: usize,
+    /// Visit stamps; `stamp[v] == cur` means `v` is in the current pattern.
+    stamp: Vec<u32>,
+    cur: u32,
+    /// Dense value accumulator, valid only on stamped positions.
+    x: Vec<f64>,
+    /// DFS postorder of the current pattern.
+    topo: Vec<Index>,
+    /// Iterative DFS stack of `(node, next-child cursor)`.
+    stack: Vec<(Index, usize)>,
+}
+
+impl SolveWorkspace {
+    /// Workspace for `n x n` solves.
+    pub fn new(n: usize) -> Self {
+        SolveWorkspace { n, stamp: vec![0; n], cur: 0, x: vec![0.0; n], topo: Vec::new(), stack: Vec::new() }
+    }
+
+    /// Dimension this workspace serves.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn next_stamp(&mut self) -> u32 {
+        if self.cur == u32::MAX {
+            self.stamp.fill(0);
+            self.cur = 0;
+        }
+        self.cur += 1;
+        self.cur
+    }
+
+    /// Solves `T x = b` and appends the sorted sparse solution to
+    /// `out_idx` / `out_val` (cleared first).
+    ///
+    /// * `triangle` — which half of `T` participates; entries on the other
+    ///   side of the diagonal are ignored.
+    /// * `unit_diag` — if true the diagonal is taken to be 1 whether or not
+    ///   it is stored; otherwise the stored diagonal divides and must exist.
+    /// * `b_idx` / `b_val` — sparse right-hand side (indices need not be
+    ///   sorted; duplicates accumulate).
+    #[allow(clippy::too_many_arguments)] // mirrors the mathematical signature
+    pub fn solve(
+        &mut self,
+        t: &CscMatrix,
+        triangle: Triangle,
+        unit_diag: bool,
+        b_idx: &[Index],
+        b_val: &[f64],
+        out_idx: &mut Vec<Index>,
+        out_val: &mut Vec<f64>,
+    ) -> Result<()> {
+        debug_assert_eq!(b_idx.len(), b_val.len());
+        if t.nrows() != t.ncols() {
+            return Err(SparseError::NotSquare { nrows: t.nrows(), ncols: t.ncols() });
+        }
+        if t.nrows() != self.n {
+            return Err(SparseError::Malformed(format!(
+                "workspace dimension {} does not match matrix dimension {}",
+                self.n,
+                t.nrows()
+            )));
+        }
+        out_idx.clear();
+        out_val.clear();
+        let stamp = self.next_stamp();
+        self.topo.clear();
+
+        // Symbolic phase: DFS from every RHS index, collecting postorder.
+        for &r in b_idx {
+            debug_assert!((r as usize) < self.n, "rhs index out of bounds");
+            if self.stamp[r as usize] == stamp {
+                continue;
+            }
+            self.stamp[r as usize] = stamp;
+            self.x[r as usize] = 0.0;
+            self.stack.push((r, 0));
+            while let Some(&mut (node, ref mut cursor)) = self.stack.last_mut() {
+                let children = strict_range(t, node, triangle);
+                if *cursor < children.len() {
+                    let child = children[*cursor];
+                    *cursor += 1;
+                    if self.stamp[child as usize] != stamp {
+                        self.stamp[child as usize] = stamp;
+                        self.x[child as usize] = 0.0;
+                        self.stack.push((child, 0));
+                    }
+                } else {
+                    self.topo.push(node);
+                    self.stack.pop();
+                }
+            }
+        }
+
+        // Scatter the RHS (after the DFS has zeroed every pattern slot).
+        for (&r, &v) in b_idx.iter().zip(b_val) {
+            self.x[r as usize] += v;
+        }
+
+        // Numeric phase in reverse postorder (a topological order).
+        for pos in (0..self.topo.len()).rev() {
+            let j = self.topo[pos];
+            let mut xj = self.x[j as usize];
+            if !unit_diag {
+                let diag = diag_value(t, j, triangle).ok_or(SparseError::SingularPivot {
+                    column: j as usize,
+                    value: 0.0,
+                })?;
+                if diag == 0.0 {
+                    return Err(SparseError::SingularPivot { column: j as usize, value: 0.0 });
+                }
+                xj /= diag;
+                self.x[j as usize] = xj;
+            }
+            if xj != 0.0 {
+                let (rows, vals) = t.col(j);
+                let range = strict_span(rows, j, triangle);
+                for (&i, &v) in rows[range.clone()].iter().zip(&vals[range]) {
+                    self.x[i as usize] -= v * xj;
+                }
+            }
+        }
+
+        // Gather, sorted by index; drop exact zeros (cancellation).
+        out_idx.extend_from_slice(&self.topo);
+        out_idx.sort_unstable();
+        out_val.reserve(out_idx.len());
+        let mut kept = 0usize;
+        for read in 0..out_idx.len() {
+            let j = out_idx[read];
+            let v = self.x[j as usize];
+            if v != 0.0 {
+                out_idx[kept] = j;
+                out_val.push(v);
+                kept += 1;
+            }
+        }
+        out_idx.truncate(kept);
+        Ok(())
+    }
+
+    /// Convenience wrapper: solves `T x = e_j`.
+    pub fn solve_unit(
+        &mut self,
+        t: &CscMatrix,
+        triangle: Triangle,
+        unit_diag: bool,
+        j: Index,
+        out_idx: &mut Vec<Index>,
+        out_val: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.solve(t, triangle, unit_diag, &[j], &[1.0], out_idx, out_val)
+    }
+}
+
+/// Strictly-below (Lower) or strictly-above (Upper) entries of column `j`,
+/// as a row-index slice. Relies on columns being sorted.
+#[inline]
+fn strict_range(t: &CscMatrix, j: Index, triangle: Triangle) -> &[Index] {
+    let (rows, _) = t.col(j);
+    let span = strict_span(rows, j, triangle);
+    &rows[span]
+}
+
+#[inline]
+fn strict_span(rows: &[Index], j: Index, triangle: Triangle) -> std::ops::Range<usize> {
+    match triangle {
+        Triangle::Lower => rows.partition_point(|&r| r <= j)..rows.len(),
+        Triangle::Upper => 0..rows.partition_point(|&r| r < j),
+    }
+}
+
+/// The stored diagonal entry of column `j`, if present.
+#[inline]
+fn diag_value(t: &CscMatrix, j: Index, _triangle: Triangle) -> Option<f64> {
+    t.get(j, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference forward substitution for unit-lower `L` (diag absent).
+    fn dense_lower_unit_solve(l: &CscMatrix, b: &[f64]) -> Vec<f64> {
+        let n = l.nrows();
+        let d = l.to_dense();
+        let mut x = b.to_vec();
+        for j in 0..n {
+            let xj = x[j];
+            for i in j + 1..n {
+                x[i] -= d[i][j] * xj;
+            }
+        }
+        x
+    }
+
+    fn dense_upper_solve(u: &CscMatrix, b: &[f64]) -> Vec<f64> {
+        let n = u.nrows();
+        let d = u.to_dense();
+        let mut x = b.to_vec();
+        for j in (0..n).rev() {
+            x[j] /= d[j][j];
+            let xj = x[j];
+            for i in 0..j {
+                x[i] -= d[i][j] * xj;
+            }
+        }
+        x
+    }
+
+    fn to_dense_vec(n: usize, idx: &[Index], val: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for (&i, &v) in idx.iter().zip(val) {
+            x[i as usize] = v;
+        }
+        x
+    }
+
+    fn approx_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()), "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn lower_unit_sparse_rhs() {
+        // L (diag implicit):
+        // [.    ]
+        // [2 .  ]
+        // [0 3 .]
+        let l = CscMatrix::from_triplets(3, 3, &[(1, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(3);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        ws.solve(&l, Triangle::Lower, true, &[0], &[1.0], &mut oi, &mut ov).unwrap();
+        let x = to_dense_vec(3, &oi, &ov);
+        approx_eq(&x, &dense_lower_unit_solve(&l, &[1.0, 0.0, 0.0]));
+        assert_eq!(oi, vec![0, 1, 2]); // reach of node 0 is everything
+    }
+
+    #[test]
+    fn lower_unit_pattern_is_reachability() {
+        // chain 0 -> 1, isolated 2
+        let l = CscMatrix::from_triplets(3, 3, &[(1, 0, 1.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(3);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        ws.solve(&l, Triangle::Lower, true, &[2], &[5.0], &mut oi, &mut ov).unwrap();
+        assert_eq!(oi, vec![2]);
+        assert_eq!(ov, vec![5.0]);
+    }
+
+    #[test]
+    fn upper_with_diag() {
+        // U:
+        // [2 1 0]
+        // [0 4 5]
+        // [0 0 8]
+        let u = CscMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 4.0), (1, 2, 5.0), (2, 2, 8.0)],
+        )
+        .unwrap();
+        let mut ws = SolveWorkspace::new(3);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        ws.solve(&u, Triangle::Upper, false, &[2], &[8.0], &mut oi, &mut ov).unwrap();
+        let x = to_dense_vec(3, &oi, &ov);
+        approx_eq(&x, &dense_upper_solve(&u, &[0.0, 0.0, 8.0]));
+    }
+
+    #[test]
+    fn singular_pivot_detected() {
+        // upper matrix missing diagonal at column 1
+        let u = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(2);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        let err = ws.solve(&u, Triangle::Upper, false, &[1], &[1.0], &mut oi, &mut ov).unwrap_err();
+        assert!(matches!(err, SparseError::SingularPivot { column: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_rhs_indices_accumulate() {
+        let l = CscMatrix::from_triplets(2, 2, &[(1, 0, 1.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(2);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        ws.solve(&l, Triangle::Lower, true, &[0, 0], &[1.0, 2.0], &mut oi, &mut ov).unwrap();
+        let x = to_dense_vec(2, &oi, &ov);
+        approx_eq(&x, &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let l = CscMatrix::from_triplets(3, 3, &[(1, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(3);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        ws.solve(&l, Triangle::Lower, true, &[0], &[1.0], &mut oi, &mut ov).unwrap();
+        // Second solve with a different RHS must not see stale state.
+        ws.solve(&l, Triangle::Lower, true, &[1], &[1.0], &mut oi, &mut ov).unwrap();
+        let x = to_dense_vec(3, &oi, &ov);
+        approx_eq(&x, &dense_lower_unit_solve(&l, &[0.0, 1.0, 0.0]));
+    }
+
+    #[test]
+    fn explicit_diagonal_ignored_under_unit_flag() {
+        // Same matrix with and without stored unit diagonal must solve alike.
+        let no_diag = CscMatrix::from_triplets(2, 2, &[(1, 0, 2.0)]).unwrap();
+        let with_diag =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(2);
+        let (mut i1, mut v1) = (Vec::new(), Vec::new());
+        let (mut i2, mut v2) = (Vec::new(), Vec::new());
+        ws.solve(&no_diag, Triangle::Lower, true, &[0], &[3.0], &mut i1, &mut v1).unwrap();
+        ws.solve(&with_diag, Triangle::Lower, true, &[0], &[3.0], &mut i2, &mut v2).unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn random_lower_matches_dense_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..24usize);
+            let mut trips = Vec::new();
+            for j in 0..n as Index {
+                for i in (j + 1)..n as Index {
+                    if rng.gen_bool(0.3) {
+                        trips.push((i, j, rng.gen_range(-2.0..2.0)));
+                    }
+                }
+            }
+            let l = CscMatrix::from_triplets(n, n, &trips).unwrap();
+            let k = rng.gen_range(1..=n);
+            let mut b_idx: Vec<Index> = (0..n as Index).collect();
+            // random subset as RHS
+            for i in (1..b_idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                b_idx.swap(i, j);
+            }
+            b_idx.truncate(k);
+            let b_val: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut dense_b = vec![0.0; n];
+            for (&i, &v) in b_idx.iter().zip(&b_val) {
+                dense_b[i as usize] += v;
+            }
+            let mut ws = SolveWorkspace::new(n);
+            let (mut oi, mut ov) = (Vec::new(), Vec::new());
+            ws.solve(&l, Triangle::Lower, true, &b_idx, &b_val, &mut oi, &mut ov).unwrap();
+            let x = to_dense_vec(n, &oi, &ov);
+            let expect = dense_lower_unit_solve(&l, &dense_b);
+            for (i, (a, e)) in x.iter().zip(&expect).enumerate() {
+                assert!((a - e).abs() < 1e-9, "trial {trial} idx {i}: {a} vs {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Link prediction on a co-authorship network, the Liben-Nowell &
+//! Kleinberg (CIKM 2003) scenario cited by the paper: the probability of a
+//! future collaboration is scored by RWR proximity.
+//!
+//! Protocol: generate a collaboration graph, hide 10% of the edges, rank
+//! candidate partners for each probed author with exact top-k RWR, and
+//! measure how many hidden edges appear among the predictions — versus a
+//! random predictor.
+//!
+//! ```sh
+//! cargo run --release --example link_prediction
+//! ```
+
+use kdash_core::{IndexOptions, KdashIndex};
+use kdash_datagen::collaboration;
+use kdash_graph::{GraphBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let full = collaboration(600, 1500, 3);
+    println!(
+        "co-authorship graph: {} authors, {} collaboration edges",
+        full.num_nodes(),
+        full.num_edges()
+    );
+
+    // Hide 10% of the undirected collaborations.
+    let mut hidden: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for (u, v, _) in full.edges() {
+        if u < v && rng.gen_bool(0.10) {
+            hidden.insert((u, v));
+        }
+    }
+    let mut b = GraphBuilder::new(full.num_nodes());
+    for (u, v, w) in full.edges() {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !hidden.contains(&key) {
+            b.add_edge(u, v, w);
+        }
+    }
+    let observed = b.build().expect("valid graph");
+    println!("hidden {} collaborations; indexing the rest", hidden.len());
+
+    let index = KdashIndex::build(&observed, IndexOptions::default()).expect("index");
+
+    // Probe the authors that lost at least one edge.
+    let probes: Vec<NodeId> = hidden.iter().map(|&(u, _)| u).take(80).collect();
+    let k = 20;
+    let mut rwr_hits = 0usize;
+    let mut random_hits = 0usize;
+    let mut trials = 0usize;
+    for &q in &probes {
+        // The top of the ranking is dominated by current collaborators;
+        // query a wide enough pool that k non-neighbours survive filtering.
+        let pool = k + observed.out_degree(q) + 40;
+        let result = index.top_k(q, pool).expect("query");
+        let predictions: Vec<NodeId> = result
+            .items
+            .iter()
+            .map(|r| r.node)
+            .filter(|&v| v != q && !observed.has_edge(q, v))
+            .take(k)
+            .collect();
+        let truth: Vec<NodeId> = hidden
+            .iter()
+            .filter_map(|&(u, v)| {
+                if u == q {
+                    Some(v)
+                } else if v == q {
+                    Some(u)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if truth.is_empty() {
+            continue;
+        }
+        trials += truth.len();
+        rwr_hits += truth.iter().filter(|t| predictions.contains(t)).count();
+        // Random predictor with the same budget.
+        let mut random_set = HashSet::new();
+        while random_set.len() < k {
+            random_set.insert(rng.gen_range(0..observed.num_nodes()) as NodeId);
+        }
+        random_hits += truth.iter().filter(|t| random_set.contains(*t)).count();
+    }
+    let rwr_rate = rwr_hits as f64 / trials as f64;
+    let random_rate = random_hits as f64 / trials as f64;
+    println!("\nhidden-edge recovery within top-{k} predictions over {trials} hidden links:");
+    println!("  RWR (K-dash, exact) : {:.1}%", 100.0 * rwr_rate);
+    println!("  random predictor    : {:.1}%", 100.0 * random_rate);
+    assert!(
+        rwr_rate > random_rate,
+        "RWR must beat random prediction ({rwr_rate:.3} vs {random_rate:.3})"
+    );
+    println!("\nRWR captures the global structure the paper's §2 describes.");
+}

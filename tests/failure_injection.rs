@@ -1,0 +1,147 @@
+//! Failure injection: every crate's error surface behaves — invalid
+//! inputs are rejected with typed errors, never panics or wrong answers.
+
+use kdash_core::{IndexOptions, KdashError, KdashIndex};
+use kdash_graph::{io::read_edge_list, GraphBuilder, GraphError, MergePolicy, Permutation};
+use kdash_linalg::{invert_dense, DenseMatrix, LinalgError};
+use kdash_sparse::{sparse_lu, CscMatrix, SparseError};
+
+#[test]
+fn graph_rejects_malformed_input() {
+    // NaN / zero / negative weights.
+    for w in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, w);
+        assert!(matches!(b.build(), Err(GraphError::InvalidWeight { .. })), "weight {w}");
+    }
+    // Out-of-bounds endpoints.
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 2, 1.0);
+    assert!(matches!(b.build(), Err(GraphError::NodeOutOfBounds { node: 2, .. })));
+    // Duplicate ban.
+    let mut b = GraphBuilder::new(2);
+    b.set_merge_policy(MergePolicy::Error);
+    b.add_edge(0, 1, 1.0).add_edge(0, 1, 1.0);
+    assert!(matches!(b.build(), Err(GraphError::DuplicateEdge { .. })));
+}
+
+#[test]
+fn edge_list_parser_reports_line_numbers() {
+    for (text, line) in [
+        ("0 1\nbroken", 2),
+        ("0", 1),
+        ("0 1 2 3", 1),
+        ("0 x", 1),
+        ("-1 0", 1),
+    ] {
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::Parse { line: l, .. }) => assert_eq!(l, line, "{text:?}"),
+            other => panic!("{text:?} should fail to parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn permutations_reject_non_bijections() {
+    assert!(Permutation::from_new_order(vec![0, 0]).is_err());
+    assert!(Permutation::from_new_order(vec![1, 2]).is_err());
+    let p = Permutation::identity(3);
+    let q = Permutation::identity(4);
+    assert!(p.then(&q).is_err(), "length mismatch must fail");
+}
+
+#[test]
+fn sparse_kernels_reject_bad_shapes() {
+    let rect = CscMatrix::zeros(2, 3);
+    assert!(matches!(sparse_lu(&rect), Err(SparseError::NotSquare { .. })));
+    // Singular matrix (zero column).
+    let singular = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+    assert!(matches!(
+        sparse_lu(&singular),
+        Err(SparseError::SingularPivot { column: 1, .. })
+    ));
+    // Malformed raw arrays.
+    assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+    assert!(CscMatrix::from_raw_parts(2, 1, vec![0, 2], vec![0, 0], vec![1.0, 1.0]).is_err());
+}
+
+#[test]
+fn dense_kernels_reject_bad_inputs() {
+    let singular =
+        DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+    assert!(matches!(invert_dense(&singular), Err(LinalgError::Singular { .. })));
+    let a = DenseMatrix::zeros(2, 3);
+    assert!(a.matmul(&DenseMatrix::zeros(2, 2)).is_err());
+    assert!(a.matvec(&[1.0]).is_err());
+}
+
+#[test]
+fn index_rejects_invalid_queries_and_parameters() {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1, 1.0);
+    b.add_edge(1, 2, 1.0);
+    b.add_edge(2, 3, 1.0);
+    b.add_edge(3, 0, 1.0);
+    let g = b.build().unwrap();
+    // Bad restart probabilities.
+    for c in [0.0, 1.0, -0.1, 2.0, f64::NAN] {
+        let r = KdashIndex::build(
+            &g,
+            IndexOptions { restart_probability: c, ..Default::default() },
+        );
+        assert!(r.is_err(), "c = {c} must be rejected");
+    }
+    let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+    // Bad node ids on every query entry point.
+    assert!(matches!(
+        index.top_k(4, 2),
+        Err(KdashError::NodeOutOfBounds { node: 4, .. })
+    ));
+    assert!(index.top_k_unpruned(9, 2).is_err());
+    assert!(index.top_k_from_root(0, 2, 17).is_err());
+    assert!(index.proximity(0, 99).is_err());
+    assert!(index.full_proximities(44).is_err());
+}
+
+#[test]
+fn degenerate_graphs_still_work() {
+    // Single node, no edges.
+    let g = GraphBuilder::new(1).build().unwrap();
+    let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+    let r = index.top_k(0, 1).unwrap();
+    assert_eq!(r.items.len(), 1);
+    assert_eq!(r.items[0].node, 0);
+    assert!((r.items[0].proximity - 0.95).abs() < 1e-12, "p_q = c for a lone dangling node");
+
+    // All-dangling graph (no edges at all).
+    let g = GraphBuilder::new(5).build().unwrap();
+    let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+    let r = index.top_k(2, 5).unwrap();
+    assert_eq!(r.items.len(), 5);
+    assert_eq!(r.items[0].node, 2);
+    assert!(r.items[1..].iter().all(|i| i.proximity == 0.0));
+
+    // Self-loop-only node.
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 0, 1.0);
+    b.add_edge(1, 0, 1.0);
+    let g = b.build().unwrap();
+    let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+    let p = index.full_proximities(0).unwrap();
+    assert!((p[0] - 1.0).abs() < 1e-9, "walk can never leave node 0: {}", p[0]);
+    assert_eq!(p[1], 0.0);
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let err = KdashIndex::build(
+        &GraphBuilder::new(2).add_edge(0, 1, 1.0).build().unwrap(),
+        IndexOptions { restart_probability: 7.0, ..Default::default() },
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('7'), "message should carry the bad value: {msg}");
+    // Error sources chain for downstream reporting.
+    let source = std::error::Error::source(&err);
+    assert!(source.is_some());
+}
