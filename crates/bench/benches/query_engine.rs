@@ -1,0 +1,119 @@
+//! PR 1 headline benchmark: the query-engine overhaul.
+//!
+//! On a ~50k-node RMAT graph (the paper's Social/Email stand-in), compares
+//!
+//! * the original per-candidate **merge-join** kernel
+//!   (`top_k_merge_join`, `O(nnz(row) + nnz(col))` per candidate, fresh
+//!   buffers per query) against the **scatter/gather** kernel (query
+//!   column scattered once, `O(nnz(row))` gather per candidate), and
+//! * a **transient** `Searcher` per query (what `KdashIndex::top_k` does)
+//!   against a **reused** one (`Searcher::top_k_into`, allocation-free
+//!   after warm-up).
+//!
+//! Headline numbers land in `BENCH_PR1.json` at the repo root.
+//! `KDASH_BENCH_SCALE` overrides the RMAT scale (default 16 ⇒ 2^16 =
+//! 65,536 nodes) for quick smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdash_core::{IndexOptions, KdashIndex, TopKResult};
+use kdash_datagen::{rmat, RmatParams};
+use kdash_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let scale: u32 = std::env::var("KDASH_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let n = 1usize << scale;
+    let graph = rmat(scale, n * 4, RmatParams::default(), 42);
+    let t0 = std::time::Instant::now();
+    let index = KdashIndex::build(&graph, IndexOptions::default()).expect("index build");
+    println!(
+        "query_engine setup: rmat scale {scale}: {} nodes, {} edges; index built in {:.1?} \
+         (nnz L-inv {}, nnz U-inv {})",
+        graph.num_nodes(),
+        graph.num_edges(),
+        t0.elapsed(),
+        index.stats().nnz_l_inv,
+        index.stats().nnz_u_inv,
+    );
+
+    // Deterministic query mix over non-dangling nodes: hubs and leaves both
+    // appear, which is exactly the skew the engine must absorb. One
+    // measured iteration sweeps the *whole* mix, so samples are comparable
+    // (per-query latencies vary by orders of magnitude).
+    let queries: Vec<NodeId> = kdash_bench::queries_for(&graph, 32);
+    let k = 50;
+
+    // Kernel-level comparison, isolated from BFS and heap costs: one query
+    // column against every non-empty U⁻¹ row it will meet in a search.
+    let mut kernels = c.benchmark_group("proximity_kernel");
+    kernels.sample_size(30);
+    {
+        let (col_idx, col_val) = index.linv_query_column(queries[0]);
+        let uinv = index.uinv_rows();
+        let rows: Vec<NodeId> = (0..graph.num_nodes() as NodeId).step_by(7).collect();
+        kernels.bench_function("merge_join", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &r in &rows {
+                    acc += uinv.row_dot_sparse(r, col_idx, col_val);
+                }
+                std::hint::black_box(acc)
+            });
+        });
+        kernels.bench_function("scatter_gather", |b| {
+            let mut column = kdash_sparse::ScatteredColumn::new(graph.num_nodes());
+            column.load(col_idx, col_val);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &r in &rows {
+                    acc += uinv.row_dot_scattered(r, &column);
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    kernels.finish();
+
+    let mut group = c.benchmark_group("query_engine");
+    group.sample_size(20);
+
+    group.bench_function("merge_join_transient", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += index.top_k_merge_join(q, k).expect("query").items.len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    group.bench_function("scatter_gather_transient", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += index.top_k(q, k).expect("query").items.len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    group.bench_function("scatter_gather_reused", |b| {
+        let mut searcher = index.searcher();
+        let mut out = TopKResult::default();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                searcher.top_k_into(q, k, &mut out).expect("query");
+                total += out.items.len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

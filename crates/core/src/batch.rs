@@ -1,41 +1,107 @@
 //! Parallel batch queries.
 //!
 //! A built [`KdashIndex`] is immutable, hence `Sync`: independent queries
-//! can run on separate threads with zero coordination. This module chunks
-//! a query batch over scoped `std::thread`s — the natural serving pattern
-//! for the recommender / captioning workloads the paper motivates.
+//! can run on separate threads with zero coordination. Queries are handed
+//! out through a **work-stealing cursor** (a shared `AtomicUsize` each
+//! worker `fetch_add`s): K-dash query latency is wildly skewed — a hub
+//! query can visit thousands of candidates while a leaf query terminates
+//! after a handful — so static chunking serialises the batch on whichever
+//! chunk drew the expensive queries. With a shared cursor, a worker that
+//! finishes early simply claims the next pending query.
+//!
+//! Each worker owns one [`Searcher`], so the per-query `O(n)` BFS and
+//! scatter buffers are allocated `threads` times per *batch*, not once per
+//! *query*.
 
-use crate::{KdashIndex, Result, TopKResult};
+use crate::{KdashIndex, Result, Searcher, TopKResult};
 use kdash_graph::NodeId;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `top_k` for every query, fanning out over at most `threads`
 /// worker threads. Results are returned in query order; the first error
-/// (e.g. an out-of-bounds query) aborts the batch.
+/// (e.g. an out-of-bounds query, by lowest query index) aborts the batch.
+///
+/// `threads == 0` means "auto": one worker per available hardware thread
+/// (`std::thread::available_parallelism`). Any requested count is capped
+/// at the batch size, and a single worker runs inline on the calling
+/// thread with one reused [`Searcher`].
 pub fn batch_top_k(
     index: &KdashIndex,
     queries: &[NodeId],
     k: usize,
     threads: usize,
 ) -> Result<Vec<TopKResult>> {
-    let threads = threads.max(1).min(queries.len().max(1));
-    if threads == 1 {
-        return queries.iter().map(|&q| index.top_k(q, k)).collect();
+    let threads = resolve_threads(threads, queries.len());
+    if threads <= 1 {
+        let mut searcher = Searcher::new(index);
+        return queries.iter().map(|&q| searcher.top_k(q, k)).collect();
     }
-    let chunk_size = queries.len().div_ceil(threads);
-    let chunk_results: Vec<Result<Vec<TopKResult>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || chunk.iter().map(|&q| index.top_k(q, k)).collect())
+
+    // The work-stealing queue is just a claim cursor: fetch_add hands every
+    // index to exactly one worker, in order.
+    let cursor = AtomicUsize::new(0);
+    let worker_outputs: Vec<Vec<(usize, Result<TopKResult>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut searcher = Searcher::new(index);
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let result = searcher.top_k(queries[i], k);
+                        let failed = result.is_err();
+                        produced.push((i, result));
+                        if failed {
+                            // Poison the cursor so the other workers stop
+                            // claiming: the batch is doomed, computing the
+                            // tail would be wasted work. Indices below the
+                            // error were already handed out (the cursor is
+                            // sequential), so the lowest-index error is
+                            // still recorded deterministically.
+                            cursor.fetch_max(queries.len(), Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    produced
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
     });
+
+    // Stitch back into query order. Indices are claimed in increasing
+    // cursor order, so if any query failed, every lower index was claimed
+    // too — scanning in order yields the lowest-index error
+    // deterministically, and reaches it before any index left unclaimed
+    // by the poisoned cursor or by workers stopping on errors.
+    let mut slots: Vec<Option<Result<TopKResult>>> = (0..queries.len()).map(|_| None).collect();
+    for (i, result) in worker_outputs.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "query {i} claimed twice");
+        slots[i] = Some(result);
+    }
     let mut out = Vec::with_capacity(queries.len());
-    for chunk in chunk_results {
-        out.extend(chunk?);
+    for slot in slots {
+        match slot {
+            Some(Ok(result)) => out.push(result),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("an unclaimed index implies an error at a lower index"),
+        }
     }
     Ok(out)
+}
+
+/// Resolves the requested worker count: `0` = auto-detect, always at least
+/// 1, never more than the batch size.
+fn resolve_threads(threads: usize, batch_len: usize) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    threads.max(1).min(batch_len.max(1))
 }
 
 #[cfg(test)]
@@ -59,6 +125,16 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn assert_same_results(a: &[TopKResult], b: &[TopKResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.nodes(), y.nodes());
+            for (i, j) in x.items.iter().zip(&y.items) {
+                assert_eq!(i.proximity.to_bits(), j.proximity.to_bits());
+            }
+        }
+    }
+
     #[test]
     fn parallel_matches_sequential() {
         let g = graph(120, 4);
@@ -66,12 +142,36 @@ mod tests {
         let queries: Vec<NodeId> = (0..40).map(|i| i * 3).collect();
         let sequential = batch_top_k(&index, &queries, 5, 1).unwrap();
         let parallel = batch_top_k(&index, &queries, 5, 4).unwrap();
-        assert_eq!(sequential.len(), parallel.len());
-        for (s, p) in sequential.iter().zip(&parallel) {
-            assert_eq!(s.nodes(), p.nodes());
-            for (a, b) in s.items.iter().zip(&p.items) {
-                assert_eq!(a.proximity, b.proximity);
-            }
+        assert_same_results(&sequential, &parallel);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let g = graph(80, 11);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries: Vec<NodeId> = (0..30).collect();
+        let auto = batch_top_k(&index, &queries, 4, 0).unwrap();
+        let sequential = batch_top_k(&index, &queries, 4, 1).unwrap();
+        assert_same_results(&auto, &sequential);
+    }
+
+    #[test]
+    fn skewed_batches_stay_correct_under_stealing() {
+        // Hub-heavy community graph: query latencies vary wildly, which is
+        // exactly the shape work stealing exists for. Repeating the hub
+        // query many times also makes claim interleavings collide.
+        let mut b = GraphBuilder::new(200);
+        for i in 1..200u32 {
+            b.add_edge(0, i, 1.0); // node 0 reaches everything
+            b.add_edge(i, (i % 10) + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries: Vec<NodeId> = (0..60).map(|i| if i % 2 == 0 { 0 } else { i }).collect();
+        let sequential = batch_top_k(&index, &queries, 8, 1).unwrap();
+        for threads in [2, 3, 7, 16] {
+            let parallel = batch_top_k(&index, &queries, 8, threads).unwrap();
+            assert_same_results(&sequential, &parallel);
         }
     }
 
@@ -81,6 +181,36 @@ mod tests {
         let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
         let queries = vec![0, 5, 99]; // 99 out of bounds
         assert!(batch_top_k(&index, &queries, 3, 2).is_err());
+        assert!(batch_top_k(&index, &queries, 3, 0).is_err());
+    }
+
+    #[test]
+    fn error_is_deterministically_the_lowest_index() {
+        let g = graph(10, 7);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries = vec![0, 77, 3, 99, 1]; // two bad queries
+        for threads in [1, 2, 4] {
+            match batch_top_k(&index, &queries, 3, threads) {
+                Err(crate::KdashError::NodeOutOfBounds { node, .. }) => {
+                    assert_eq!(node, 77, "threads {threads}: lowest-index error wins");
+                }
+                other => panic!("expected NodeOutOfBounds, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_workers_erroring_still_returns_cleanly() {
+        // With two workers and the two leading queries invalid, both
+        // workers stop before the tail is claimed; the stitch must still
+        // surface the lowest-index error instead of panicking.
+        let g = graph(10, 8);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries = vec![50, 60, 1, 2, 3, 4];
+        match batch_top_k(&index, &queries, 3, 2) {
+            Err(crate::KdashError::NodeOutOfBounds { node, .. }) => assert_eq!(node, 50),
+            other => panic!("expected NodeOutOfBounds, got {other:?}"),
+        }
     }
 
     #[test]
@@ -88,7 +218,18 @@ mod tests {
         let g = graph(10, 6);
         let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
         assert!(batch_top_k(&index, &[], 3, 8).unwrap().is_empty());
+        assert!(batch_top_k(&index, &[], 3, 0).unwrap().is_empty());
         let one = batch_top_k(&index, &[2], 3, 64).unwrap();
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn resolve_threads_rules() {
+        // 0 = auto: at least one worker, capped by the batch.
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(0, 1), 1);
+        assert_eq!(resolve_threads(5, 2), 2);
+        assert_eq!(resolve_threads(5, 100), 5);
+        assert_eq!(resolve_threads(1, 0), 1);
     }
 }

@@ -38,6 +38,34 @@
 //!
 //! The default [`IndexOptions`] use the paper's settings: hybrid reordering
 //! and restart probability `c = 0.95`.
+//!
+//! ## Serving loops: reuse a [`Searcher`]
+//!
+//! [`KdashIndex::top_k`] builds a transient query workspace per call. A
+//! serving loop should hold a [`Searcher`] instead: the `O(n)` BFS and
+//! scatter buffers are allocated once and every query after the first
+//! allocates nothing (with [`Searcher::top_k_into`]) — the per-candidate
+//! work drops to a dense gather over the stored `U⁻¹` row.
+//!
+//! ```
+//! use kdash_core::{KdashIndex, IndexOptions, TopKResult};
+//! use kdash_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(64);
+//! for v in 0..64u32 { b.add_edge(v, (v + 1) % 64, 1.0); b.add_edge(v, (v + 7) % 64, 0.5); }
+//! let index = KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap();
+//!
+//! let mut searcher = index.searcher();       // one per serving thread
+//! let mut result = TopKResult::default();    // reused result buffer
+//! for q in 0..64u32 {
+//!     searcher.top_k_into(q, 10, &mut result).unwrap(); // allocation-free after warm-up
+//!     assert_eq!(result.items[0].node, q);
+//! }
+//! ```
+//!
+//! Batches fan out with [`batch_top_k`]: a work-stealing queue hands each
+//! query to the next idle worker, one `Searcher` per worker thread
+//! (`threads = 0` means "use all available cores").
 
 pub mod batch;
 pub mod estimator;
@@ -45,6 +73,7 @@ pub mod ordering;
 pub mod persist;
 pub mod precompute;
 pub mod search;
+pub mod searcher;
 pub mod stats;
 
 pub use batch::batch_top_k;
@@ -52,6 +81,7 @@ pub use estimator::{ArbitraryOrderBound, LayerEstimator};
 pub use ordering::{compute_ordering, NodeOrdering};
 pub use precompute::{IndexOptions, KdashIndex};
 pub use search::{RankedNode, TopKResult};
+pub use searcher::Searcher;
 pub use stats::{IndexStats, SearchStats};
 
 /// Errors surfaced by index construction and queries.
@@ -59,6 +89,8 @@ pub use stats::{IndexStats, SearchStats};
 pub enum KdashError {
     /// A query or root node id was out of bounds.
     NodeOutOfBounds { node: kdash_graph::NodeId, num_nodes: usize },
+    /// A threshold query received a non-positive or non-finite θ.
+    InvalidThreshold { theta: f64 },
     /// Propagated graph error.
     Graph(kdash_graph::GraphError),
     /// Propagated sparse-kernel error.
@@ -70,6 +102,9 @@ impl std::fmt::Display for KdashError {
         match self {
             KdashError::NodeOutOfBounds { node, num_nodes } => {
                 write!(f, "node {node} out of bounds for index over {num_nodes} nodes")
+            }
+            KdashError::InvalidThreshold { theta } => {
+                write!(f, "threshold {theta} must be positive and finite")
             }
             KdashError::Graph(e) => write!(f, "graph error: {e}"),
             KdashError::Sparse(e) => write!(f, "sparse error: {e}"),

@@ -336,6 +336,21 @@ impl KdashIndex {
         }
     }
 
+    /// Benchmark/diagnostic access to the stored `U⁻¹` (row-major). Hidden:
+    /// layout and permutation are internal; use the query API for answers.
+    #[doc(hidden)]
+    pub fn uinv_rows(&self) -> &CsrMatrix {
+        &self.uinv
+    }
+
+    /// Benchmark/diagnostic access to the permuted query column `L⁻¹ e_q`
+    /// for original node id `q`. Hidden for the same reason as
+    /// [`uinv_rows`](Self::uinv_rows).
+    #[doc(hidden)]
+    pub fn linv_query_column(&self, q: NodeId) -> (&[NodeId], &[f64]) {
+        self.linv.col(self.perm.new_of(q))
+    }
+
     // Internal accessors for the search module.
     pub(crate) fn permutation(&self) -> &Permutation {
         &self.perm

@@ -1,4 +1,4 @@
-//! The top-k search (Algorithm 4 of the paper).
+//! The top-k search (Algorithm 4 of the paper) — public entry points.
 //!
 //! Nodes are visited in BFS-layer order from the query node. Each visited
 //! node first receives the `O(1)` upper bound of Definition 2; if the bound
@@ -8,9 +8,16 @@
 //! (Theorem 2). Surviving nodes get their exact proximity from the stored
 //! sparse inverses.
 //!
-//! Three entry points:
+//! The algorithms live in [`crate::searcher`]: a [`Searcher`] holds the
+//! reusable per-query state (epoch-stamped BFS buffers, the scattered
+//! query column, the candidate heap) and serves every query kind. The
+//! `KdashIndex` methods below are thin conveniences that run a transient
+//! workspace per call — serving loops should hold a `Searcher` instead:
+//!
 //! * [`KdashIndex::top_k`] — the real algorithm,
 //! * [`KdashIndex::top_k_unpruned`] — pruning disabled (Figure 7 ablation),
+//! * [`KdashIndex::nodes_above`] — exact threshold queries,
+//! * [`KdashIndex::top_k_from_set`] — restart sets (Personalized PageRank),
 //! * [`KdashIndex::top_k_random_root`] — BFS tree rooted away from the
 //!   query (Appendix D.1 / Figure 9 ablation). A tree rooted elsewhere
 //!   breaks the layer structure Definition 1 needs, so this variant uses
@@ -18,10 +25,17 @@
 //!   [`ArbitraryOrderBound`](crate::ArbitraryOrderBound): still exact, can
 //!   skip individual nodes, but can never terminate early — which is
 //!   precisely why it performs many more proximity computations.
+//!
+//! [`KdashIndex::top_k_merge_join`] preserves the original per-candidate
+//! merge-join kernel. It is deliberately *not* routed through the
+//! [`Searcher`]: it is the independent reference implementation the
+//! equivalence suite cross-checks the scatter/gather path against
+//! (bit-identical proximities), and the baseline the `query_engine`
+//! benchmark measures the new kernel's speedup from.
 
-use crate::{ArbitraryOrderBound, KdashIndex, LayerEstimator, Result, SearchStats};
+use crate::{KdashIndex, LayerEstimator, Result, SearchStats, Searcher};
+use crate::searcher::TopKHeap;
 use kdash_graph::{bfs::UNREACHABLE, BfsTree, NodeId};
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// One answer entry: a node and its exact RWR proximity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +47,7 @@ pub struct RankedNode {
 }
 
 /// The result of a top-k query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TopKResult {
     /// Exactly `min(k, n)` nodes in descending proximity order.
     pub items: Vec<RankedNode>,
@@ -48,83 +62,70 @@ impl TopKResult {
     }
 }
 
-/// Fixed-capacity min-heap keeping the K largest `(proximity, node)` pairs.
-/// θ (the K-th best proximity so far) is the root once the heap is full.
-struct TopKHeap {
-    k: usize,
-    entries: Vec<(f64, NodeId)>,
-}
-
-impl TopKHeap {
-    fn new(k: usize) -> Self {
-        TopKHeap { k, entries: Vec::with_capacity(k) }
-    }
-
-    fn is_full(&self) -> bool {
-        self.entries.len() >= self.k
-    }
-
-    /// The paper's θ: K-th best proximity, 0 while dummies remain.
-    fn threshold(&self) -> f64 {
-        if self.k > 0 && self.is_full() {
-            self.entries[0].0
-        } else {
-            0.0
-        }
-    }
-
-    fn offer(&mut self, proximity: f64, node: NodeId) {
-        if self.k == 0 {
-            return;
-        }
-        if !self.is_full() {
-            self.entries.push((proximity, node));
-            let mut i = self.entries.len() - 1;
-            while i > 0 {
-                let parent = (i - 1) / 2;
-                if self.entries[parent].0 <= self.entries[i].0 {
-                    break;
-                }
-                self.entries.swap(i, parent);
-                i = parent;
-            }
-        } else if proximity > self.entries[0].0 {
-            self.entries[0] = (proximity, node);
-            let mut i = 0;
-            loop {
-                let (l, r) = (2 * i + 1, 2 * i + 2);
-                let mut smallest = i;
-                if l < self.entries.len() && self.entries[l].0 < self.entries[smallest].0 {
-                    smallest = l;
-                }
-                if r < self.entries.len() && self.entries[r].0 < self.entries[smallest].0 {
-                    smallest = r;
-                }
-                if smallest == i {
-                    break;
-                }
-                self.entries.swap(i, smallest);
-                i = smallest;
-            }
-        }
-    }
-
-    /// Drains into descending proximity order (ties by ascending node id
-    /// for determinism).
-    fn into_sorted(mut self) -> Vec<(f64, NodeId)> {
-        self.entries.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("finite proximities").then(a.1.cmp(&b.1))
-        });
-        self.entries
-    }
-}
-
 impl KdashIndex {
+    /// A reusable query workspace over this index — the preferred way to
+    /// serve many queries (see [`Searcher`]).
+    pub fn searcher(&self) -> Searcher<'_> {
+        Searcher::new(self)
+    }
+
     /// Exact top-k search (Algorithm 4). Returns `min(k, n)` nodes in
     /// descending proximity order; when fewer than `k` nodes are reachable
     /// the remainder is padded with unreachable nodes at proximity 0.
+    ///
+    /// Convenience wrapper over a transient [`Searcher`]; hold one
+    /// yourself to amortise the `O(n)` workspace setup across queries.
     pub fn top_k(&self, q: NodeId, k: usize) -> Result<TopKResult> {
+        self.searcher().top_k(q, k)
+    }
+
+    /// Algorithm 4 with the termination test removed: computes the exact
+    /// proximity of every reachable node. This is the "Without pruning"
+    /// series of Figure 7.
+    pub fn top_k_unpruned(&self, q: NodeId, k: usize) -> Result<TopKResult> {
+        self.searcher().top_k_unpruned(q, k)
+    }
+
+    /// Exact *threshold* query: every node whose proximity is at least
+    /// `theta`, in descending order. Non-positive or non-finite `theta`
+    /// returns [`KdashError::InvalidThreshold`](crate::KdashError).
+    pub fn nodes_above(&self, q: NodeId, theta: f64) -> Result<TopKResult> {
+        self.searcher().nodes_above(q, theta)
+    }
+
+    /// Exact top-k for a *restart set*: the walk restarts uniformly over
+    /// `sources` (Personalized PageRank in the sense of the paper's
+    /// footnote 6).
+    pub fn top_k_from_set(&self, sources: &[NodeId], k: usize) -> Result<TopKResult> {
+        self.searcher().top_k_from_set(sources, k)
+    }
+
+    /// The Appendix D.1 ablation: the search tree is rooted at a random
+    /// node instead of the query.
+    pub fn top_k_random_root(&self, q: NodeId, k: usize, seed: u64) -> Result<TopKResult> {
+        self.searcher().top_k_random_root(q, k, seed)
+    }
+
+    /// Random-root search with an explicit root (exposed for tests).
+    pub fn top_k_from_root(&self, q: NodeId, k: usize, root: NodeId) -> Result<TopKResult> {
+        self.searcher().top_k_from_root(q, k, root)
+    }
+
+    /// The original Algorithm 4 implementation with the per-candidate
+    /// merge-join proximity kernel (`O(nnz(row) + nnz(col))` per node) and
+    /// per-query buffer allocation.
+    ///
+    /// Kept as the independent exactness reference for the scatter/gather
+    /// path: results must be bit-identical to [`top_k`](Self::top_k), and
+    /// `tests/query_engine_equivalence.rs` plus the `query_engine`
+    /// benchmark hold the two implementations against each other.
+    pub fn top_k_merge_join(&self, q: NodeId, k: usize) -> Result<TopKResult> {
         self.check_node(q)?;
+        // Mirror the Searcher's k = 0 short-circuit so the two paths stay
+        // comparable down to their work counters.
+        if k == 0 {
+            return Ok(TopKResult::default());
+        }
         let qp = self.permutation().new_of(q);
         let bfs = BfsTree::new(self.permuted_graph(), qp);
         let (col_idx, col_val) = self.linv().col(qp);
@@ -138,7 +139,6 @@ impl KdashIndex {
             stats.visited += 1;
             let layer = bfs.layer[u as usize];
             if pos == 0 {
-                // The root is the query: p̄_q = 1 by definition, never pruned.
                 let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
                 stats.proximity_computations += 1;
                 estimator.record_root(p, self.a_col_max()[u as usize]);
@@ -146,10 +146,7 @@ impl KdashIndex {
                 continue;
             }
             let terms = estimator.advance(layer);
-            // Termination must cover every unvisited node, whose c' may
-            // exceed this node's when self-loops are present — use max c'.
             if heap.is_full() && self.c_prime_max() * terms < heap.threshold() {
-                // Lemma 2: every unvisited node is bounded by this too.
                 stats.terminated_early = true;
                 break;
             }
@@ -159,208 +156,35 @@ impl KdashIndex {
             heap.offer(p, u);
         }
 
-        Ok(self.finish(heap, k, &bfs.layer, stats))
-    }
-
-    /// Algorithm 4 with the termination test removed: computes the exact
-    /// proximity of every reachable node. This is the "Without pruning"
-    /// series of Figure 7.
-    pub fn top_k_unpruned(&self, q: NodeId, k: usize) -> Result<TopKResult> {
-        self.check_node(q)?;
-        let qp = self.permutation().new_of(q);
-        let bfs = BfsTree::new(self.permuted_graph(), qp);
-        let (col_idx, col_val) = self.linv().col(qp);
-        let c = self.restart_probability();
-
-        let mut heap = TopKHeap::new(k);
-        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
-        for &u in &bfs.order {
-            stats.visited += 1;
-            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
-            stats.proximity_computations += 1;
-            heap.offer(p, u);
-        }
-        Ok(self.finish(heap, k, &bfs.layer, stats))
-    }
-
-    /// Exact *threshold* query: every node whose proximity is at least
-    /// `theta`, in descending order. Extension beyond the paper, enabled
-    /// by the same machinery: visit in BFS-layer order and stop as soon as
-    /// the Lemma 2 bound falls below `theta` — every unvisited node is
-    /// then provably below the threshold.
-    pub fn nodes_above(&self, q: NodeId, theta: f64) -> Result<TopKResult> {
-        self.check_node(q)?;
-        assert!(theta > 0.0 && theta.is_finite(), "threshold must be positive and finite");
-        let qp = self.permutation().new_of(q);
-        let bfs = BfsTree::new(self.permuted_graph(), qp);
-        let (col_idx, col_val) = self.linv().col(qp);
-        let c = self.restart_probability();
-
-        let mut hits: Vec<(f64, NodeId)> = Vec::new();
-        let mut estimator = LayerEstimator::new(self.a_max());
-        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
-        for (pos, &u) in bfs.order.iter().enumerate() {
-            stats.visited += 1;
-            let layer = bfs.layer[u as usize];
-            if pos > 0 {
-                let bound = self.c_prime_max() * estimator.advance(layer);
-                if bound < theta {
-                    stats.terminated_early = true;
-                    break;
-                }
-            }
-            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
-            stats.proximity_computations += 1;
-            if pos == 0 {
-                estimator.record_root(p, self.a_col_max()[u as usize]);
-            } else {
-                estimator.record_selected(layer, p, self.a_col_max()[u as usize]);
-            }
-            if p >= theta {
-                hits.push((p, u));
-            }
-        }
-        hits.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
-        let items = hits
-            .into_iter()
-            .map(|(p, u)| RankedNode { node: self.permutation().old_of(u), proximity: p })
+        // Same epilogue as the Searcher: rank order, original ids, padded
+        // with unreachable nodes (which can never collide with heap
+        // entries — those are all reachable).
+        let mut items: Vec<RankedNode> = heap
+            .sorted_entries()
+            .iter()
+            .map(|&(p, u)| RankedNode { node: self.permutation().old_of(u), proximity: p })
             .collect();
-        Ok(TopKResult { items, stats })
-    }
-
-    /// Exact top-k for a *restart set*: the walk restarts uniformly over
-    /// `sources` (Personalized PageRank in the sense of the paper's
-    /// footnote 6). All sources form layer 0 of the search tree and are
-    /// computed exactly; pruning starts at layer 1, where Lemma 1/2 hold
-    /// unchanged (every non-source node still satisfies
-    /// `p_u = c'_u Σ_v A_uv p_v`).
-    pub fn top_k_from_set(&self, sources: &[NodeId], k: usize) -> Result<TopKResult> {
-        let (col_idx, col_val) = self.merged_query_column(sources)?;
-        let sources_p: Vec<NodeId> =
-            sources.iter().map(|&s| self.permutation().new_of(s)).collect();
-        let bfs = BfsTree::new_multi(self.permuted_graph(), &sources_p);
-        let c = self.restart_probability();
-
-        let mut heap = TopKHeap::new(k);
-        let mut estimator = LayerEstimator::new(self.a_max());
-        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
-
-        for (pos, &u) in bfs.order.iter().enumerate() {
-            stats.visited += 1;
-            let layer = bfs.layer[u as usize];
-            if layer == 0 {
-                // Sources carry the restart term; their proximities are
-                // computed unconditionally and feed the estimator chain.
-                let p = c * self.uinv().row_dot_sparse(u, &col_idx, &col_val);
-                stats.proximity_computations += 1;
-                if pos > 0 {
-                    let _ = estimator.advance(0);
-                }
-                estimator.record_selected(0, p, self.a_col_max()[u as usize]);
-                heap.offer(p, u);
-                continue;
-            }
-            let terms = estimator.advance(layer);
-            if heap.is_full() && self.c_prime_max() * terms < heap.threshold() {
-                stats.terminated_early = true;
-                break;
-            }
-            let p = c * self.uinv().row_dot_sparse(u, &col_idx, &col_val);
-            stats.proximity_computations += 1;
-            estimator.record_selected(layer, p, self.a_col_max()[u as usize]);
-            heap.offer(p, u);
-        }
-        Ok(self.finish(heap, k, &bfs.layer, stats))
-    }
-
-    /// The Appendix D.1 ablation: the search tree is rooted at a random
-    /// node instead of the query. The layer bound is no longer valid, so an
-    /// order-agnostic bound is used — exact answers, per-node skipping
-    /// only, and every node must still be visited.
-    pub fn top_k_random_root(&self, q: NodeId, k: usize, seed: u64) -> Result<TopKResult> {
-        let n = self.num_nodes();
-        self.check_node(q)?;
-        let root = StdRng::seed_from_u64(seed).gen_range(0..n) as NodeId;
-        self.top_k_from_root(q, k, root)
-    }
-
-    /// Random-root search with an explicit root (exposed for tests).
-    pub fn top_k_from_root(&self, q: NodeId, k: usize, root: NodeId) -> Result<TopKResult> {
-        self.check_node(q)?;
-        self.check_node(root)?;
-        let qp = self.permutation().new_of(q);
-        let rootp = self.permutation().new_of(root);
-        let bfs = BfsTree::new(self.permuted_graph(), rootp);
-        let (col_idx, col_val) = self.linv().col(qp);
-        let c = self.restart_probability();
-
-        // Visit order: BFS from the root, then every node the root cannot
-        // reach (they may still be answers — the walk starts at q, not at
-        // the root).
-        let mut order = bfs.order.clone();
-        order.extend(
-            (0..self.num_nodes() as NodeId).filter(|&v| bfs.layer[v as usize] == UNREACHABLE),
-        );
-
-        let mut heap = TopKHeap::new(k);
-        let mut bound_state = ArbitraryOrderBound::new(self.a_max());
-        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
-        for &u in &order {
-            stats.visited += 1;
-            // The order-agnostic bound only holds for non-query nodes.
-            if u != qp {
-                let bound = self.c_prime()[u as usize] * bound_state.bound_term();
-                if heap.is_full() && bound < heap.threshold() {
-                    stats.skipped += 1;
-                    continue;
-                }
-            }
-            let p = c * self.uinv().row_dot_sparse(u, col_idx, col_val);
-            stats.proximity_computations += 1;
-            bound_state.record(p, self.a_col_max()[u as usize]);
-            heap.offer(p, u);
-        }
-        // Every node was visited (or skipped soundly); no padding needed
-        // beyond the usual zero-fill for tiny graphs.
-        let layers = vec![0u32; self.num_nodes()];
-        Ok(self.finish(heap, k, &layers, stats))
-    }
-
-    /// Shared epilogue: pads with unreachable (zero-proximity) nodes when
-    /// fewer than `k` candidates exist, sorts, and maps back to original
-    /// ids.
-    fn finish(
-        &self,
-        heap: TopKHeap,
-        k: usize,
-        layer: &[u32],
-        stats: SearchStats,
-    ) -> TopKResult {
-        let mut sorted = heap.into_sorted();
-        if sorted.len() < k {
-            let have: std::collections::HashSet<NodeId> =
-                sorted.iter().map(|&(_, u)| u).collect();
+        if items.len() < k {
             for v in 0..self.num_nodes() as NodeId {
-                if sorted.len() >= k {
+                if items.len() >= k {
                     break;
                 }
-                if layer[v as usize] == UNREACHABLE && !have.contains(&v) {
-                    sorted.push((0.0, v));
+                if bfs.layer[v as usize] == UNREACHABLE {
+                    items.push(RankedNode {
+                        node: self.permutation().old_of(v),
+                        proximity: 0.0,
+                    });
                 }
             }
         }
-        let items = sorted
-            .into_iter()
-            .map(|(p, u)| RankedNode { node: self.permutation().old_of(u), proximity: p })
-            .collect();
-        TopKResult { items, stats }
+        Ok(TopKResult { items, stats })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{IndexOptions, KdashIndex, NodeOrdering};
+    use crate::{IndexOptions, KdashError, KdashIndex, NodeOrdering};
     use kdash_graph::{CsrGraph, GraphBuilder};
     use kdash_sparse::{rwr::rwr_step, transition_matrix, DanglingPolicy};
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -451,6 +275,26 @@ mod tests {
             }
             // Pruning can only reduce work.
             assert!(a.stats.proximity_computations <= b.stats.proximity_computations);
+        }
+    }
+
+    #[test]
+    fn merge_join_reference_is_bit_identical() {
+        for seed in [0u64, 4, 8] {
+            let g = random_graph(90, 4, seed);
+            let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+            for q in [0u32, 33, 71] {
+                for k in [1usize, 6, 90, 120] {
+                    let new = index.top_k(q, k).unwrap();
+                    let old = index.top_k_merge_join(q, k).unwrap();
+                    assert_eq!(new.items.len(), old.items.len());
+                    for (x, y) in new.items.iter().zip(&old.items) {
+                        assert_eq!(x.node, y.node, "seed {seed} q {q} k {k}");
+                        assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+                    }
+                    assert_eq!(new.stats, old.stats, "identical work counters expected");
+                }
+            }
         }
     }
 
@@ -623,11 +467,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "threshold must be positive")]
     fn threshold_query_rejects_nonpositive_theta() {
+        // A library query API must not panic on bad input: non-positive
+        // and non-finite thresholds come back as typed errors.
         let g = random_graph(10, 2, 16);
         let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
-        let _ = index.nodes_above(0, 0.0);
+        for theta in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            match index.nodes_above(0, theta) {
+                Err(KdashError::InvalidThreshold { .. }) => {}
+                other => panic!("theta {theta}: expected InvalidThreshold, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -692,30 +542,5 @@ mod tests {
         assert!(index.top_k_from_set(&[], 3).is_err());
         assert!(index.top_k_from_set(&[1, 1], 3).is_err());
         assert!(index.top_k_from_set(&[99], 3).is_err());
-    }
-
-    #[test]
-    fn heap_keeps_largest_k() {
-        let mut h = TopKHeap::new(3);
-        for (p, n) in [(0.1, 1u32), (0.5, 2), (0.3, 3), (0.9, 4), (0.2, 5)] {
-            h.offer(p, n);
-        }
-        let sorted = h.into_sorted();
-        let nodes: Vec<NodeId> = sorted.iter().map(|&(_, n)| n).collect();
-        assert_eq!(nodes, vec![4, 2, 3]);
-    }
-
-    #[test]
-    fn heap_threshold_tracks_kth_best() {
-        let mut h = TopKHeap::new(2);
-        assert_eq!(h.threshold(), 0.0);
-        h.offer(0.4, 1);
-        assert_eq!(h.threshold(), 0.0, "not full yet");
-        h.offer(0.7, 2);
-        assert!((h.threshold() - 0.4).abs() < 1e-15);
-        h.offer(0.5, 3);
-        assert!((h.threshold() - 0.5).abs() < 1e-15);
-        h.offer(0.1, 4); // too small, ignored
-        assert!((h.threshold() - 0.5).abs() < 1e-15);
     }
 }

@@ -1,0 +1,668 @@
+//! The reusable query workspace.
+//!
+//! A [`Searcher`] owns every piece of per-query state the top-k search
+//! needs — the epoch-stamped BFS buffers ([`kdash_graph::BfsScratch`]),
+//! the scattered query column ([`kdash_sparse::ScatteredColumn`]), the
+//! top-k heap and the threshold-hit scratch — so a serving loop pays the
+//! `O(n)` allocations once and every subsequent query touches only the
+//! state it actually visits. Once the buffers have reached their
+//! high-water mark (i.e. after warm-up queries covering the largest
+//! reachable set and `k` the loop will serve),
+//! [`Searcher::top_k_into`] performs **zero heap allocations** (the
+//! `tests/zero_alloc.rs` integration test pins this down with a counting
+//! allocator).
+//!
+//! Proximities come from the scatter/gather kernel: the fixed query column
+//! `L⁻¹ e_q` is scattered once per query, then each candidate costs a
+//! gather over only `nnz((U⁻¹)ᵤ)` — bit-identical to the merge-join
+//! kernel ([`KdashIndex::top_k_merge_join`] keeps the old path alive as
+//! the exactness cross-check).
+//!
+//! All five query entry points run through this workspace; the matching
+//! [`KdashIndex`] methods are thin conveniences that build a transient
+//! `Searcher` per call.
+
+use crate::{
+    ArbitraryOrderBound, KdashError, KdashIndex, LayerEstimator, RankedNode, Result, SearchStats,
+    TopKResult,
+};
+use kdash_graph::{BfsScratch, NodeId};
+use kdash_sparse::ScatteredColumn;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Fixed-capacity min-heap keeping the K largest `(proximity, node)` pairs.
+/// θ (the K-th best proximity so far) is the root once the heap is full.
+/// Reusable: [`reset`](TopKHeap::reset) keeps the backing storage.
+#[derive(Debug, Clone)]
+pub(crate) struct TopKHeap {
+    k: usize,
+    entries: Vec<(f64, NodeId)>,
+}
+
+impl TopKHeap {
+    pub(crate) fn new(k: usize) -> Self {
+        TopKHeap { k, entries: Vec::with_capacity(k) }
+    }
+
+    /// Empties the heap for a new query of size `k`, keeping capacity.
+    pub(crate) fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.entries.clear();
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.entries.len() >= self.k
+    }
+
+    /// The paper's θ: K-th best proximity, 0 while dummies remain.
+    pub(crate) fn threshold(&self) -> f64 {
+        if self.k > 0 && self.is_full() {
+            self.entries[0].0
+        } else {
+            0.0
+        }
+    }
+
+    pub(crate) fn offer(&mut self, proximity: f64, node: NodeId) {
+        if self.k == 0 {
+            return;
+        }
+        if !self.is_full() {
+            self.entries.push((proximity, node));
+            let mut i = self.entries.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if self.entries[parent].0 <= self.entries[i].0 {
+                    break;
+                }
+                self.entries.swap(i, parent);
+                i = parent;
+            }
+        } else if proximity > self.entries[0].0 {
+            self.entries[0] = (proximity, node);
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut smallest = i;
+                if l < self.entries.len() && self.entries[l].0 < self.entries[smallest].0 {
+                    smallest = l;
+                }
+                if r < self.entries.len() && self.entries[r].0 < self.entries[smallest].0 {
+                    smallest = r;
+                }
+                if smallest == i {
+                    break;
+                }
+                self.entries.swap(i, smallest);
+                i = smallest;
+            }
+        }
+    }
+
+    /// Sorts the entries into descending proximity order (ties by
+    /// ascending node id) in place and returns them. The comparator is a
+    /// total order over distinct nodes, so the unstable sort is
+    /// deterministic — and allocation-free, unlike the stable one.
+    pub(crate) fn sorted_entries(&mut self) -> &[(f64, NodeId)] {
+        self.entries.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("finite proximities").then(a.1.cmp(&b.1))
+        });
+        &self.entries
+    }
+}
+
+/// A reusable query workspace over one [`KdashIndex`].
+///
+/// Construction is `O(n)`; each query after the first allocates nothing
+/// (for [`top_k_into`](Searcher::top_k_into)) or only its result vector.
+/// A `Searcher` is single-threaded by design — for parallel serving, give
+/// each worker its own (see [`crate::batch_top_k`], which does exactly
+/// that over a work-stealing queue).
+///
+/// ```
+/// use kdash_core::{IndexOptions, KdashIndex, TopKResult};
+/// use kdash_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(5);
+/// for v in 0..5u32 { b.add_edge(v, (v + 1) % 5, 1.0); }
+/// let index = KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap();
+///
+/// let mut searcher = index.searcher();
+/// let mut result = TopKResult::default();
+/// for q in 0..5u32 {
+///     searcher.top_k_into(q, 3, &mut result).unwrap();   // no allocations after warm-up
+///     assert_eq!(result.items[0].node, q);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Searcher<'a> {
+    index: &'a KdashIndex,
+    /// Epoch-stamped BFS layers/order, reused across queries.
+    bfs: BfsScratch,
+    /// The dense scattered query column `L⁻¹ e_q`.
+    column: ScatteredColumn,
+    /// Top-k candidates of the current query.
+    heap: TopKHeap,
+    /// Threshold-query hit list scratch.
+    hits: Vec<(f64, NodeId)>,
+    /// Permuted restart-set scratch for multi-source queries.
+    sources_p: Vec<NodeId>,
+}
+
+impl<'a> Searcher<'a> {
+    /// A fresh workspace for `index`. `O(n)` once; queries then reuse it.
+    pub fn new(index: &'a KdashIndex) -> Self {
+        let n = index.num_nodes();
+        Searcher {
+            index,
+            bfs: BfsScratch::new(n),
+            column: ScatteredColumn::new(n),
+            heap: TopKHeap::new(0),
+            hits: Vec::new(),
+            sources_p: Vec::new(),
+        }
+    }
+
+    /// The index this workspace serves.
+    pub fn index(&self) -> &'a KdashIndex {
+        self.index
+    }
+
+    /// Shared single-root query prologue: validates `q`, runs the BFS from
+    /// it and scatters its `L⁻¹` column. Returns the permuted query id.
+    fn prepare_query(&mut self, q: NodeId) -> Result<NodeId> {
+        self.index.check_node(q)?;
+        let qp = self.index.permutation().new_of(q);
+        self.bfs.run(self.index.permuted_graph(), qp);
+        let (col_idx, col_val) = self.index.linv().col(qp);
+        self.column.load(col_idx, col_val);
+        Ok(qp)
+    }
+
+    /// Exact top-k search (Algorithm 4). Returns `min(k, n)` nodes in
+    /// descending proximity order; when fewer than `k` nodes are reachable
+    /// the remainder is padded with unreachable nodes at proximity 0.
+    pub fn top_k(&mut self, q: NodeId, k: usize) -> Result<TopKResult> {
+        let mut out = TopKResult::default();
+        self.top_k_into(q, k, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`top_k`](Self::top_k) writing into a caller-owned result, so a
+    /// serving loop can reuse the result's allocation too. This is the
+    /// zero-allocation hot path: once the workspace buffers have reached
+    /// their high-water mark, repeated calls allocate nothing. (The BFS
+    /// order and heap grow to the largest reachable set and `k` seen so
+    /// far — a later query reaching strictly more nodes than any before
+    /// it still grows them once.)
+    pub fn top_k_into(&mut self, q: NodeId, k: usize, out: &mut TopKResult) -> Result<()> {
+        let index = self.index;
+        if k == 0 {
+            // The answer is known empty; skip the traversal entirely.
+            index.check_node(q)?;
+            out.items.clear();
+            out.stats = SearchStats::default();
+            return Ok(());
+        }
+        self.prepare_query(q)?;
+        let c = index.restart_probability();
+
+        self.heap.reset(k);
+        let mut estimator = LayerEstimator::new(index.a_max());
+        let mut stats =
+            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+
+        for (pos, &u) in self.bfs.order().iter().enumerate() {
+            stats.visited += 1;
+            let layer = self.bfs.layer(u);
+            if pos == 0 {
+                // The root is the query: p̄_q = 1 by definition, never pruned.
+                let p = c * index.uinv().row_dot_scattered(u, &self.column);
+                stats.proximity_computations += 1;
+                estimator.record_root(p, index.a_col_max()[u as usize]);
+                self.heap.offer(p, u);
+                continue;
+            }
+            let terms = estimator.advance(layer);
+            // Termination must cover every unvisited node, whose c' may
+            // exceed this node's when self-loops are present — use max c'.
+            if self.heap.is_full() && index.c_prime_max() * terms < self.heap.threshold() {
+                // Lemma 2: every unvisited node is bounded by this too.
+                stats.terminated_early = true;
+                break;
+            }
+            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            stats.proximity_computations += 1;
+            estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
+            self.heap.offer(p, u);
+        }
+
+        self.finish(k, true, stats, out);
+        Ok(())
+    }
+
+    /// Algorithm 4 with the termination test removed: computes the exact
+    /// proximity of every reachable node. This is the "Without pruning"
+    /// series of Figure 7.
+    pub fn top_k_unpruned(&mut self, q: NodeId, k: usize) -> Result<TopKResult> {
+        let index = self.index;
+        if k == 0 {
+            index.check_node(q)?;
+            return Ok(TopKResult::default());
+        }
+        self.prepare_query(q)?;
+        let c = index.restart_probability();
+
+        self.heap.reset(k);
+        let mut stats =
+            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+        for &u in self.bfs.order() {
+            stats.visited += 1;
+            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            stats.proximity_computations += 1;
+            self.heap.offer(p, u);
+        }
+        let mut out = TopKResult::default();
+        self.finish(k, true, stats, &mut out);
+        Ok(out)
+    }
+
+    /// Exact *threshold* query: every node whose proximity is at least
+    /// `theta`, in descending order. Extension beyond the paper, enabled
+    /// by the same machinery: visit in BFS-layer order and stop as soon as
+    /// the Lemma 2 bound falls below `theta` — every unvisited node is
+    /// then provably below the threshold.
+    ///
+    /// `theta` must be positive and finite; anything else returns
+    /// [`KdashError::InvalidThreshold`] (a proximity is a probability mass
+    /// in `(0, 1]`, so a non-positive threshold would select every node
+    /// and a NaN one nothing meaningful).
+    pub fn nodes_above(&mut self, q: NodeId, theta: f64) -> Result<TopKResult> {
+        let index = self.index;
+        index.check_node(q)?;
+        if !(theta > 0.0 && theta.is_finite()) {
+            return Err(KdashError::InvalidThreshold { theta });
+        }
+        self.prepare_query(q)?;
+        let c = index.restart_probability();
+
+        self.hits.clear();
+        let mut estimator = LayerEstimator::new(index.a_max());
+        let mut stats =
+            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+        for (pos, &u) in self.bfs.order().iter().enumerate() {
+            stats.visited += 1;
+            let layer = self.bfs.layer(u);
+            if pos > 0 {
+                let bound = index.c_prime_max() * estimator.advance(layer);
+                if bound < theta {
+                    stats.terminated_early = true;
+                    break;
+                }
+            }
+            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            stats.proximity_computations += 1;
+            if pos == 0 {
+                estimator.record_root(p, index.a_col_max()[u as usize]);
+            } else {
+                estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
+            }
+            if p >= theta {
+                self.hits.push((p, u));
+            }
+        }
+        self.hits.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1))
+        });
+        let items = self
+            .hits
+            .iter()
+            .map(|&(p, u)| RankedNode { node: index.permutation().old_of(u), proximity: p })
+            .collect();
+        Ok(TopKResult { items, stats })
+    }
+
+    /// Exact top-k for a *restart set*: the walk restarts uniformly over
+    /// `sources` (Personalized PageRank in the sense of the paper's
+    /// footnote 6). All sources form layer 0 of the search tree and are
+    /// computed exactly; pruning starts at layer 1, where Lemma 1/2 hold
+    /// unchanged (every non-source node still satisfies
+    /// `p_u = c'_u Σ_v A_uv p_v`).
+    pub fn top_k_from_set(&mut self, sources: &[NodeId], k: usize) -> Result<TopKResult> {
+        let index = self.index;
+        // Validation (empty/duplicate/out-of-bounds sources) must still run
+        // for k = 0, so the short-circuit sits behind the column merge.
+        let (col_idx, col_val) = index.merged_query_column(sources)?;
+        if k == 0 {
+            return Ok(TopKResult::default());
+        }
+        self.column.load(&col_idx, &col_val);
+        self.sources_p.clear();
+        self.sources_p.extend(sources.iter().map(|&s| index.permutation().new_of(s)));
+        let roots = std::mem::take(&mut self.sources_p);
+        self.bfs.run_multi(index.permuted_graph(), &roots);
+        self.sources_p = roots;
+        let c = index.restart_probability();
+
+        self.heap.reset(k);
+        let mut estimator = LayerEstimator::new(index.a_max());
+        let mut stats =
+            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+
+        for (pos, &u) in self.bfs.order().iter().enumerate() {
+            stats.visited += 1;
+            let layer = self.bfs.layer(u);
+            if layer == 0 {
+                // Sources carry the restart term; their proximities are
+                // computed unconditionally and feed the estimator chain.
+                let p = c * index.uinv().row_dot_scattered(u, &self.column);
+                stats.proximity_computations += 1;
+                if pos > 0 {
+                    let _ = estimator.advance(0);
+                }
+                estimator.record_selected(0, p, index.a_col_max()[u as usize]);
+                self.heap.offer(p, u);
+                continue;
+            }
+            let terms = estimator.advance(layer);
+            if self.heap.is_full() && index.c_prime_max() * terms < self.heap.threshold() {
+                stats.terminated_early = true;
+                break;
+            }
+            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            stats.proximity_computations += 1;
+            estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
+            self.heap.offer(p, u);
+        }
+        let mut out = TopKResult::default();
+        self.finish(k, true, stats, &mut out);
+        Ok(out)
+    }
+
+    /// The Appendix D.1 ablation: the search tree is rooted at a random
+    /// node instead of the query. The layer bound is no longer valid, so an
+    /// order-agnostic bound is used — exact answers, per-node skipping
+    /// only, and every node must still be visited.
+    pub fn top_k_random_root(&mut self, q: NodeId, k: usize, seed: u64) -> Result<TopKResult> {
+        let n = self.index.num_nodes();
+        self.index.check_node(q)?;
+        let root = StdRng::seed_from_u64(seed).gen_range(0..n) as NodeId;
+        self.top_k_from_root(q, k, root)
+    }
+
+    /// Random-root search with an explicit root (exposed for tests).
+    pub fn top_k_from_root(&mut self, q: NodeId, k: usize, root: NodeId) -> Result<TopKResult> {
+        let index = self.index;
+        index.check_node(q)?;
+        index.check_node(root)?;
+        if k == 0 {
+            return Ok(TopKResult::default());
+        }
+        let qp = index.permutation().new_of(q);
+        let rootp = index.permutation().new_of(root);
+        self.bfs.run(index.permuted_graph(), rootp);
+        let (col_idx, col_val) = index.linv().col(qp);
+        self.column.load(col_idx, col_val);
+        let c = index.restart_probability();
+
+        self.heap.reset(k);
+        let mut bound_state = ArbitraryOrderBound::new(index.a_max());
+        let mut stats =
+            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+
+        // Visit order: BFS from the root, then every node the root cannot
+        // reach (they may still be answers — the walk starts at q, not at
+        // the root).
+        for &u in self.bfs.order() {
+            visit_any_order(
+                index,
+                &self.column,
+                &mut self.heap,
+                &mut bound_state,
+                &mut stats,
+                qp,
+                c,
+                u,
+            );
+        }
+        for v in 0..index.num_nodes() as NodeId {
+            if !self.bfs.is_reached(v) {
+                visit_any_order(
+                    index,
+                    &self.column,
+                    &mut self.heap,
+                    &mut bound_state,
+                    &mut stats,
+                    qp,
+                    c,
+                    v,
+                );
+            }
+        }
+        // Every node was visited (or skipped soundly); no padding needed.
+        let mut out = TopKResult::default();
+        self.finish(k, false, stats, &mut out);
+        Ok(out)
+    }
+
+    /// Shared epilogue: drains the heap in rank order, maps back to
+    /// original ids, and (when `pad_unreached` is set) pads with
+    /// unreachable, zero-proximity nodes when fewer than `k` candidates
+    /// exist. Heap entries are always reached nodes, so pads can never
+    /// collide with them.
+    fn finish(&mut self, k: usize, pad_unreached: bool, stats: SearchStats, out: &mut TopKResult) {
+        let index = self.index;
+        out.stats = stats;
+        out.items.clear();
+        for &(p, u) in self.heap.sorted_entries() {
+            out.items.push(RankedNode { node: index.permutation().old_of(u), proximity: p });
+        }
+        if pad_unreached && out.items.len() < k {
+            for v in 0..index.num_nodes() as NodeId {
+                if out.items.len() >= k {
+                    break;
+                }
+                if !self.bfs.is_reached(v) {
+                    out.items.push(RankedNode {
+                        node: index.permutation().old_of(v),
+                        proximity: 0.0,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One candidate visit of the order-agnostic (random-root) search. A free
+/// function over the workspace's split-out fields so both visit loops can
+/// call it while the BFS order is borrowed.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn visit_any_order(
+    index: &KdashIndex,
+    column: &ScatteredColumn,
+    heap: &mut TopKHeap,
+    bound_state: &mut ArbitraryOrderBound,
+    stats: &mut SearchStats,
+    qp: NodeId,
+    c: f64,
+    u: NodeId,
+) {
+    stats.visited += 1;
+    // The order-agnostic bound only holds for non-query nodes.
+    if u != qp {
+        let bound = index.c_prime()[u as usize] * bound_state.bound_term();
+        if heap.is_full() && bound < heap.threshold() {
+            stats.skipped += 1;
+            return;
+        }
+    }
+    let p = c * index.uinv().row_dot_scattered(u, column);
+    stats.proximity_computations += 1;
+    bound_state.record(p, index.a_col_max()[u as usize]);
+    heap.offer(p, u);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexOptions;
+    use kdash_graph::GraphBuilder;
+
+    fn tiny_index() -> KdashIndex {
+        let mut b = GraphBuilder::new(6);
+        for v in 0..6u32 {
+            b.add_edge(v, (v + 1) % 6, 1.0);
+            b.add_edge(v, (v + 2) % 6, 0.5);
+        }
+        KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn heap_keeps_largest_k() {
+        let mut h = TopKHeap::new(3);
+        for (p, n) in [(0.1, 1u32), (0.5, 2), (0.3, 3), (0.9, 4), (0.2, 5)] {
+            h.offer(p, n);
+        }
+        let nodes: Vec<NodeId> = h.sorted_entries().iter().map(|&(_, n)| n).collect();
+        assert_eq!(nodes, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn heap_threshold_tracks_kth_best() {
+        let mut h = TopKHeap::new(2);
+        assert_eq!(h.threshold(), 0.0);
+        h.offer(0.4, 1);
+        assert_eq!(h.threshold(), 0.0, "not full yet");
+        h.offer(0.7, 2);
+        assert!((h.threshold() - 0.4).abs() < 1e-15);
+        h.offer(0.5, 3);
+        assert!((h.threshold() - 0.5).abs() < 1e-15);
+        h.offer(0.1, 4); // too small, ignored
+        assert!((h.threshold() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heap_with_k_zero_accepts_and_returns_nothing() {
+        let mut h = TopKHeap::new(0);
+        assert!(h.is_full(), "a zero-capacity heap is trivially full");
+        assert_eq!(h.threshold(), 0.0, "but its threshold stays the dummy 0");
+        for (p, n) in [(0.9, 1u32), (0.1, 2)] {
+            h.offer(p, n);
+        }
+        assert!(h.sorted_entries().is_empty());
+    }
+
+    #[test]
+    fn heap_with_k_beyond_population_keeps_everything() {
+        let mut h = TopKHeap::new(100);
+        for (p, n) in [(0.1, 1u32), (0.5, 2), (0.3, 3)] {
+            h.offer(p, n);
+        }
+        assert!(!h.is_full());
+        assert_eq!(h.threshold(), 0.0, "threshold is 0 while dummies remain");
+        let nodes: Vec<NodeId> = h.sorted_entries().iter().map(|&(_, n)| n).collect();
+        assert_eq!(nodes, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn heap_reset_reuses_storage_across_sizes() {
+        let mut h = TopKHeap::new(3);
+        for i in 0..10u32 {
+            h.offer(f64::from(i) * 0.05, i);
+        }
+        h.reset(1);
+        h.offer(0.2, 7);
+        h.offer(0.9, 8);
+        let top: Vec<NodeId> = h.sorted_entries().iter().map(|&(_, n)| n).collect();
+        assert_eq!(top, vec![8]);
+        h.reset(0);
+        h.offer(1.0, 1);
+        assert!(h.sorted_entries().is_empty());
+    }
+
+    #[test]
+    fn heap_ties_break_by_ascending_node_id() {
+        let mut h = TopKHeap::new(4);
+        for n in [9u32, 3, 7, 1] {
+            h.offer(0.25, n);
+        }
+        let nodes: Vec<NodeId> = h.sorted_entries().iter().map(|&(_, n)| n).collect();
+        assert_eq!(nodes, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn searcher_reuse_matches_fresh_searchers() {
+        let index = tiny_index();
+        let mut reused = index.searcher();
+        for q in 0..6u32 {
+            for k in [0usize, 2, 6, 10] {
+                let a = reused.top_k(q, k).unwrap();
+                let b = index.searcher().top_k(q, k).unwrap();
+                assert_eq!(a.items.len(), b.items.len());
+                for (x, y) in a.items.iter().zip(&b.items) {
+                    assert_eq!(x.node, y.node);
+                    assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_into_reuses_the_result_buffer() {
+        let index = tiny_index();
+        let mut searcher = index.searcher();
+        let mut out = TopKResult::default();
+        searcher.top_k_into(0, 4, &mut out).unwrap();
+        let first: Vec<NodeId> = out.items.iter().map(|r| r.node).collect();
+        searcher.top_k_into(3, 4, &mut out).unwrap();
+        assert_eq!(out.items.len(), 4);
+        assert_eq!(out.items[0].node, 3, "buffer must hold the *new* query's answer");
+        searcher.top_k_into(0, 4, &mut out).unwrap();
+        let again: Vec<NodeId> = out.items.iter().map(|r| r.node).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn mixed_entry_points_share_one_workspace() {
+        // Interleaving different query kinds must not leak state between
+        // them: each call replays identically to a fresh workspace.
+        let index = tiny_index();
+        let mut s = index.searcher();
+        for round in 0..3 {
+            let a = s.top_k(1, 3).unwrap();
+            let b = s.nodes_above(2, 1e-4).unwrap();
+            let c = s.top_k_from_set(&[0, 4], 3).unwrap();
+            let d = s.top_k_from_root(1, 3, 5).unwrap();
+            let e = s.top_k_unpruned(1, 3).unwrap();
+            let fresh_a = index.searcher().top_k(1, 3).unwrap();
+            let fresh_b = index.searcher().nodes_above(2, 1e-4).unwrap();
+            let fresh_c = index.searcher().top_k_from_set(&[0, 4], 3).unwrap();
+            let fresh_d = index.searcher().top_k_from_root(1, 3, 5).unwrap();
+            for (got, want) in [(&a, &fresh_a), (&b, &fresh_b), (&c, &fresh_c), (&d, &fresh_d)] {
+                assert_eq!(got.items.len(), want.items.len(), "round {round}");
+                for (x, y) in got.items.iter().zip(&want.items) {
+                    assert_eq!(x.node, y.node);
+                    assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+                }
+            }
+            for (x, y) in a.items.iter().zip(&e.items) {
+                assert!((x.proximity - y.proximity).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_thresholds_are_errors_not_panics() {
+        let index = tiny_index();
+        let mut s = index.searcher();
+        for theta in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match s.nodes_above(0, theta) {
+                Err(KdashError::InvalidThreshold { .. }) => {}
+                other => panic!("theta {theta}: expected InvalidThreshold, got {other:?}"),
+            }
+        }
+        // The workspace stays usable after a rejected query.
+        assert!(s.nodes_above(0, 1e-3).is_ok());
+    }
+}

@@ -6,11 +6,140 @@
 //! the nodes exactly `i` hops downstream. Nodes that are not reachable have
 //! RWR proximity exactly 0 and are reported with layer [`UNREACHABLE`].
 
-use crate::{CsrGraph, NodeId};
+use crate::{CsrGraph, EpochStamps, NodeId};
 use std::collections::VecDeque;
 
 /// Layer marker for nodes the BFS never reached.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Reusable BFS state: epoch-stamped `layer`/`parent`/`order` buffers that
+/// amortise the three `O(n)` allocations (and `O(n)` re-fills) a fresh
+/// [`BfsTree`] pays on every traversal.
+///
+/// A node is *reached by the current run* iff its visit stamp carries the
+/// current generation ([`EpochStamps`]); `layer` and `parent` are only
+/// meaningful on stamped nodes, so starting a new run is `O(1)` — bump
+/// the generation — instead of `O(n)` — refill three vectors. The `order`
+/// vector doubles as the FIFO frontier (a cursor walks it while new nodes
+/// are appended), which also removes the `VecDeque`.
+///
+/// The query engine holds one of these per `Searcher`; for one-off
+/// traversals [`BfsTree`] remains the convenient owner of its buffers.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    /// Reached marks for the current run.
+    visited: EpochStamps,
+    /// Hop distance, valid only where stamped.
+    layer: Vec<u32>,
+    /// BFS tree parent, valid only where stamped (roots are their own
+    /// parents).
+    parent: Vec<NodeId>,
+    /// Visit order of the current run; also serves as the BFS queue.
+    order: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Scratch buffers for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            visited: EpochStamps::new(n),
+            layer: vec![UNREACHABLE; n],
+            parent: vec![NodeId::MAX; n],
+            order: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the buffers are sized for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.visited.dim()
+    }
+
+    /// Runs BFS over out-edges from `root`, replacing the previous run.
+    pub fn run(&mut self, graph: &CsrGraph, root: NodeId) {
+        self.run_multi(graph, &[root]);
+    }
+
+    /// Multi-root BFS, mirroring [`BfsTree::new_multi`]: all roots form
+    /// layer 0 (in the given order) and are their own parents. `roots`
+    /// must be non-empty, in bounds, and duplicate-free.
+    pub fn run_multi(&mut self, graph: &CsrGraph, roots: &[NodeId]) {
+        let n = self.dim();
+        assert_eq!(graph.num_nodes(), n, "graph does not match scratch dimension");
+        assert!(!roots.is_empty(), "BFS needs at least one root");
+        self.visited.advance();
+        self.order.clear();
+        for &root in roots {
+            assert!((root as usize) < n, "BFS root {root} out of bounds for {n} nodes");
+            assert!(!self.visited.is_marked(root as usize), "duplicate BFS root {root}");
+            self.visited.mark(root as usize);
+            self.layer[root as usize] = 0;
+            self.parent[root as usize] = root;
+            self.order.push(root);
+        }
+        let mut head = 0;
+        while head < self.order.len() {
+            let v = self.order[head];
+            head += 1;
+            let next_layer = self.layer[v as usize] + 1;
+            for &t in graph.out_neighbors(v) {
+                if !self.visited.is_marked(t as usize) {
+                    self.visited.mark(t as usize);
+                    self.layer[t as usize] = next_layer;
+                    self.parent[t as usize] = v;
+                    self.order.push(t);
+                }
+            }
+        }
+    }
+
+    /// Nodes of the current run in visit order (roots first).
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of nodes the current run reached.
+    #[inline]
+    pub fn num_reachable(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the current run reached `v`. `false` for every node before
+    /// the first run.
+    #[inline]
+    pub fn is_reached(&self, v: NodeId) -> bool {
+        self.visited.is_marked(v as usize)
+    }
+
+    /// Hop distance of `v` in the current run, or [`UNREACHABLE`].
+    #[inline]
+    pub fn layer(&self, v: NodeId) -> u32 {
+        if self.is_reached(v) {
+            self.layer[v as usize]
+        } else {
+            UNREACHABLE
+        }
+    }
+
+    /// BFS tree parent of `v` in the current run (roots are their own
+    /// parents), or [`NodeId::MAX`] if unreached.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        if self.is_reached(v) {
+            self.parent[v as usize]
+        } else {
+            NodeId::MAX
+        }
+    }
+
+    /// Test hook: forces the internal epoch counter, to exercise the
+    /// rollover path without four billion runs.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.visited.force_epoch(epoch);
+    }
+}
 
 /// The result of a breadth-first traversal from a root node.
 #[derive(Debug, Clone)]
@@ -200,6 +329,87 @@ mod tests {
     fn duplicate_roots_rejected() {
         let g = path_graph(3);
         BfsTree::new_multi(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn scratch_matches_tree_across_reuse() {
+        // One scratch, many runs (single- and multi-root, different
+        // graphs of the same size): every run must agree with a fresh
+        // BfsTree in order, layers and reachability.
+        let diamond = {
+            let mut b = GraphBuilder::new(6);
+            for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
+                b.add_edge(u, v, 1.0);
+            }
+            b.build().unwrap()
+        };
+        let path = path_graph(6);
+        let mut scratch = BfsScratch::new(6);
+        for (graph, roots) in [
+            (&diamond, vec![0u32]),
+            (&path, vec![2]),
+            (&diamond, vec![5]),
+            (&path, vec![0, 4]),
+            (&diamond, vec![1, 2]),
+        ] {
+            scratch.run_multi(graph, &roots);
+            let tree = BfsTree::new_multi(graph, &roots);
+            assert_eq!(scratch.order(), &tree.order[..], "roots {roots:?}");
+            assert_eq!(scratch.num_reachable(), tree.num_reachable());
+            for v in 0..6u32 {
+                assert_eq!(scratch.layer(v), tree.layer[v as usize], "layer of {v}");
+                assert_eq!(scratch.is_reached(v), tree.layer[v as usize] != UNREACHABLE);
+                if scratch.is_reached(v) {
+                    assert_eq!(scratch.parent(v), tree.parent[v as usize], "parent of {v}");
+                } else {
+                    assert_eq!(scratch.parent(v), NodeId::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_scratch_reports_nothing_reached() {
+        let scratch = BfsScratch::new(4);
+        assert_eq!(scratch.num_reachable(), 0);
+        for v in 0..4u32 {
+            assert!(!scratch.is_reached(v), "node {v} reached before any run");
+            assert_eq!(scratch.layer(v), UNREACHABLE);
+            assert_eq!(scratch.parent(v), NodeId::MAX);
+        }
+    }
+
+    #[test]
+    fn scratch_epoch_rollover_is_clean() {
+        // Run right before the wrap so stale stamps equal u32::MAX, the
+        // worst case for the post-rollover comparison.
+        let path = path_graph(5);
+        let mut scratch = BfsScratch::new(5);
+        scratch.force_epoch(u32::MAX - 1);
+        scratch.run(&path, 0); // epoch becomes u32::MAX; everything reached
+        assert_eq!(scratch.num_reachable(), 5);
+        scratch.run(&path, 3); // wraps: stamps cleared, epoch restarts at 1
+        assert_eq!(scratch.order(), &[3, 4]);
+        for v in 0..3u32 {
+            assert!(!scratch.is_reached(v), "stale stamp on {v} survived rollover");
+            assert_eq!(scratch.layer(v), UNREACHABLE);
+        }
+        assert_eq!(scratch.layer(3), 0);
+        assert_eq!(scratch.layer(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate BFS root")]
+    fn scratch_rejects_duplicate_roots() {
+        let g = path_graph(3);
+        BfsScratch::new(3).run_multi(&g, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match scratch dimension")]
+    fn scratch_rejects_mismatched_graph() {
+        let g = path_graph(3);
+        BfsScratch::new(5).run(&g, 0);
     }
 
     #[test]

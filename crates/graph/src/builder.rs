@@ -141,7 +141,10 @@ impl GraphBuilder {
         let mut weights: Vec<f64> = Vec::with_capacity(kept);
         for v in 0..n {
             let row = &mut bucketed[counts[v]..counts[v + 1]];
-            row.sort_unstable_by_key(|&(t, _)| t);
+            // Stable sort: duplicates of the same target must merge in
+            // insertion order, so that Sum accumulates both directions of an
+            // undirected edge in the same order (bit-identical weights).
+            row.sort_by_key(|&(t, _)| t);
             let mut i = 0;
             while i < row.len() {
                 let target = row[i].0;

@@ -39,10 +39,12 @@ pub mod bfs;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod epoch;
 pub mod io;
 pub mod permute;
 
-pub use bfs::BfsTree;
+pub use bfs::{BfsScratch, BfsTree};
+pub use epoch::EpochStamps;
 pub use builder::{GraphBuilder, MergePolicy};
 pub use csr::CsrGraph;
 pub use permute::Permutation;

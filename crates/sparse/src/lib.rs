@@ -13,7 +13,12 @@
 //! * [`inverse`] — sparse inverses `L⁻¹` and `U⁻¹` (Equations (4)–(5),
 //!   computed as `n` sparse solves against unit vectors),
 //! * [`rwr`] — the column-normalised transition matrix `A` and
-//!   `W = I − (1−c)A` built straight from a [`kdash_graph::CsrGraph`].
+//!   `W = I − (1−c)A` built straight from a [`kdash_graph::CsrGraph`],
+//! * [`scatter`] — the scatter/gather proximity kernel: the query column
+//!   `L⁻¹ e_q` scattered once into an epoch-stamped dense accumulator
+//!   ([`ScatteredColumn`]), each candidate proximity then a gather over
+//!   `O(nnz(row))` only — bit-identical to the merge-join kernel it
+//!   replaces on the hot path.
 //!
 //! ## Conventions
 //!
@@ -29,6 +34,7 @@ pub mod csr;
 pub mod inverse;
 pub mod lu;
 pub mod rwr;
+pub mod scatter;
 pub mod triangular;
 
 pub use csc::CscMatrix;
@@ -36,6 +42,7 @@ pub use csr::CsrMatrix;
 pub use inverse::{invert_lower_unit, invert_upper};
 pub use lu::{sparse_lu, LuFactors};
 pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
+pub use scatter::ScatteredColumn;
 pub use triangular::{SolveWorkspace, Triangle};
 
 /// Index type shared with `kdash-graph`.

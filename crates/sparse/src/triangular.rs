@@ -16,6 +16,7 @@
 //! (stored with it) share this code.
 
 use crate::{CscMatrix, Index, Result, SparseError};
+use kdash_graph::EpochStamps;
 
 /// Which triangle a matrix is solved as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,9 +33,8 @@ pub enum Triangle {
 #[derive(Debug, Clone)]
 pub struct SolveWorkspace {
     n: usize,
-    /// Visit stamps; `stamp[v] == cur` means `v` is in the current pattern.
-    stamp: Vec<u32>,
-    cur: u32,
+    /// Visit marks: a position is in the current pattern iff marked.
+    stamps: EpochStamps,
     /// Dense value accumulator, valid only on stamped positions.
     x: Vec<f64>,
     /// DFS postorder of the current pattern.
@@ -46,21 +46,18 @@ pub struct SolveWorkspace {
 impl SolveWorkspace {
     /// Workspace for `n x n` solves.
     pub fn new(n: usize) -> Self {
-        SolveWorkspace { n, stamp: vec![0; n], cur: 0, x: vec![0.0; n], topo: Vec::new(), stack: Vec::new() }
+        SolveWorkspace {
+            n,
+            stamps: EpochStamps::new(n),
+            x: vec![0.0; n],
+            topo: Vec::new(),
+            stack: Vec::new(),
+        }
     }
 
     /// Dimension this workspace serves.
     pub fn dim(&self) -> usize {
         self.n
-    }
-
-    fn next_stamp(&mut self) -> u32 {
-        if self.cur == u32::MAX {
-            self.stamp.fill(0);
-            self.cur = 0;
-        }
-        self.cur += 1;
-        self.cur
     }
 
     /// Solves `T x = b` and appends the sorted sparse solution to
@@ -96,16 +93,16 @@ impl SolveWorkspace {
         }
         out_idx.clear();
         out_val.clear();
-        let stamp = self.next_stamp();
+        self.stamps.advance();
         self.topo.clear();
 
         // Symbolic phase: DFS from every RHS index, collecting postorder.
         for &r in b_idx {
             debug_assert!((r as usize) < self.n, "rhs index out of bounds");
-            if self.stamp[r as usize] == stamp {
+            if self.stamps.is_marked(r as usize) {
                 continue;
             }
-            self.stamp[r as usize] = stamp;
+            self.stamps.mark(r as usize);
             self.x[r as usize] = 0.0;
             self.stack.push((r, 0));
             while let Some(&mut (node, ref mut cursor)) = self.stack.last_mut() {
@@ -113,8 +110,8 @@ impl SolveWorkspace {
                 if *cursor < children.len() {
                     let child = children[*cursor];
                     *cursor += 1;
-                    if self.stamp[child as usize] != stamp {
-                        self.stamp[child as usize] = stamp;
+                    if !self.stamps.is_marked(child as usize) {
+                        self.stamps.mark(child as usize);
                         self.x[child as usize] = 0.0;
                         self.stack.push((child, 0));
                     }

@@ -1,0 +1,139 @@
+//! The query-engine equivalence contract: the scatter/gather `Searcher`
+//! path must return **bit-identical** proximities — and therefore identical
+//! rankings and work counters — to the original merge-join path
+//! (`KdashIndex::top_k_merge_join`), across random graphs, random queries
+//! and every entry-point family.
+//!
+//! The gather visits exactly the merge join's matching pairs in the same
+//! ascending-column order, so the floating-point sums agree to the last
+//! bit; this suite is what keeps that argument honest as the kernels
+//! evolve.
+
+use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_datagen::{barabasi_albert, erdos_renyi};
+use kdash_graph::NodeId;
+use proptest::prelude::*;
+
+/// Strategy over the two generator families the paper's datasets span:
+/// ER (flat degrees) and BA (heavy-tailed hubs), with sizes small enough
+/// to build dozens of indexes per run.
+fn graph_strategy() -> impl Strategy<Value = kdash_graph::CsrGraph> {
+    (0usize..2, 12usize..90, 1usize..5, any::<u64>()).prop_map(|(family, n, density, seed)| {
+        match family {
+            0 => erdos_renyi(n, n * density, seed),
+            _ => barabasi_albert(n, density.min(n - 1).max(1), seed),
+        }
+    })
+}
+
+fn assert_bit_identical(
+    a: &kdash_core::TopKResult,
+    b: &kdash_core::TopKResult,
+) -> Result<(), String> {
+    if a.items.len() != b.items.len() {
+        return Err(format!("lengths differ: {} vs {}", a.items.len(), b.items.len()));
+    }
+    for (x, y) in a.items.iter().zip(&b.items) {
+        if x.node != y.node {
+            return Err(format!("ranking differs: node {} vs {}", x.node, y.node));
+        }
+        if x.proximity.to_bits() != y.proximity.to_bits() {
+            return Err(format!(
+                "proximity of node {} differs in the last bit: {:.17e} vs {:.17e}",
+                x.node, x.proximity, y.proximity
+            ));
+        }
+    }
+    if a.stats != b.stats {
+        return Err(format!("work counters differ: {:?} vs {:?}", a.stats, b.stats));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Scatter/gather top-k ≡ merge-join top-k, bit for bit, including the
+    /// early-termination point (identical stats).
+    #[test]
+    fn searcher_matches_merge_join((graph, q_sel, k_sel, c_pick) in
+        (graph_strategy(), any::<u32>(), 0usize..12, 0usize..3)) {
+        let n = graph.num_nodes();
+        let q = (q_sel as usize % n) as NodeId;
+        let c = [0.5, 0.8, 0.95][c_pick];
+        let index = KdashIndex::build(
+            &graph,
+            IndexOptions { restart_probability: c, ..Default::default() },
+        ).unwrap();
+        for k in [k_sel, n / 2, n + 3] {
+            let new = index.top_k(q, k).unwrap();
+            let old = index.top_k_merge_join(q, k).unwrap();
+            if let Err(msg) = assert_bit_identical(&new, &old) {
+                prop_assert!(false, "n={} q={} k={}: {}", n, q, k, msg);
+            }
+        }
+    }
+
+    /// A single reused Searcher replays a whole query stream bit-identically
+    /// to the merge-join reference — reuse must not leak state.
+    #[test]
+    fn reused_searcher_matches_merge_join((graph, k_sel) in (graph_strategy(), 1usize..8)) {
+        let n = graph.num_nodes();
+        let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
+        let mut searcher = index.searcher();
+        for q in (0..n as NodeId).step_by(7) {
+            let new = searcher.top_k(q, k_sel).unwrap();
+            let old = index.top_k_merge_join(q, k_sel).unwrap();
+            if let Err(msg) = assert_bit_identical(&new, &old) {
+                prop_assert!(false, "n={} q={} k={}: {}", n, q, k_sel, msg);
+            }
+        }
+    }
+
+    /// The ordering permutation changes the inverse patterns and the visit
+    /// order; equivalence must survive all of them.
+    #[test]
+    fn equivalence_holds_across_orderings((graph, q_sel, which) in
+        (graph_strategy(), any::<u32>(), 0usize..4)) {
+        let n = graph.num_nodes();
+        let q = (q_sel as usize % n) as NodeId;
+        let ordering = [
+            NodeOrdering::Natural,
+            NodeOrdering::Degree,
+            NodeOrdering::Hybrid,
+            NodeOrdering::ReverseCuthillMcKee,
+        ][which];
+        let index = KdashIndex::build(&graph, IndexOptions { ordering, ..Default::default() })
+            .unwrap();
+        let new = index.top_k(q, 10).unwrap();
+        let old = index.top_k_merge_join(q, 10).unwrap();
+        if let Err(msg) = assert_bit_identical(&new, &old) {
+            prop_assert!(false, "{:?} n={} q={}: {}", ordering, n, q, msg);
+        }
+    }
+
+    /// The remaining entry points agree with independently computed truths:
+    /// unpruned and threshold variants against the full proximity vector.
+    #[test]
+    fn other_entry_points_match_full_vector((graph, q_sel, theta_exp) in
+        (graph_strategy(), any::<u32>(), 2u32..7)) {
+        let n = graph.num_nodes();
+        let q = (q_sel as usize % n) as NodeId;
+        let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
+        let full = index.full_proximities(q).unwrap();
+
+        let unpruned = index.top_k_unpruned(q, n).unwrap();
+        for item in &unpruned.items {
+            let want = full[item.node as usize];
+            prop_assert!(
+                (item.proximity - want).abs() < 1e-12,
+                "unpruned node {}: {} vs {}", item.node, item.proximity, want
+            );
+        }
+
+        let theta = 10f64.powi(-(theta_exp as i32));
+        let above = index.nodes_above(q, theta).unwrap();
+        let expect = full.iter().filter(|&&p| p >= theta).count();
+        prop_assert_eq!(above.items.len(), expect);
+    }
+}

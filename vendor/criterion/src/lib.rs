@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input) /
+//! [`sample_size`](BenchmarkGroup::sample_size), [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros — on top of plain `std::time::Instant`
+//! measurements. No statistics engine, no HTML reports: each benchmark
+//! prints a single summary line
+//!
+//! ```text
+//! bench <group>/<id>: median <ns> ns/iter, mean <ns> ns/iter (<samples> samples)
+//! ```
+//!
+//! Tuning via environment variables: `KDASH_BENCH_BUDGET_MS` caps the
+//! measurement time per benchmark (default 2000), `KDASH_BENCH_WARMUP_MS`
+//! the warm-up time (default 300).
+
+use std::time::{Duration, Instant};
+
+/// Identity function the optimiser must treat as opaque.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level handle, one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        bencher.report(&self.name, &id.into().label);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        bencher.report(&self.name, &id.label);
+        self
+    }
+
+    /// Ends the group (the real crate finalises reports here).
+    pub fn finish(self) {}
+}
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default),
+    )
+}
+
+/// Measures one routine: warm-up, then timed samples.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, samples: Vec::new() }
+    }
+
+    /// Times `routine`, running it repeatedly: a warm-up phase, then up to
+    /// `sample_size` samples (each a batch sized to ~1 ms) within the time
+    /// budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup = env_ms("KDASH_BENCH_WARMUP_MS", 300);
+        let budget = env_ms("KDASH_BENCH_BUDGET_MS", 2000);
+
+        // Warm-up: also yields a first estimate of the iteration time.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup || warm_iters < 3 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Batch so one sample costs ~1 ms — keeps timer overhead < 0.1 %.
+        let batch = ((1_000_000.0 / est_ns).ceil() as u64).max(1);
+
+        self.samples.clear();
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.samples.is_empty() {
+            println!("bench {group}/{label}: no samples (routine never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "bench {group}/{label}: median {median:.1} ns/iter, mean {mean:.1} ns/iter ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a bench group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors exactly the surface its code uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic generator (xoshiro256++ seeded by
+//!   splitmix64),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over integer and `f64` ranges, [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::shuffle`].
+//!
+//! Streams are deterministic per seed and statistically sound (the
+//! generators' sampling tests pass), but they are **not** the upstream
+//! `rand` streams — this crate trades stream compatibility for an offline
+//! build. Everything in the workspace that consumes randomness goes through
+//! seeds, so swapping back to the real crate only changes which particular
+//! random graphs the tests see.
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+pub mod seq;
+mod std_rng;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive; integers or
+    /// `f64`). Panics on an empty range, like the real crate.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that knows how to sample itself — the plumbing behind
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler. The generic [`SampleRange`] impls below
+/// tie the range's element type to the output type, which is what lets
+/// integer literals in `gen_range(0..20)` infer from the use site (exactly
+/// like the real crate).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Uniform integer in `[0, span)` via 128-bit multiply-shift (Lemire).
+#[inline]
+fn sample_span<R: RngCore>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // One multiply-shift draw; bias is < 2^-64 relative — irrelevant for
+    // the graph generators and tests this backs.
+    (u128::from(rng.next_u64()) * span) >> 64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let base = lo as i128;
+                let span = (hi as i128 - base) as u128;
+                (base + sample_span(rng, span) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let base = lo as i128;
+                let span = (hi as i128 - base) as u128 + 1;
+                (base + sample_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "cannot sample empty or non-finite range"
+        );
+        let v = lo + rng.next_f64() * (hi - lo);
+        // Rounding can land exactly on the excluded endpoint; fold it back.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range");
+        let v = lo + rng.next_f64() as f32 * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad range");
+        lo + rng.next_f64() as f32 * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000usize), b.gen_range(0..1_000_000usize));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..32).all(|_| {
+            StdRng::seed_from_u64(7);
+            a.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX)
+        });
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_real() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_500..11_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.gen_range(5..5usize);
+    }
+}
