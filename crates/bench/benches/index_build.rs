@@ -1,0 +1,79 @@
+//! PR 2 headline benchmark: the staged build pipeline.
+//!
+//! Times full `IndexBuilder` runs on an RMAT graph (the paper's Figure 6
+//! workload shape), printing one line per pipeline stage — ordering /
+//! factorization / inversion / estimator / assemble — for a configurable
+//! list of inversion thread counts, then the sequential-vs-parallel
+//! speedup. Headline numbers land in `BENCH_PR2.json` at the repo root.
+//!
+//! This bench measures each configuration **once** with direct wall-clock
+//! timing instead of going through the criterion stand-in: a build takes
+//! minutes at the default scale, and the harness's warm-up alone would
+//! triple the cost without improving a measurement this macroscopic.
+//!
+//! Environment knobs:
+//!
+//! * `KDASH_BENCH_SCALE`   — RMAT scale (default 16 ⇒ 65,536 nodes).
+//! * `KDASH_BUILD_THREADS` — comma-separated thread counts to measure
+//!   (default `1,0`; `0` = one worker per available core).
+
+use kdash_core::{BuildReport, IndexBuilder, NodeOrdering};
+use kdash_datagen::{rmat, RmatParams};
+
+fn stage_line(report: &BuildReport) -> String {
+    report
+        .stages
+        .iter()
+        .map(|t| format!("{} {:.3?}", t.stage.name(), t.duration))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+fn main() {
+    let scale: u32 = std::env::var("KDASH_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let threads_list: Vec<usize> = std::env::var("KDASH_BUILD_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 0]);
+
+    let n = 1usize << scale;
+    let graph = rmat(scale, n * 4, RmatParams::default(), 42);
+    println!(
+        "index_build setup: rmat scale {scale}: {} nodes, {} edges; cores available: {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    );
+
+    let mut totals: Vec<(usize, usize, f64)> = Vec::new(); // (requested, resolved, seconds)
+    for &threads in &threads_list {
+        let builder = IndexBuilder::new().ordering(NodeOrdering::Hybrid).threads(threads);
+        let (index, report) = builder.build_with_report(&graph).expect("index build");
+        let total = report.total();
+        println!(
+            "bench index_build/threads_{threads}: {:.1?} total [{}] (resolved {} workers, \
+             nnz L-inv {}, nnz U-inv {})",
+            total,
+            stage_line(&report),
+            report.inversion_threads,
+            index.stats().nnz_l_inv,
+            index.stats().nnz_u_inv,
+        );
+        totals.push((threads, report.inversion_threads, total.as_secs_f64()));
+    }
+
+    if let (Some(seq), Some(par)) = (
+        totals.iter().find(|&&(requested, _, _)| requested == 1),
+        totals.iter().find(|&&(requested, _, _)| requested != 1),
+    ) {
+        println!(
+            "bench index_build/speedup: {:.2}x end-to-end ({} workers vs sequential)",
+            seq.2 / par.2,
+            par.1,
+        );
+    }
+}

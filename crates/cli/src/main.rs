@@ -1,17 +1,21 @@
 //! `kdash` — command-line top-k RWR search.
 //!
 //! ```text
-//! kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid]
+//! kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]
 //! kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...]
 //! kdash info  <index.kdash>
 //! kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]
 //! ```
 //!
+//! `build` runs the staged `IndexBuilder` pipeline and prints one timing
+//! line per stage; `--threads 0` parallelises the inversion stage over all
+//! available cores (output is bit-identical at any thread count).
+//!
 //! Edge lists are plain text (`src dst [weight]`, `#`/`%` comments) — the
 //! format of the SNAP / Pajek exports the paper's datasets use. Indexes
 //! are the versioned binary format of `kdash_core::persist`.
 
-use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_core::{BuildStage, IndexBuilder, IndexOptions, KdashIndex, NodeOrdering};
 use kdash_datagen::DatasetProfile;
 use kdash_graph::io::read_edge_list;
 use std::fs::File;
@@ -46,13 +50,14 @@ fn print_usage() {
         "kdash — exact top-k Random Walk with Restart search (VLDB 2012 reproduction)\n\
          \n\
          USAGE:\n\
-         \x20 kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid]\n\
+         \x20 kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]\n\
          \x20 kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
          \x20 kdash info  <index.kdash>\n\
          \x20 kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
          \n\
-         ORDERINGS: natural random degree cluster hybrid rcm mindegree\n\
-         PROFILES:  dictionary internet citation social email"
+         ORDERINGS: natural random degree community (= cluster) hybrid rcm mindegree\n\
+         PROFILES:  dictionary internet citation social email\n\
+         THREADS:   inversion-stage workers; 0 = all cores, results identical at any count"
     );
 }
 
@@ -81,12 +86,32 @@ fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
     flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
 }
 
+/// Rejects flags the command does not know. A misspelled `--threds 8`
+/// must fail loudly, not silently fall back to the default.
+fn reject_unknown_flags(flags: &[(&str, &str)], allowed: &[&str]) -> Result<(), String> {
+    for (name, _) in flags {
+        if !allowed.contains(name) {
+            return Err(if allowed.is_empty() {
+                format!("unknown flag --{name} (this command takes no flags)")
+            } else {
+                format!(
+                    "unknown flag --{name} (allowed: {})",
+                    allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(" ")
+                )
+            });
+        }
+    }
+    Ok(())
+}
+
 fn parse_ordering(text: &str) -> Result<NodeOrdering, String> {
     Ok(match text {
         "natural" => NodeOrdering::Natural,
         "random" => NodeOrdering::Random { seed: 42 },
         "degree" => NodeOrdering::Degree,
-        "cluster" => NodeOrdering::Cluster,
+        // "community" spells out what backs the paper's cluster ordering:
+        // Louvain partitions from kdash-community.
+        "cluster" | "community" => NodeOrdering::Cluster,
         "hybrid" => NodeOrdering::Hybrid,
         "rcm" => NodeOrdering::ReverseCuthillMcKee,
         "mindegree" => NodeOrdering::MinDegree,
@@ -96,26 +121,46 @@ fn parse_ordering(text: &str) -> Result<NodeOrdering, String> {
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
+    reject_unknown_flags(&flags, &["c", "ordering", "threads"])?;
     let [edges_path, index_path] = pos.as_slice() else {
-        return Err("usage: kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid]"
+        return Err("usage: kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] \
+                    [--threads 1]"
             .into());
     };
     let c: f64 = flag(&flags, "c").unwrap_or("0.95").parse().map_err(|_| "invalid --c")?;
     let ordering = parse_ordering(flag(&flags, "ordering").unwrap_or("hybrid"))?;
+    let threads: usize =
+        flag(&flags, "threads").unwrap_or("1").parse().map_err(|_| "invalid --threads")?;
 
     let file = File::open(edges_path).map_err(|e| format!("open {edges_path}: {e}"))?;
     let graph = read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
     println!("loaded {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
 
-    let t = Instant::now();
-    let index = KdashIndex::build(
-        &graph,
-        IndexOptions { ordering, restart_probability: c, ..Default::default() },
-    )
-    .map_err(|e| e.to_string())?;
+    let builder = IndexBuilder::from_options(IndexOptions {
+        ordering,
+        restart_probability: c,
+        ..Default::default()
+    })
+    .threads(threads);
+    let (index, report) = builder.build_with_report(&graph).map_err(|e| e.to_string())?;
+
+    for timing in &report.stages {
+        let extra = match timing.stage {
+            BuildStage::Ordering => match (report.ordering.communities, report.ordering.border_nodes)
+            {
+                (Some(communities), Some(border)) => {
+                    format!("  ({communities} communities, {border} border nodes)")
+                }
+                _ => String::new(),
+            },
+            BuildStage::Inversion => format!("  ({} workers)", report.inversion_threads),
+            _ => String::new(),
+        };
+        println!("stage {:<14} {:>12.2?}{extra}", timing.stage.name(), timing.duration);
+    }
     println!(
-        "built index in {:?} ({} ordering, inverse nnz/m = {:.1})",
-        t.elapsed(),
+        "built index in {:.2?} ({} ordering, inverse nnz/m = {:.1})",
+        report.total(),
         ordering.name(),
         index.stats().inverse_nnz_ratio()
     );
@@ -135,6 +180,7 @@ fn load_index(path: &str) -> Result<KdashIndex, String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
+    reject_unknown_flags(&flags, &["k", "set", "theta"])?;
     let [index_path, node_text] = pos.as_slice() else {
         return Err("usage: kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]"
             .into());
@@ -170,7 +216,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let (pos, _) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args)?;
+    reject_unknown_flags(&flags, &[])?;
     let [index_path] = pos.as_slice() else {
         return Err("usage: kdash info <index.kdash>".into());
     };
@@ -189,6 +236,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
+    reject_unknown_flags(&flags, &["nodes", "seed"])?;
     let [profile_text, out_path] = pos.as_slice() else {
         return Err("usage: kdash gen <profile> <edges.txt> [--nodes 2000] [--seed 42]".into());
     };

@@ -79,6 +79,16 @@ impl Partition {
         }
         s
     }
+
+    /// The largest community as `(community, size)`; ties broken by the
+    /// lower community id. `None` on an empty partition.
+    pub fn largest(&self) -> Option<(u32, usize)> {
+        self.sizes()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(c, size)| (size, std::cmp::Reverse(c)))
+            .map(|(c, size)| (c as u32, size))
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +122,14 @@ mod tests {
         let p = Partition::from_labels(&[]);
         assert_eq!(p.num_communities(), 0);
         assert_eq!(p.num_nodes(), 0);
+        assert_eq!(p.largest(), None);
+    }
+
+    #[test]
+    fn largest_breaks_ties_by_lower_id() {
+        let p = Partition::from_labels(&[0, 0, 1, 1, 2]);
+        assert_eq!(p.largest(), Some((0, 2)));
+        let q = Partition::from_labels(&[0, 1, 1, 1]);
+        assert_eq!(q.largest(), Some((1, 3)));
     }
 }

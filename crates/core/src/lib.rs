@@ -39,6 +39,36 @@
 //! The default [`IndexOptions`] use the paper's settings: hybrid reordering
 //! and restart probability `c = 0.95`.
 //!
+//! ## Building at scale: the staged [`IndexBuilder`] pipeline
+//!
+//! [`KdashIndex::build`] is a convenience wrapper over a five-stage
+//! pipeline — `ordering → factorization → inversion → estimator →
+//! assemble` — that [`IndexBuilder`] exposes directly. Each stage is
+//! individually timed ([`IndexBuilder::build_with_report`]), and the
+//! inversion stage, which dominates precomputation cost (the paper's
+//! Figure 6), runs its independent column solves on a work-stealing
+//! worker pool: `threads(0)` uses every core, and the stored inverses are
+//! **bit-identical** at any thread count.
+//!
+//! ```
+//! use kdash_core::{IndexBuilder, NodeOrdering};
+//! use kdash_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(48);
+//! for v in 0..48u32 { b.add_edge(v, (v + 1) % 48, 1.0); }
+//! let graph = b.build().unwrap();
+//!
+//! let (index, report) = IndexBuilder::new()
+//!     .ordering(NodeOrdering::Hybrid)  // Louvain-backed cluster+degree order
+//!     .threads(0)                      // parallel triangular inversion
+//!     .build_with_report(&graph)
+//!     .unwrap();
+//! for timing in &report.stages {
+//!     println!("{:<14} {:?}", timing.stage.name(), timing.duration);
+//! }
+//! assert_eq!(index.top_k(0, 3).unwrap().items.len(), 3);
+//! ```
+//!
 //! ## Serving loops: reuse a [`Searcher`]
 //!
 //! [`KdashIndex::top_k`] builds a transient query workspace per call. A
@@ -71,6 +101,7 @@ pub mod batch;
 pub mod estimator;
 pub mod ordering;
 pub mod persist;
+pub mod pipeline;
 pub mod precompute;
 pub mod search;
 pub mod searcher;
@@ -78,7 +109,8 @@ pub mod stats;
 
 pub use batch::batch_top_k;
 pub use estimator::{ArbitraryOrderBound, LayerEstimator};
-pub use ordering::{compute_ordering, NodeOrdering};
+pub use ordering::{compute_ordering, compute_ordering_with_stats, NodeOrdering, OrderingStats};
+pub use pipeline::{BuildReport, BuildStage, IndexBuilder, StageTiming};
 pub use precompute::{IndexOptions, KdashIndex};
 pub use search::{RankedNode, TopKResult};
 pub use searcher::Searcher;
@@ -91,6 +123,9 @@ pub enum KdashError {
     NodeOutOfBounds { node: kdash_graph::NodeId, num_nodes: usize },
     /// A threshold query received a non-positive or non-finite θ.
     InvalidThreshold { theta: f64 },
+    /// A restart-set query received an empty set, a duplicate node, or an
+    /// otherwise unusable source set.
+    InvalidRestartSet { reason: String },
     /// Propagated graph error.
     Graph(kdash_graph::GraphError),
     /// Propagated sparse-kernel error.
@@ -105,6 +140,9 @@ impl std::fmt::Display for KdashError {
             }
             KdashError::InvalidThreshold { theta } => {
                 write!(f, "threshold {theta} must be positive and finite")
+            }
+            KdashError::InvalidRestartSet { reason } => {
+                write!(f, "invalid restart set: {reason}")
             }
             KdashError::Graph(e) => write!(f, "graph error: {e}"),
             KdashError::Sparse(e) => write!(f, "sparse error: {e}"),

@@ -63,10 +63,34 @@ impl NodeOrdering {
     ];
 }
 
+/// What the ordering stage observed — surfaced through the
+/// [`IndexBuilder`](crate::IndexBuilder) pipeline's build report. The
+/// community fields are populated only by the Louvain-backed orderings
+/// (cluster / hybrid).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrderingStats {
+    /// Louvain communities κ found by the partitioner.
+    pub communities: Option<usize>,
+    /// Nodes moved into the extra border partition κ+1.
+    pub border_nodes: Option<usize>,
+    /// Size of the largest community.
+    pub largest_community: Option<usize>,
+}
+
 /// Computes the permutation realising `ordering` on `graph`
 /// (old id `v` maps to position `perm.new_of(v)`).
 pub fn compute_ordering(graph: &CsrGraph, ordering: NodeOrdering) -> Permutation {
+    compute_ordering_with_stats(graph, ordering).0
+}
+
+/// [`compute_ordering`], also reporting what the ordering saw (community
+/// structure for the Louvain-backed strategies).
+pub fn compute_ordering_with_stats(
+    graph: &CsrGraph,
+    ordering: NodeOrdering,
+) -> (Permutation, OrderingStats) {
     let n = graph.num_nodes();
+    let mut stats = OrderingStats::default();
     let order: Vec<NodeId> = match ordering {
         NodeOrdering::Natural => (0..n as NodeId).collect(),
         NodeOrdering::Random { seed } => {
@@ -75,12 +99,13 @@ pub fn compute_ordering(graph: &CsrGraph, ordering: NodeOrdering) -> Permutation
             order
         }
         NodeOrdering::Degree => degree_order(graph),
-        NodeOrdering::Cluster => cluster_order(graph, false),
-        NodeOrdering::Hybrid => cluster_order(graph, true),
+        NodeOrdering::Cluster => cluster_order(graph, false, &mut stats),
+        NodeOrdering::Hybrid => cluster_order(graph, true, &mut stats),
         NodeOrdering::ReverseCuthillMcKee => rcm_order(graph),
         NodeOrdering::MinDegree => min_degree_order(graph),
     };
-    Permutation::from_new_order(order).expect("orderings produce bijections")
+    let perm = Permutation::from_new_order(order).expect("orderings produce bijections");
+    (perm, stats)
 }
 
 /// Algorithm 1: ascending total degree, ties by node id (deterministic).
@@ -95,7 +120,7 @@ fn degree_order(graph: &CsrGraph) -> Vec<NodeId> {
 /// cross-partition edge into the extra border partition `κ+1`, orders
 /// partitions consecutively (border last); `sort_by_degree` switches
 /// between cluster (false) and hybrid (true).
-fn cluster_order(graph: &CsrGraph, sort_by_degree: bool) -> Vec<NodeId> {
+fn cluster_order(graph: &CsrGraph, sort_by_degree: bool, stats: &mut OrderingStats) -> Vec<NodeId> {
     let n = graph.num_nodes();
     let partition = louvain(graph, LouvainOptions::default());
     let kappa = partition.num_communities();
@@ -104,6 +129,7 @@ fn cluster_order(graph: &CsrGraph, sort_by_degree: bool) -> Vec<NodeId> {
     // crossing two partitions creates fill).
     let transpose = graph.transpose();
     let mut bucket: Vec<u32> = vec![0; n]; // partition index, κ = border
+    let mut border = 0usize;
     for v in 0..n as NodeId {
         let cv = partition.community_of(v);
         let crosses = graph
@@ -111,8 +137,12 @@ fn cluster_order(graph: &CsrGraph, sort_by_degree: bool) -> Vec<NodeId> {
             .iter()
             .chain(transpose.out_neighbors(v))
             .any(|&t| partition.community_of(t) != cv);
+        border += crosses as usize;
         bucket[v as usize] = if crosses { kappa as u32 } else { cv };
     }
+    stats.communities = Some(kappa);
+    stats.border_nodes = Some(border);
+    stats.largest_community = partition.largest().map(|(_, size)| size);
     let degrees = graph.total_degrees();
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     if sort_by_degree {
@@ -334,6 +364,31 @@ mod tests {
         let p = compute_ordering(&g, NodeOrdering::MinDegree);
         // The star hub (degree 4) cannot be eliminated first.
         assert_ne!(p.old_of(0), 0);
+    }
+
+    #[test]
+    fn ordering_stats_report_communities() {
+        // Two cliques joined by a bridge: Louvain finds two communities,
+        // the two bridge endpoints land in the border partition.
+        let mut b = GraphBuilder::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b.add_undirected_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        b.add_undirected_edge(3, 4, 1.0);
+        let g = b.build().unwrap();
+        for ord in [NodeOrdering::Cluster, NodeOrdering::Hybrid] {
+            let (_, stats) = compute_ordering_with_stats(&g, ord);
+            assert_eq!(stats.communities, Some(2), "{ord:?}");
+            assert_eq!(stats.border_nodes, Some(2), "{ord:?}");
+            assert_eq!(stats.largest_community, Some(4), "{ord:?}");
+        }
+        // Non-community orderings report nothing.
+        let (_, stats) = compute_ordering_with_stats(&g, NodeOrdering::Degree);
+        assert_eq!(stats, OrderingStats::default());
     }
 
     #[test]

@@ -5,13 +5,9 @@
 //! and the estimator's precomputed quantities `A_max`, `A_max(v)` and the
 //! per-node `c'` factors.
 
-use crate::{compute_ordering, IndexStats, KdashError, NodeOrdering, Result};
+use crate::{IndexBuilder, IndexStats, KdashError, NodeOrdering, Result};
 use kdash_graph::{CsrGraph, NodeId, Permutation};
-use kdash_sparse::{
-    invert_lower_unit, invert_upper, sparse_lu, transition_matrix, w_matrix, CscMatrix, CsrMatrix,
-    DanglingPolicy, LuFactors,
-};
-use std::time::Instant;
+use kdash_sparse::{CscMatrix, CsrMatrix, DanglingPolicy, LuFactors};
 
 /// Index construction options. Defaults follow the paper's evaluation:
 /// hybrid reordering, `c = 0.95`, dangling nodes kept as-is.
@@ -75,65 +71,49 @@ pub struct KdashIndex {
     stats: IndexStats,
 }
 
+/// Everything the build pipeline (or deserialisation) hands over to become
+/// a [`KdashIndex`]. Components are assumed structurally consistent; the
+/// persistence path validates before constructing one.
+pub(crate) struct IndexParts {
+    pub c: f64,
+    pub ordering: NodeOrdering,
+    pub perm: Permutation,
+    pub graph: CsrGraph,
+    pub linv: CscMatrix,
+    pub uinv: CsrMatrix,
+    pub a_col_max: Vec<f64>,
+    pub a_max: f64,
+    pub c_prime: Vec<f64>,
+    pub factors: Option<LuFactors>,
+    pub stats: IndexStats,
+}
+
 impl KdashIndex {
-    /// Builds the index. Runs the reordering, assembles
-    /// `W = I − (1−c)A`, factors it and inverts the triangular factors.
+    /// Builds the index with the paper's monolithic entry point: runs the
+    /// reordering, assembles `W = I − (1−c)A`, factors it and inverts the
+    /// triangular factors — sequentially. Staged construction, per-stage
+    /// timings and parallel inversion live on [`IndexBuilder`].
     pub fn build(graph: &CsrGraph, options: IndexOptions) -> Result<KdashIndex> {
-        let t0 = Instant::now();
-        let perm = compute_ordering(graph, options.ordering);
-        let permuted = graph.permute(&perm)?;
-        let ordering_time = t0.elapsed();
+        IndexBuilder::from_options(options).build(graph)
+    }
 
-        let t1 = Instant::now();
-        let a = transition_matrix(&permuted, options.dangling);
-        let w = w_matrix(&a, options.restart_probability)?;
-        let factors = sparse_lu(&w)?;
-        let factorization_time = t1.elapsed();
-
-        let t2 = Instant::now();
-        let linv = invert_lower_unit(&factors.l)?;
-        let uinv_csc = invert_upper(&factors.u)?;
-        let uinv = CsrMatrix::from_csc(&uinv_csc);
-        let inversion_time = t2.elapsed();
-
-        let a_col_max = a.col_max();
-        let a_max = a.global_max();
-        let c = options.restart_probability;
-        let c_prime: Vec<f64> = (0..permuted.num_nodes() as NodeId)
-            .map(|v| {
-                let a_vv = a.get(v, v).unwrap_or(0.0);
-                (1.0 - c) / (1.0 - a_vv + c * a_vv)
-            })
-            .collect();
-
-        let c_prime_max = c_prime.iter().copied().fold(0.0f64, f64::max);
-        let stats = IndexStats {
-            ordering_time,
-            factorization_time,
-            inversion_time,
-            nnz_l: factors.l.nnz(),
-            nnz_u: factors.u.nnz(),
-            nnz_l_inv: linv.nnz(),
-            nnz_u_inv: uinv.nnz(),
-            num_edges: graph.num_edges(),
-            num_nodes: graph.num_nodes(),
-            inverse_heap_bytes: linv.heap_bytes() + uinv.heap_bytes(),
-        };
-
-        Ok(KdashIndex {
-            c,
-            ordering: options.ordering,
-            perm,
-            graph: permuted,
-            linv,
-            uinv,
-            a_col_max,
-            a_max,
-            c_prime,
+    /// Finalises an index from pipeline (or deserialisation) output.
+    pub(crate) fn from_parts(parts: IndexParts) -> KdashIndex {
+        let c_prime_max = parts.c_prime.iter().copied().fold(0.0f64, f64::max);
+        KdashIndex {
+            c: parts.c,
+            ordering: parts.ordering,
+            perm: parts.perm,
+            graph: parts.graph,
+            linv: parts.linv,
+            uinv: parts.uinv,
+            a_col_max: parts.a_col_max,
+            a_max: parts.a_max,
+            c_prime: parts.c_prime,
             c_prime_max,
-            factors: options.keep_factors.then_some(factors),
-            stats,
-        })
+            factors: parts.factors,
+            stats: parts.stats,
+        }
     }
 
     /// Number of indexed nodes.
@@ -156,6 +136,12 @@ impl KdashIndex {
         &self.stats
     }
 
+    /// Pipeline access: the assemble stage stamps its own duration after
+    /// the index exists.
+    pub(crate) fn stats_mut(&mut self) -> &mut IndexStats {
+        &mut self.stats
+    }
+
     /// Exact proximity of a single node `u` with respect to query `q`
     /// (both in original ids): `c · (U⁻¹)ᵤ,⋆ · (L⁻¹ e_q)`.
     pub fn proximity(&self, q: NodeId, u: NodeId) -> Result<f64> {
@@ -172,21 +158,7 @@ impl KdashIndex {
         self.check_node(q)?;
         let qi = self.perm.new_of(q);
         let (idx, val) = self.linv.col(qi);
-        let n = self.num_nodes();
-        let mut y = vec![0.0; n];
-        for (&i, &v) in idx.iter().zip(val) {
-            y[i as usize] = v;
-        }
-        let mut permuted = self.uinv.matvec(&y);
-        for p in &mut permuted {
-            *p *= self.c;
-        }
-        // Back to original ids.
-        let mut out = vec![0.0; n];
-        for (new, p) in permuted.into_iter().enumerate() {
-            out[self.perm.old_of(new as NodeId) as usize] = p;
-        }
-        Ok(out)
+        Ok(self.proximities_from_query_column(idx, val))
     }
 
     /// Full proximity vector for a *restart set*: the walk restarts
@@ -196,20 +168,23 @@ impl KdashIndex {
     /// is computed in one pass over the merged `L⁻¹` columns.
     pub fn full_proximities_from_set(&self, sources: &[NodeId]) -> Result<Vec<f64>> {
         let (idx, val) = self.merged_query_column(sources)?;
+        Ok(self.proximities_from_query_column(&idx, &val))
+    }
+
+    /// Shared tail of the `full_proximities*` paths: scatters a (merged)
+    /// query column of `L⁻¹`, applies `U⁻¹`, scales by `c`, and un-permutes
+    /// the result into original node ids.
+    fn proximities_from_query_column(&self, idx: &[NodeId], val: &[f64]) -> Vec<f64> {
         let n = self.num_nodes();
         let mut y = vec![0.0; n];
-        for (&i, &v) in idx.iter().zip(&val) {
+        for (&i, &v) in idx.iter().zip(val) {
             y[i as usize] = v;
         }
         let mut permuted = self.uinv.matvec(&y);
         for p in &mut permuted {
             *p *= self.c;
         }
-        let mut out = vec![0.0; n];
-        for (new, p) in permuted.into_iter().enumerate() {
-            out[self.perm.old_of(new as NodeId) as usize] = p;
-        }
-        Ok(out)
+        self.perm.unpermute_values(&permuted)
     }
 
     /// Merges the `L⁻¹` columns of a restart set into one sorted sparse
@@ -220,17 +195,17 @@ impl KdashIndex {
         sources: &[NodeId],
     ) -> Result<(Vec<NodeId>, Vec<f64>)> {
         if sources.is_empty() {
-            return Err(KdashError::Graph(kdash_graph::GraphError::InvalidPermutation(
-                "restart set must be non-empty".into(),
-            )));
+            return Err(KdashError::InvalidRestartSet {
+                reason: "restart set must be non-empty".into(),
+            });
         }
         let mut seen = std::collections::HashSet::with_capacity(sources.len());
         for &s in sources {
             self.check_node(s)?;
             if !seen.insert(s) {
-                return Err(KdashError::Graph(kdash_graph::GraphError::InvalidPermutation(
-                    format!("node {s} appears twice in the restart set"),
-                )));
+                return Err(KdashError::InvalidRestartSet {
+                    reason: format!("node {s} appears twice in the restart set"),
+                });
             }
         }
         let weight = 1.0 / sources.len() as f64;
@@ -310,8 +285,7 @@ impl KdashIndex {
             inverse_heap_bytes: linv.heap_bytes() + uinv.heap_bytes(),
             ..Default::default()
         };
-        let c_prime_max = c_prime.iter().copied().fold(0.0f64, f64::max);
-        Ok(KdashIndex {
+        Ok(KdashIndex::from_parts(IndexParts {
             c,
             ordering,
             perm,
@@ -321,10 +295,9 @@ impl KdashIndex {
             a_col_max,
             a_max,
             c_prime,
-            c_prime_max,
             factors: None,
             stats,
-        })
+        }))
     }
 
     /// Validates a caller-supplied node id.
@@ -341,6 +314,15 @@ impl KdashIndex {
     #[doc(hidden)]
     pub fn uinv_rows(&self) -> &CsrMatrix {
         &self.uinv
+    }
+
+    /// Benchmark/diagnostic access to the stored `L⁻¹` (column-major).
+    /// Hidden for the same reason as [`uinv_rows`](Self::uinv_rows); the
+    /// determinism tests use it to compare raw inverse arrays across
+    /// thread counts.
+    #[doc(hidden)]
+    pub fn linv_cols(&self) -> &CscMatrix {
+        &self.linv
     }
 
     /// Benchmark/diagnostic access to the permuted query column `L⁻¹ e_q`
@@ -383,6 +365,7 @@ mod tests {
     use super::*;
     use kdash_graph::GraphBuilder;
     use kdash_sparse::rwr::rwr_step;
+    use kdash_sparse::transition_matrix;
 
     fn ring_with_chords(n: usize) -> CsrGraph {
         let mut b = GraphBuilder::new(n);

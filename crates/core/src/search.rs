@@ -539,8 +539,18 @@ mod tests {
     fn multi_source_validates_input() {
         let g = random_graph(20, 3, 5);
         let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
-        assert!(index.top_k_from_set(&[], 3).is_err());
-        assert!(index.top_k_from_set(&[1, 1], 3).is_err());
-        assert!(index.top_k_from_set(&[99], 3).is_err());
+        assert!(matches!(
+            index.top_k_from_set(&[], 3),
+            Err(crate::KdashError::InvalidRestartSet { .. })
+        ));
+        assert!(matches!(
+            index.top_k_from_set(&[1, 1], 3),
+            Err(crate::KdashError::InvalidRestartSet { .. })
+        ));
+        // An out-of-range member is a node error, not a set-shape error.
+        assert!(matches!(
+            index.top_k_from_set(&[99], 3),
+            Err(crate::KdashError::NodeOutOfBounds { node: 99, .. })
+        ));
     }
 }

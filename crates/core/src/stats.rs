@@ -12,6 +12,11 @@ pub struct IndexStats {
     pub factorization_time: Duration,
     /// Time spent inverting the triangular factors.
     pub inversion_time: Duration,
+    /// Time spent precomputing the estimator constants
+    /// (`A_max`, `A_max(v)`, `c'`).
+    pub estimator_time: Duration,
+    /// Time spent assembling and validating the final index.
+    pub assemble_time: Duration,
     /// Stored entries of the factor `L` (diagonal implicit).
     pub nnz_l: usize,
     /// Stored entries of the factor `U`.
@@ -31,7 +36,11 @@ pub struct IndexStats {
 impl IndexStats {
     /// Total wall-clock spent building the index.
     pub fn total_time(&self) -> Duration {
-        self.ordering_time + self.factorization_time + self.inversion_time
+        self.ordering_time
+            + self.factorization_time
+            + self.inversion_time
+            + self.estimator_time
+            + self.assemble_time
     }
 
     /// The Figure 5 metric: stored inverse entries per graph edge.

@@ -119,6 +119,13 @@ impl Permutation {
         assert_eq!(values.len(), self.len(), "value vector length mismatch");
         self.old_of_new.iter().map(|&old| values[old as usize]).collect()
     }
+
+    /// Inverse of [`permute_values`](Self::permute_values): takes a vector
+    /// in new indexing back to old indexing.
+    pub fn unpermute_values<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len(), "value vector length mismatch");
+        self.new_of_old.iter().map(|&new| values[new as usize]).collect()
+    }
 }
 
 #[cfg(test)]
@@ -174,5 +181,14 @@ mod tests {
         let p = Permutation::from_new_order(vec![2, 0, 1]).unwrap();
         let vals = vec![10, 20, 30];
         assert_eq!(p.permute_values(&vals), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn unpermute_inverts_permute() {
+        let p = Permutation::from_new_order(vec![2, 0, 1]).unwrap();
+        let vals = vec![10, 20, 30];
+        assert_eq!(p.unpermute_values(&p.permute_values(&vals)), vals);
+        assert_eq!(p.permute_values(&p.unpermute_values(&vals)), vals);
+        assert_eq!(p.unpermute_values(&vals), p.inverse().permute_values(&vals));
     }
 }

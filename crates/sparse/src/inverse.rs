@@ -7,8 +7,55 @@
 //! how *sparse* it is depends entirely on the node ordering — this is the
 //! quantity the paper's reordering heuristics (degree / cluster / hybrid)
 //! minimise and that Figure 5 measures.
+//!
+//! Columns are mutually independent (no column's solve reads another
+//! column of the inverse), which makes the inversion embarrassingly
+//! parallel: [`invert_lower_unit_with`] / [`invert_upper_with`] fan the
+//! columns out over a work-stealing chunk cursor, one [`SolveWorkspace`]
+//! per worker, and gather the per-worker column blocks back in column
+//! order — so the result is **bit-identical** to the sequential inversion
+//! at every thread count.
 
 use crate::{CscMatrix, Index, Result, SolveWorkspace, SparseError, Triangle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Options for the triangular-inversion driver.
+#[derive(Debug, Clone, Copy)]
+pub struct InvertOptions {
+    /// Worker threads: `0` means "one per available hardware thread"
+    /// (`std::thread::available_parallelism`), `1` runs sequentially on
+    /// the calling thread. Any thread count produces bit-identical output.
+    pub threads: usize,
+}
+
+impl Default for InvertOptions {
+    fn default() -> Self {
+        InvertOptions { threads: 1 }
+    }
+}
+
+impl InvertOptions {
+    /// Sequential inversion on the calling thread.
+    pub fn sequential() -> Self {
+        InvertOptions { threads: 1 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn parallel() -> Self {
+        InvertOptions { threads: 0 }
+    }
+
+    /// Resolves the worker count against the column count: `0` = auto,
+    /// always at least 1, never more workers than columns.
+    pub fn resolved_threads(&self, num_cols: usize) -> usize {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        threads.max(1).min(num_cols.max(1))
+    }
+}
 
 /// Inverts a unit lower triangular matrix given its strictly-lower part
 /// (diagonal implicit, as produced by [`crate::sparse_lu`]).
@@ -16,19 +63,44 @@ use crate::{CscMatrix, Index, Result, SolveWorkspace, SparseError, Triangle};
 /// The returned matrix stores the unit diagonal **explicitly**, so its
 /// column `q` is directly the vector `L⁻¹ e_q` used at query time.
 pub fn invert_lower_unit(l: &CscMatrix) -> Result<CscMatrix> {
-    invert(l, Triangle::Lower, true)
+    invert(l, Triangle::Lower, true, InvertOptions::sequential())
 }
 
 /// Inverts an upper triangular matrix with stored diagonal.
 pub fn invert_upper(u: &CscMatrix) -> Result<CscMatrix> {
-    invert(u, Triangle::Upper, false)
+    invert(u, Triangle::Upper, false, InvertOptions::sequential())
 }
 
-fn invert(t: &CscMatrix, triangle: Triangle, unit_diag: bool) -> Result<CscMatrix> {
+/// [`invert_lower_unit`] with an explicit thread count.
+pub fn invert_lower_unit_with(l: &CscMatrix, options: InvertOptions) -> Result<CscMatrix> {
+    invert(l, Triangle::Lower, true, options)
+}
+
+/// [`invert_upper`] with an explicit thread count.
+pub fn invert_upper_with(u: &CscMatrix, options: InvertOptions) -> Result<CscMatrix> {
+    invert(u, Triangle::Upper, false, options)
+}
+
+fn invert(
+    t: &CscMatrix,
+    triangle: Triangle,
+    unit_diag: bool,
+    options: InvertOptions,
+) -> Result<CscMatrix> {
     let n = t.nrows();
     if t.nrows() != t.ncols() {
         return Err(SparseError::NotSquare { nrows: t.nrows(), ncols: t.ncols() });
     }
+    let threads = options.resolved_threads(n);
+    if threads <= 1 {
+        invert_sequential(t, triangle, unit_diag)
+    } else {
+        invert_parallel(t, triangle, unit_diag, threads)
+    }
+}
+
+fn invert_sequential(t: &CscMatrix, triangle: Triangle, unit_diag: bool) -> Result<CscMatrix> {
+    let n = t.nrows();
     let mut ws = SolveWorkspace::new(n);
     let mut col_ptr = Vec::with_capacity(n + 1);
     col_ptr.push(0usize);
@@ -41,6 +113,136 @@ fn invert(t: &CscMatrix, triangle: Triangle, unit_diag: bool) -> Result<CscMatri
         values.extend_from_slice(&xv);
         col_ptr.push(row_idx.len());
     }
+    CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
+}
+
+/// A contiguous run of solved columns, produced by one worker claim.
+struct ColumnBlock {
+    /// First column covered by the block.
+    first: usize,
+    /// Nonzero count per column, in column order.
+    col_lens: Vec<usize>,
+    /// Concatenated sorted row indices of the block's columns.
+    rows: Vec<Index>,
+    /// Values parallel to `rows`.
+    vals: Vec<f64>,
+}
+
+/// Columns per cursor claim. Column costs are skewed (a column's solve is
+/// proportional to its reach, which grows towards one end of the
+/// triangle), so claims must stay small enough for the fast workers to
+/// steal the cheap tail; large enough that the cursor isn't contended.
+fn claim_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads * 32)).clamp(1, 256)
+}
+
+fn invert_parallel(
+    t: &CscMatrix,
+    triangle: Triangle,
+    unit_diag: bool,
+    threads: usize,
+) -> Result<CscMatrix> {
+    let n = t.nrows();
+    let chunk = claim_chunk(n, threads);
+    let cursor = AtomicUsize::new(0);
+
+    // Each worker returns its solved blocks plus the first error it hit
+    // (the error poisons the cursor so other workers stop claiming).
+    type WorkerOutput = (Vec<ColumnBlock>, Option<(usize, SparseError)>);
+    let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = SolveWorkspace::new(n);
+                    let (mut xi, mut xv) = (Vec::new(), Vec::new());
+                    let mut blocks: Vec<ColumnBlock> = Vec::new();
+                    let mut error: Option<(usize, SparseError)> = None;
+                    'claims: loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        let mut block = ColumnBlock {
+                            first: start,
+                            col_lens: Vec::with_capacity(end - start),
+                            rows: Vec::new(),
+                            vals: Vec::new(),
+                        };
+                        for j in start..end {
+                            match ws.solve_unit(
+                                t,
+                                triangle,
+                                unit_diag,
+                                j as Index,
+                                &mut xi,
+                                &mut xv,
+                            ) {
+                                Ok(()) => {
+                                    block.col_lens.push(xi.len());
+                                    block.rows.extend_from_slice(&xi);
+                                    block.vals.extend_from_slice(&xv);
+                                }
+                                Err(e) => {
+                                    error = Some((j, e));
+                                    // Poison the cursor: the inversion is
+                                    // doomed, remaining columns are wasted
+                                    // work. Chunks are claimed in increasing
+                                    // order, so every chunk at or below the
+                                    // lowest-error chunk was already handed
+                                    // out — the lowest-column error is still
+                                    // found deterministically.
+                                    cursor.fetch_max(n, Ordering::Relaxed);
+                                    break 'claims;
+                                }
+                            }
+                        }
+                        blocks.push(block);
+                    }
+                    (blocks, error)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("inversion worker panicked")).collect()
+    });
+
+    // Deterministic error: the sequential path reports the lowest singular
+    // column; claims go out in increasing order, so the chunk containing
+    // that column was processed (up to the error) by whoever claimed it.
+    let mut first_error: Option<(usize, SparseError)> = None;
+    let mut blocks: Vec<ColumnBlock> = Vec::new();
+    for (worker_blocks, error) in worker_outputs {
+        blocks.extend(worker_blocks);
+        if let Some((col, e)) = error {
+            match &first_error {
+                Some((lowest, _)) if *lowest <= col => {}
+                _ => first_error = Some((col, e)),
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    // Gather the blocks in column order; concatenation reproduces exactly
+    // the arrays the sequential loop appends one column at a time.
+    blocks.sort_unstable_by_key(|b| b.first);
+    let total_nnz: usize = blocks.iter().map(|b| b.rows.len()).sum();
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0usize);
+    let mut row_idx: Vec<Index> = Vec::with_capacity(total_nnz);
+    let mut values: Vec<f64> = Vec::with_capacity(total_nnz);
+    let mut next_col = 0usize;
+    for block in &blocks {
+        debug_assert_eq!(block.first, next_col, "blocks must tile the column range");
+        next_col += block.col_lens.len();
+        for &len in &block.col_lens {
+            col_ptr.push(col_ptr.last().expect("non-empty") + len);
+        }
+        row_idx.extend_from_slice(&block.rows);
+        values.extend_from_slice(&block.vals);
+    }
+    debug_assert_eq!(next_col, n, "every column must be covered");
     CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
 }
 
@@ -184,6 +386,93 @@ mod tests {
                 assert!((a - b).abs() < 1e-10, "{a} vs {b}");
             }
         }
+    }
+
+    /// Random triangular factors from RWR-like matrices: the parallel
+    /// driver must reproduce the sequential arrays *bit for bit* at every
+    /// thread count, including counts far above the column count.
+    #[test]
+    fn parallel_inversion_is_bit_identical() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..8 {
+            let n = rng.gen_range(5..60usize);
+            let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+            let mut col_sum = vec![0.0f64; n];
+            for j in 0..n as Index {
+                for i in 0..n as Index {
+                    if i != j && rng.gen_bool(0.25) {
+                        let v: f64 = -rng.gen_range(0.01..0.6);
+                        trips.push((i, j, v));
+                        col_sum[j as usize] += v.abs();
+                    }
+                }
+            }
+            for (j, &cs) in col_sum.iter().enumerate() {
+                trips.push((j as Index, j as Index, cs + 0.7));
+            }
+            let w = CscMatrix::from_triplets(n, n, &trips).unwrap();
+            let f = sparse_lu(&w).unwrap();
+            let linv_seq = invert_lower_unit(&f.l).unwrap();
+            let uinv_seq = invert_upper(&f.u).unwrap();
+            for threads in [0usize, 2, 3, 7, 64] {
+                let opts = InvertOptions { threads };
+                let linv_par = invert_lower_unit_with(&f.l, opts).unwrap();
+                let uinv_par = invert_upper_with(&f.u, opts).unwrap();
+                assert_bit_identical(&linv_seq, &linv_par, trial, threads);
+                assert_bit_identical(&uinv_seq, &uinv_par, trial, threads);
+            }
+        }
+    }
+
+    fn assert_bit_identical(a: &CscMatrix, b: &CscMatrix, trial: usize, threads: usize) {
+        let (ap, ai, av) = a.raw();
+        let (bp, bi, bv) = b.raw();
+        assert_eq!(ap, bp, "trial {trial} threads {threads}: col_ptr differs");
+        assert_eq!(ai, bi, "trial {trial} threads {threads}: row_idx differs");
+        let abits: Vec<u64> = av.iter().map(|v| v.to_bits()).collect();
+        let bbits: Vec<u64> = bv.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(abits, bbits, "trial {trial} threads {threads}: values differ");
+    }
+
+    #[test]
+    fn parallel_error_is_lowest_singular_column() {
+        // Diagonal missing at columns 3 and 7: every thread count must
+        // report column 3, like the sequential path.
+        let n = 12;
+        let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+        for j in 0..n as Index {
+            if j != 3 && j != 7 {
+                trips.push((j, j, 2.0));
+            }
+            if j > 0 {
+                trips.push((j - 1, j, 1.0));
+            }
+        }
+        let u = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            let err = invert_upper_with(&u, InvertOptions { threads }).unwrap_err();
+            assert!(
+                matches!(err, SparseError::SingularPivot { column: 3, .. }),
+                "threads {threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invert_options_resolution() {
+        assert!(InvertOptions::parallel().resolved_threads(100) >= 1);
+        assert_eq!(InvertOptions::sequential().resolved_threads(100), 1);
+        assert_eq!(InvertOptions { threads: 8 }.resolved_threads(3), 3);
+        assert_eq!(InvertOptions { threads: 8 }.resolved_threads(0), 1);
+        assert_eq!(InvertOptions::default().threads, 1);
+    }
+
+    #[test]
+    fn claim_chunk_bounds() {
+        assert_eq!(claim_chunk(10, 4), 1);
+        assert!(claim_chunk(1_000_000, 2) <= 256);
+        assert!(claim_chunk(0, 8) >= 1);
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod triangular;
 
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
-pub use inverse::{invert_lower_unit, invert_upper};
+pub use inverse::{
+    invert_lower_unit, invert_lower_unit_with, invert_upper, invert_upper_with, InvertOptions,
+};
 pub use lu::{sparse_lu, LuFactors};
 pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
 pub use scatter::ScatteredColumn;

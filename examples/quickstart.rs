@@ -6,7 +6,7 @@
 //! ```
 
 use kdash_baselines::{IterativeRwr, TopKEngine};
-use kdash_core::{IndexOptions, KdashIndex};
+use kdash_core::IndexBuilder;
 use kdash_datagen::DatasetProfile;
 
 fn main() {
@@ -21,19 +21,23 @@ fn main() {
     );
 
     // 2. Build the K-dash index (hybrid reordering, c = 0.95 — the paper's
-    //    defaults). This is the one-off precomputation phase.
-    let index = KdashIndex::build(&graph, IndexOptions::default()).expect("index build");
-    let stats = index.stats();
-    println!(
-        "precompute: {:?} total ({:?} ordering, {:?} LU, {:?} inversion)",
-        stats.total_time(),
-        stats.ordering_time,
-        stats.factorization_time,
-        stats.inversion_time
-    );
+    //    defaults). This is the one-off precomputation phase, a staged
+    //    pipeline; `.threads(0)` parallelises the dominant inversion stage
+    //    over all cores with bit-identical output.
+    let (index, report) =
+        IndexBuilder::new().threads(0).build_with_report(&graph).expect("index build");
+    println!("precompute: {:?} total, stage by stage:", report.total());
+    for timing in &report.stages {
+        println!("  {:<14} {:?}", timing.stage.name(), timing.duration);
+    }
+    if let (Some(communities), Some(border)) =
+        (report.ordering.communities, report.ordering.border_nodes)
+    {
+        println!("  (hybrid ordering: {communities} Louvain communities, {border} border nodes)");
+    }
     println!(
         "inverse nnz / edges = {:.2} (paper's Fig. 5 metric; ~O(m) storage)",
-        stats.inverse_nnz_ratio()
+        index.stats().inverse_nnz_ratio()
     );
 
     // 3. Query: exact top-10 highest-proximity nodes for node 0.

@@ -1,0 +1,161 @@
+//! Persistence properties: build → `save` → `load` is lossless, and a
+//! damaged file is rejected instead of answering queries wrongly.
+//!
+//! The paper's deployment story (build once, serve from many processes)
+//! only works if reload is *bit*-faithful — a proximity that shifts by one
+//! ulp across a save/load cycle would break the exactness guarantee the
+//! whole system is named for.
+
+use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (3usize..50)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec(
+                (0..n as NodeId, 0..n as NodeId, 0.1f64..3.0),
+                n..(n * 4),
+            );
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                b.add_edge(u, v, w);
+            }
+            b.build().expect("generated edges are valid")
+        })
+}
+
+const ORDERINGS: [NodeOrdering; 7] = [
+    NodeOrdering::Natural,
+    NodeOrdering::Random { seed: 9 },
+    NodeOrdering::Degree,
+    NodeOrdering::Cluster,
+    NodeOrdering::Hybrid,
+    NodeOrdering::ReverseCuthillMcKee,
+    NodeOrdering::MinDegree,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-trip: every ordering, random graphs — the reloaded index
+    /// answers every sampled query bit-identically and reports the same
+    /// structural statistics.
+    #[test]
+    fn save_load_roundtrip_is_bit_faithful(
+        (graph, ord_sel, c_pick) in (graph_strategy(), any::<u32>(), 0usize..3)
+    ) {
+        let ordering = ORDERINGS[ord_sel as usize % ORDERINGS.len()];
+        let c = [0.5, 0.8, 0.95][c_pick];
+        let index = KdashIndex::build(
+            &graph,
+            IndexOptions { ordering, restart_probability: c, ..Default::default() },
+        ).unwrap();
+
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = KdashIndex::load(buf.as_slice()).unwrap();
+
+        prop_assert_eq!(loaded.num_nodes(), index.num_nodes());
+        prop_assert_eq!(loaded.ordering(), index.ordering());
+        prop_assert_eq!(loaded.restart_probability(), index.restart_probability());
+        prop_assert_eq!(loaded.stats().nnz_l_inv, index.stats().nnz_l_inv);
+        prop_assert_eq!(loaded.stats().nnz_u_inv, index.stats().nnz_u_inv);
+        prop_assert_eq!(loaded.stats().num_edges, index.stats().num_edges);
+        prop_assert_eq!(
+            loaded.stats().inverse_heap_bytes,
+            index.stats().inverse_heap_bytes
+        );
+
+        let n = graph.num_nodes();
+        let k = 5usize.min(n);
+        for q in (0..n as NodeId).step_by((n / 4).max(1)) {
+            let a = index.top_k(q, k).unwrap();
+            let b = loaded.top_k(q, k).unwrap();
+            prop_assert_eq!(a.nodes(), b.nodes(), "query {}", q);
+            for (x, y) in a.items.iter().zip(&b.items) {
+                prop_assert_eq!(
+                    x.proximity.to_bits(), y.proximity.to_bits(),
+                    "query {} node {}", q, x.node
+                );
+            }
+        }
+    }
+
+    /// Any strict prefix of a saved index must fail to load — never panic,
+    /// never produce a working index from partial data.
+    #[test]
+    fn every_truncation_is_rejected(graph in graph_strategy(), cut_sel in any::<u32>()) {
+        let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let cut = cut_sel as usize % buf.len();
+        prop_assert!(KdashIndex::load(&buf[..cut]).is_err(), "cut at {} must fail", cut);
+    }
+}
+
+fn sample_index() -> (KdashIndex, Vec<u8>) {
+    let mut b = GraphBuilder::new(30);
+    for v in 0..30u32 {
+        b.add_edge(v, (v + 1) % 30, 1.0);
+        b.add_edge(v, (v + 11) % 30, 0.5);
+    }
+    let index = KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap();
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+    (index, buf)
+}
+
+// Header layout: magic(8) + version(4) + c(8) + ordering tag(1) +
+// seed(8) + n(8) = 37 bytes.
+const HEADER_LEN: usize = 37;
+
+#[test]
+fn every_header_truncation_is_rejected() {
+    let (_, buf) = sample_index();
+    for cut in 0..HEADER_LEN {
+        assert!(KdashIndex::load(&buf[..cut]).is_err(), "header cut at {cut} must fail");
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let (_, mut buf) = sample_index();
+    buf[0] ^= 0x20;
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+#[test]
+fn unsupported_version_is_rejected() {
+    let (_, mut buf) = sample_index();
+    buf[8] = 0xFF; // version is the little-endian u32 after the magic
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+#[test]
+fn unknown_ordering_tag_is_rejected() {
+    let (_, mut buf) = sample_index();
+    buf[20] = 0x63; // the single ordering-tag byte after magic+version+c
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+#[test]
+fn corrupt_restart_probability_is_rejected() {
+    let (_, mut buf) = sample_index();
+    // c is the f64 at bytes 12..20; overwrite with NaN (also out of (0,1)).
+    buf[12..20].copy_from_slice(&f64::NAN.to_le_bytes());
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+#[test]
+fn inflated_node_count_is_rejected() {
+    let (_, mut buf) = sample_index();
+    // n is the u64 at bytes 29..37. Inflating it makes the permutation
+    // read consume bytes from the following sections and then either hit
+    // EOF or fail the bijection validation — both must surface as errors.
+    buf[29..37].copy_from_slice(&1_000_000u64.to_le_bytes());
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
