@@ -1,23 +1,44 @@
-//! PR 1 headline benchmark: the query-engine overhaul.
+//! Query-engine headline benchmark (PR 1: scatter/gather + `Searcher`
+//! reuse; PR 3: lazy layer-by-layer BFS + runtime-dispatched wide gather
+//! kernels).
 //!
-//! On a ~50k-node RMAT graph (the paper's Social/Email stand-in), compares
+//! On a ~65k-node RMAT graph (the paper's Social/Email stand-in):
 //!
-//! * the original per-candidate **merge-join** kernel
-//!   (`top_k_merge_join`, `O(nnz(row) + nnz(col))` per candidate, fresh
-//!   buffers per query) against the **scatter/gather** kernel (query
-//!   column scattered once, `O(nnz(row))` gather per candidate), and
-//! * a **transient** `Searcher` per query (what `KdashIndex::top_k` does)
-//!   against a **reused** one (`Searcher::top_k_into`, allocation-free
-//!   after warm-up).
+//! * `proximity_kernel/*` — the gather kernels in isolation (merge join,
+//!   1-lane scalar gather, 4-accumulator unrolled, AVX2 where the host has
+//!   it) over a stride of all `U⁻¹` rows;
+//! * `proximity_kernel_hub/*` — the same kernels over the **densest** rows
+//!   (hub candidates), where the wide kernels' instruction-level
+//!   parallelism matters most;
+//! * `query_engine/*` — end-to-end top-k sweeps: the eager merge-join
+//!   reference vs one reused lazy `Searcher` per kernel.
 //!
-//! Headline numbers land in `BENCH_PR1.json` at the repo root.
-//! `KDASH_BENCH_SCALE` overrides the RMAT scale (default 16 ⇒ 2^16 =
-//! 65,536 nodes) for quick smoke runs.
+//! The setup also prints the lazy-frontier counters over the query mix
+//! (`frontier expanded / discovered / full reachable`): the expanded count
+//! is the traversal work the fused BFS actually pays, the full count what
+//! the eager path paid before.
+//!
+//! Headline numbers land in `BENCH_PR3.json` at the repo root (PR 1's in
+//! `BENCH_PR1.json`). `KDASH_BENCH_SCALE` overrides the RMAT scale
+//! (default 16 ⇒ 2^16 = 65,536 nodes) for quick smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kdash_core::{IndexOptions, KdashIndex, TopKResult};
+use kdash_core::{GatherKernel, IndexOptions, KdashIndex, Searcher, TopKResult};
 use kdash_datagen::{rmat, RmatParams};
 use kdash_graph::NodeId;
+
+/// The kernels this host can run, labelled for the report.
+fn host_kernels() -> Vec<(&'static str, GatherKernel)> {
+    let mut kernels = vec![
+        ("scalar", GatherKernel::Scalar),
+        ("unrolled4", GatherKernel::Unrolled4),
+    ];
+    if let Ok(resolved) = GatherKernel::Simd.resolve() {
+        // Label with the concrete dispatch target (e.g. "avx2").
+        kernels.push((resolved.name(), GatherKernel::Simd));
+    }
+    kernels
+}
 
 fn bench(c: &mut Criterion) {
     let scale: u32 = std::env::var("KDASH_BENCH_SCALE")
@@ -45,13 +66,51 @@ fn bench(c: &mut Criterion) {
     let queries: Vec<NodeId> = kdash_bench::queries_for(&graph, 32);
     let k = 50;
 
-    // Kernel-level comparison, isolated from BFS and heap costs: one query
-    // column against every non-empty U⁻¹ row it will meet in a search.
+    // Lazy-frontier counters over the mix: what the fused BFS pays
+    // (expanded), what it enumerates (discovered) and what the eager path
+    // enumerated (full reachable, from the merge-join reference).
+    {
+        let mut searcher = index.searcher();
+        let (mut expanded, mut discovered, mut full, mut early) = (0usize, 0usize, 0usize, 0usize);
+        for &q in &queries {
+            let lazy = searcher.top_k(q, k).expect("query");
+            let eager = index.top_k_merge_join(q, k).expect("query");
+            expanded += lazy.stats.frontier_expanded;
+            discovered += lazy.stats.reachable;
+            full += eager.stats.reachable;
+            early += lazy.stats.terminated_early as usize;
+        }
+        println!(
+            "lazy frontier over {} queries (k={k}): expanded {expanded} / discovered \
+             {discovered} / full reachable {full} ({} early-terminated); \
+             traversal work = {:.1}% of eager",
+            queries.len(),
+            early,
+            100.0 * expanded as f64 / full.max(1) as f64,
+        );
+    }
+
+    // Kernel-level comparison, isolated from BFS and heap costs: the
+    // *hub-most* query of the mix (densest scattered `L⁻¹` column — the
+    // per-query cost profile the paper's skewed datasets stress) against
+    // the U⁻¹ rows a search meets.
+    let hub_query = *queries
+        .iter()
+        .max_by_key(|&&q| index.linv_query_column(q).0.len())
+        .expect("non-empty query mix");
+    let (col_idx, col_val) = index.linv_query_column(hub_query);
+    println!("kernel column: query {hub_query}, nnz(L⁻¹ e_q) = {}", col_idx.len());
+    let uinv = index.uinv_rows();
+    let mut column = kdash_sparse::ScatteredColumn::new(graph.num_nodes());
+    column.load(col_idx, col_val);
+
+    // The strided mix (PR 1's series): mostly rows *far* from the query,
+    // whose stamp checks nearly all fail — the branchy scalar gather skips
+    // almost every multiply there, so it is the right default for cold
+    // candidates and the continuity baseline against BENCH_PR1.json.
     let mut kernels = c.benchmark_group("proximity_kernel");
     kernels.sample_size(30);
     {
-        let (col_idx, col_val) = index.linv_query_column(queries[0]);
-        let uinv = index.uinv_rows();
         let rows: Vec<NodeId> = (0..graph.num_nodes() as NodeId).step_by(7).collect();
         kernels.bench_function("merge_join", |b| {
             b.iter(|| {
@@ -62,19 +121,63 @@ fn bench(c: &mut Criterion) {
                 std::hint::black_box(acc)
             });
         });
-        kernels.bench_function("scatter_gather", |b| {
-            let mut column = kdash_sparse::ScatteredColumn::new(graph.num_nodes());
-            column.load(col_idx, col_val);
-            b.iter(|| {
-                let mut acc = 0.0;
-                for &r in &rows {
-                    acc += uinv.row_dot_scattered(r, &column);
-                }
-                std::hint::black_box(acc)
+        for (label, kernel) in host_kernels() {
+            let resolved = kernel.resolve().expect("host kernel");
+            kernels.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &r in &rows {
+                        acc += uinv.row_dot_scattered_with(resolved, r, &column);
+                    }
+                    std::hint::black_box(acc)
+                });
             });
-        });
+        }
     }
     kernels.finish();
+
+    // Candidate (hub) rows: the rows a search actually computes proximities
+    // over are the ones overlapping the query column — dense rows of nodes
+    // near the query, where the stamp check *passes* and the single-lane
+    // gather serialises behind its accumulator. Rank rows by matched
+    // nonzeros against the loaded column and take the hottest 512: this is
+    // the kernel's latency-bound case, where the four independent
+    // accumulators pay off.
+    let mut hub_group = c.benchmark_group("proximity_kernel_hub");
+    hub_group.sample_size(30);
+    {
+        let mut by_overlap: Vec<(usize, usize, NodeId)> = (0..graph.num_nodes() as NodeId)
+            .map(|r| {
+                let (cols, _) = uinv.row(r);
+                let matched = cols.iter().filter(|&&c| column.get(c).is_some()).count();
+                (matched, cols.len(), r)
+            })
+            .collect();
+        by_overlap.sort_by_key(|&(matched, nnz, r)| (std::cmp::Reverse(matched), nnz, r));
+        let hubs: Vec<NodeId> = by_overlap.iter().take(512).map(|&(_, _, r)| r).collect();
+        let (total_nnz, total_matched): (usize, usize) = by_overlap
+            .iter()
+            .take(512)
+            .fold((0, 0), |(n, m), &(matched, nnz, _)| (n + nnz, m + matched));
+        println!(
+            "hub rows: 512 highest-overlap U⁻¹ rows, avg nnz {:.0}, avg stamp-hit rate {:.0}%",
+            total_nnz as f64 / 512.0,
+            100.0 * total_matched as f64 / total_nnz.max(1) as f64,
+        );
+        for (label, kernel) in host_kernels() {
+            let resolved = kernel.resolve().expect("host kernel");
+            hub_group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &r in &hubs {
+                        acc += uinv.row_dot_scattered_with(resolved, r, &column);
+                    }
+                    std::hint::black_box(acc)
+                });
+            });
+        }
+    }
+    hub_group.finish();
 
     let mut group = c.benchmark_group("query_engine");
     group.sample_size(20);
@@ -89,30 +192,87 @@ fn bench(c: &mut Criterion) {
         });
     });
 
-    group.bench_function("scatter_gather_transient", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for &q in &queries {
-                total += index.top_k(q, k).expect("query").items.len();
-            }
-            std::hint::black_box(total)
-        });
-    });
-
-    group.bench_function("scatter_gather_reused", |b| {
-        let mut searcher = index.searcher();
+    // The PR 1 path: reused Searcher, scalar gather, whole BFS tree
+    // drained before the search loop — the baseline the lazy frontier's
+    // end-to-end saving is measured against, in-run.
+    {
+        let mut searcher = Searcher::with_kernel(&index, GatherKernel::Scalar).expect("scalar");
         let mut out = TopKResult::default();
-        b.iter(|| {
-            let mut total = 0usize;
-            for &q in &queries {
-                searcher.top_k_into(q, k, &mut out).expect("query");
-                total += out.items.len();
-            }
-            std::hint::black_box(total)
+        group.bench_function("eager_reused_scalar", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    searcher.top_k_eager_into(q, k, &mut out).expect("query");
+                    total += out.items.len();
+                }
+                std::hint::black_box(total)
+            });
         });
-    });
+    }
+
+    // One reused lazy Searcher per kernel — the serving configuration.
+    for (label, kernel) in host_kernels() {
+        let mut searcher = Searcher::with_kernel(&index, kernel).expect("host kernel");
+        let mut out = TopKResult::default();
+        group.bench_function(format!("lazy_reused_{label}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    searcher.top_k_into(q, k, &mut out).expect("query");
+                    total += out.items.len();
+                }
+                std::hint::black_box(total)
+            });
+        });
+    }
 
     group.finish();
+
+    // Light queries (k = 5): Lemma 2 fires after a couple of layers, so
+    // the *traversal* — not the gather kernel — is the per-query cost.
+    // This is the lazy frontier's headline case: the eager path still
+    // enumerates each query's whole reachable set (tens of thousands of
+    // nodes here) before computing a handful of proximities.
+    let mut light = c.benchmark_group("query_engine_k5");
+    light.sample_size(20);
+    {
+        let k_light = 5;
+        let mut searcher = Searcher::with_kernel(&index, GatherKernel::Scalar).expect("scalar");
+        let (mut expanded, mut full) = (0usize, 0usize);
+        let mut out = TopKResult::default();
+        for &q in &queries {
+            searcher.top_k_into(q, k_light, &mut out).expect("query");
+            expanded += out.stats.frontier_expanded;
+            searcher.top_k_eager_into(q, k_light, &mut out).expect("query");
+            full += out.stats.frontier_expanded;
+        }
+        println!(
+            "k=5 frontier: lazy expands {expanded} nodes vs eager {full} \
+             ({:.1}% of the eager traversal)",
+            100.0 * expanded as f64 / full.max(1) as f64
+        );
+        light.bench_function("eager_reused_scalar", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    searcher.top_k_eager_into(q, k_light, &mut out).expect("query");
+                    total += out.items.len();
+                }
+                std::hint::black_box(total)
+            });
+        });
+        light.bench_function("lazy_reused_scalar", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    searcher.top_k_into(q, k_light, &mut out).expect("query");
+                    total += out.items.len();
+                }
+                std::hint::black_box(total)
+            });
+        });
+    }
+    light.finish();
 }
 
 criterion_group!(benches, bench);

@@ -3,6 +3,7 @@
 //! ```text
 //! kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]
 //! kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...]
+//!             [--kernel auto] [--pruning on]
 //! kdash info  <index.kdash>
 //! kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]
 //! ```
@@ -11,11 +12,23 @@
 //! line per stage; `--threads 0` parallelises the inversion stage over all
 //! available cores (output is bit-identical at any thread count).
 //!
+//! `query` selects its gather kernel with `--kernel
+//! {scalar,unrolled,simd,auto}` (a selector the host CPU cannot honour is
+//! a typed error; only `auto` falls back) and prints the per-query work
+//! counters, including the lazy-BFS `frontier_expanded`/`discovered`
+//! pair — on early-terminated queries `discovered` is the
+//! discovered-so-far count, not full reachability (see
+//! `kdash_core::SearchStats`). `--pruning off` disables the Lemma 2
+//! termination, so pruned-vs-unpruned ablations (the paper's Figure 7)
+//! run straight from the command line.
+//!
 //! Edge lists are plain text (`src dst [weight]`, `#`/`%` comments) — the
 //! format of the SNAP / Pajek exports the paper's datasets use. Indexes
 //! are the versioned binary format of `kdash_core::persist`.
 
-use kdash_core::{BuildStage, IndexBuilder, IndexOptions, KdashIndex, NodeOrdering};
+use kdash_core::{
+    BuildStage, GatherKernel, IndexBuilder, IndexOptions, KdashIndex, NodeOrdering, Searcher,
+};
 use kdash_datagen::DatasetProfile;
 use kdash_graph::io::read_edge_list;
 use std::fs::File;
@@ -52,12 +65,16 @@ fn print_usage() {
          USAGE:\n\
          \x20 kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]\n\
          \x20 kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
+         \x20             [--kernel auto] [--pruning on]\n\
          \x20 kdash info  <index.kdash>\n\
          \x20 kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
          \n\
          ORDERINGS: natural random degree community (= cluster) hybrid rcm mindegree\n\
          PROFILES:  dictionary internet citation social email\n\
-         THREADS:   inversion-stage workers; 0 = all cores, results identical at any count"
+         THREADS:   inversion-stage workers; 0 = all cores, results identical at any count\n\
+         KERNELS:   scalar unrolled simd auto — proximity gather kernel; 'simd' errors on\n\
+         \x20          hosts without AVX2, only 'auto' falls back\n\
+         PRUNING:   on (Lemma 2 early termination) | off (visit every reachable node)"
     );
 }
 
@@ -180,37 +197,66 @@ fn load_index(path: &str) -> Result<KdashIndex, String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    reject_unknown_flags(&flags, &["k", "set", "theta"])?;
+    reject_unknown_flags(&flags, &["k", "set", "theta", "kernel", "pruning"])?;
     let [index_path, node_text] = pos.as_slice() else {
-        return Err("usage: kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]"
+        return Err("usage: kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T] \
+                    [--kernel auto] [--pruning on]"
             .into());
     };
     let q: u32 = node_text.parse().map_err(|_| "invalid node id")?;
     let k: usize = flag(&flags, "k").unwrap_or("5").parse().map_err(|_| "invalid --k")?;
+    let kernel: GatherKernel =
+        flag(&flags, "kernel").unwrap_or("auto").parse().map_err(|e| format!("{e}"))?;
+    let pruning = match flag(&flags, "pruning").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("invalid --pruning '{other}' (expected on or off)")),
+    };
     let index = load_index(index_path)?;
+    // An unsupported explicit selector (e.g. --kernel simd without AVX2)
+    // surfaces here as a typed KdashError, before any query work runs.
+    let mut searcher = Searcher::with_kernel(&index, kernel).map_err(|e| e.to_string())?;
 
     let t = Instant::now();
     let result = if let Some(theta_text) = flag(&flags, "theta") {
+        if !pruning {
+            return Err("--pruning off applies to top-k queries, not --theta".into());
+        }
         let theta: f64 = theta_text.parse().map_err(|_| "invalid --theta")?;
-        index.nodes_above(q, theta).map_err(|e| e.to_string())?
+        searcher.nodes_above(q, theta).map_err(|e| e.to_string())?
     } else if let Some(set_text) = flag(&flags, "set") {
+        if !pruning {
+            return Err("--pruning off applies to single-source top-k, not --set".into());
+        }
         let mut sources: Vec<u32> = vec![q];
         for tok in set_text.split(',').filter(|s| !s.is_empty()) {
             sources.push(tok.parse().map_err(|_| format!("invalid set member '{tok}'"))?);
         }
-        index.top_k_from_set(&sources, k).map_err(|e| e.to_string())?
+        searcher.top_k_from_set(&sources, k).map_err(|e| e.to_string())?
+    } else if pruning {
+        searcher.top_k(q, k).map_err(|e| e.to_string())?
     } else {
-        index.top_k(q, k).map_err(|e| e.to_string())?
+        searcher.top_k_unpruned(q, k).map_err(|e| e.to_string())?
     };
     let elapsed = t.elapsed();
 
     for (rank, item) in result.items.iter().enumerate() {
         println!("{:<4} node {:<10} proximity {:.6e}", rank + 1, item.node, item.proximity);
     }
+    let s = &result.stats;
+    // `reachable` is the *discovered* count: exact reachability when the
+    // search ran to completion, a lower bound after early termination
+    // (the lazy frontier never enumerates layers Lemma 2 pruned away).
     println!(
-        "-- {:?}; visited {}, computed {}, early-termination {}",
-        elapsed, result.stats.visited, result.stats.proximity_computations,
-        result.stats.terminated_early
+        "-- {:?}; kernel {}; visited {}, computed {}, frontier expanded {}/{} discovered, \
+         early-termination {}",
+        elapsed,
+        searcher.kernel().name(),
+        s.visited,
+        s.proximity_computations,
+        s.frontier_expanded,
+        s.reachable,
+        s.terminated_early
     );
     Ok(())
 }

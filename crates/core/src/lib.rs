@@ -96,6 +96,22 @@
 //! Batches fan out with [`batch_top_k`]: a work-stealing queue hands each
 //! query to the next idle worker, one `Searcher` per worker thread
 //! (`threads = 0` means "use all available cores").
+//!
+//! Two hot-path levers live on the `Searcher`:
+//!
+//! * **Lazy frontier** — BFS layers are discovered on demand inside the
+//!   search loop, so a query the Lemma 2 bound terminates early never
+//!   enumerates the layers it pruned away.
+//!   [`SearchStats::frontier_expanded`] reports the traversal work paid;
+//!   [`SearchStats::reachable`] is the discovered-so-far count on
+//!   early-terminated queries (exact reachability on complete runs).
+//! * **Gather kernels** — proximities run through a runtime-selected
+//!   kernel ([`GatherKernel`]: `scalar`, `unrolled`, `simd`, `auto`). The
+//!   wide kernels are bit-identical to each other on every row (AVX2 and
+//!   the portable 4-accumulator unrolled kernel share one reduction
+//!   order), so answers are deterministic across machines; a selector the
+//!   host cannot honour is a typed [`KdashError::UnsupportedKernel`], and
+//!   only `auto` falls back.
 
 pub mod batch;
 pub mod estimator;
@@ -116,6 +132,10 @@ pub use search::{RankedNode, TopKResult};
 pub use searcher::Searcher;
 pub use stats::{IndexStats, SearchStats};
 
+/// The gather-kernel selector, re-exported so callers picking a kernel
+/// (CLI, serving loops) need not depend on `kdash-sparse` directly.
+pub use kdash_sparse::{GatherKernel, ResolvedKernel};
+
 /// Errors surfaced by index construction and queries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum KdashError {
@@ -126,6 +146,11 @@ pub enum KdashError {
     /// A restart-set query received an empty set, a duplicate node, or an
     /// otherwise unusable source set.
     InvalidRestartSet { reason: String },
+    /// A [`GatherKernel`] selector the host CPU cannot honour (e.g.
+    /// `simd` on a machine without AVX2), or an unknown selector spelling.
+    /// Only [`GatherKernel::Auto`] falls back; explicit requests fail
+    /// typed rather than silently downgrading.
+    UnsupportedKernel { requested: String, reason: String },
     /// Propagated graph error.
     Graph(kdash_graph::GraphError),
     /// Propagated sparse-kernel error.
@@ -143,6 +168,9 @@ impl std::fmt::Display for KdashError {
             }
             KdashError::InvalidRestartSet { reason } => {
                 write!(f, "invalid restart set: {reason}")
+            }
+            KdashError::UnsupportedKernel { requested, reason } => {
+                write!(f, "gather kernel '{requested}' unavailable on this host: {reason}")
             }
             KdashError::Graph(e) => write!(f, "graph error: {e}"),
             KdashError::Sparse(e) => write!(f, "sparse error: {e}"),
@@ -168,7 +196,14 @@ impl From<kdash_graph::GraphError> for KdashError {
 
 impl From<kdash_sparse::SparseError> for KdashError {
     fn from(e: kdash_sparse::SparseError) -> Self {
-        KdashError::Sparse(e)
+        match e {
+            // Kernel-selection failures surface as the first-class query
+            // error, not as a generic propagated sparse error.
+            kdash_sparse::SparseError::UnsupportedKernel { requested, reason } => {
+                KdashError::UnsupportedKernel { requested, reason }
+            }
+            other => KdashError::Sparse(other),
+        }
     }
 }
 

@@ -8,6 +8,16 @@
 //! (Theorem 2). Surviving nodes get their exact proximity from the stored
 //! sparse inverses.
 //!
+//! The production path expands the BFS frontier **lazily**, fused into the
+//! search loop: early termination leaves every deeper layer undiscovered,
+//! so [`SearchStats::reachable`] reports the discovered-so-far count on
+//! early-terminated queries (exact reachability when the search runs to
+//! completion) and [`SearchStats::frontier_expanded`] counts the nodes
+//! actually expanded — see [`crate::SearchStats`] for the full contract.
+//! The eager reference paths below ([`KdashIndex::top_k_merge_join`],
+//! [`KdashIndex::top_k_from_set_replay`]) keep the original
+//! whole-tree-first behaviour and full `reachable` counts.
+//!
 //! The algorithms live in [`crate::searcher`]: a [`Searcher`] holds the
 //! reusable per-query state (epoch-stamped BFS buffers, the scattered
 //! query column, the candidate heap) and serves every query kind. The
@@ -112,11 +122,15 @@ impl KdashIndex {
     }
 
     /// The original Algorithm 4 implementation with the per-candidate
-    /// merge-join proximity kernel (`O(nnz(row) + nnz(col))` per node) and
-    /// per-query buffer allocation.
+    /// merge-join proximity kernel (`O(nnz(row) + nnz(col))` per node),
+    /// per-query buffer allocation, and the **eager** BFS tree (the whole
+    /// reachable set is enumerated up front — its `reachable` is always
+    /// the full count and `frontier_expanded` equals it, unlike the lazy
+    /// production path, which stops discovering on early termination).
     ///
     /// Kept as the independent exactness reference for the scatter/gather
-    /// path: results must be bit-identical to [`top_k`](Self::top_k), and
+    /// path and the lazy driver's oracle: results must be bit-identical to
+    /// [`top_k`](Self::top_k) under the scalar kernel, and
     /// `tests/query_engine_equivalence.rs` plus the `query_engine`
     /// benchmark hold the two implementations against each other.
     pub fn top_k_merge_join(&self, q: NodeId, k: usize) -> Result<TopKResult> {
@@ -133,7 +147,12 @@ impl KdashIndex {
 
         let mut heap = TopKHeap::new(k);
         let mut estimator = LayerEstimator::new(self.a_max());
-        let mut stats = SearchStats { reachable: bfs.num_reachable(), ..Default::default() };
+        // Eager semantics: the whole tree exists before the search starts.
+        let mut stats = SearchStats {
+            reachable: bfs.num_reachable(),
+            frontier_expanded: bfs.num_reachable(),
+            ..Default::default()
+        };
 
         for (pos, &u) in bfs.order.iter().enumerate() {
             stats.visited += 1;
@@ -159,6 +178,80 @@ impl KdashIndex {
         // Same epilogue as the Searcher: rank order, original ids, padded
         // with unreachable nodes (which can never collide with heap
         // entries — those are all reachable).
+        let mut items: Vec<RankedNode> = heap
+            .sorted_entries()
+            .iter()
+            .map(|&(p, u)| RankedNode { node: self.permutation().old_of(u), proximity: p })
+            .collect();
+        if items.len() < k {
+            for v in 0..self.num_nodes() as NodeId {
+                if items.len() >= k {
+                    break;
+                }
+                if bfs.layer[v as usize] == UNREACHABLE {
+                    items.push(RankedNode {
+                        node: self.permutation().old_of(v),
+                        proximity: 0.0,
+                    });
+                }
+            }
+        }
+        Ok(TopKResult { items, stats })
+    }
+
+    /// The eager-BFS, merge-join replay of
+    /// [`top_k_from_set`](Self::top_k_from_set): the multi-root tree
+    /// ([`BfsTree::new_multi`]) is built in full before the search starts
+    /// and every proximity is a two-pointer merge join. The multi-root
+    /// counterpart of [`top_k_merge_join`](Self::top_k_merge_join), kept
+    /// (hidden) as the oracle the lazy restart-set search is property-
+    /// tested against: results are bit-identical under the scalar kernel,
+    /// and `visited`/`proximity_computations`/`terminated_early` agree,
+    /// while `reachable`/`frontier_expanded` carry the eager semantics
+    /// (always the full reachable count).
+    #[doc(hidden)]
+    pub fn top_k_from_set_replay(&self, sources: &[NodeId], k: usize) -> Result<TopKResult> {
+        let (col_idx, col_val) = self.merged_query_column(sources)?;
+        if k == 0 {
+            return Ok(TopKResult::default());
+        }
+        let roots: Vec<NodeId> =
+            sources.iter().map(|&s| self.permutation().new_of(s)).collect();
+        let bfs = BfsTree::new_multi(self.permuted_graph(), &roots);
+        let c = self.restart_probability();
+
+        let mut heap = TopKHeap::new(k);
+        let mut estimator = LayerEstimator::new(self.a_max());
+        let mut stats = SearchStats {
+            reachable: bfs.num_reachable(),
+            frontier_expanded: bfs.num_reachable(),
+            ..Default::default()
+        };
+
+        for (pos, &u) in bfs.order.iter().enumerate() {
+            stats.visited += 1;
+            let layer = bfs.layer[u as usize];
+            if layer == 0 {
+                let p = c * self.uinv().row_dot_sparse(u, &col_idx, &col_val);
+                stats.proximity_computations += 1;
+                if pos > 0 {
+                    let _ = estimator.advance(0);
+                }
+                estimator.record_selected(0, p, self.a_col_max()[u as usize]);
+                heap.offer(p, u);
+                continue;
+            }
+            let terms = estimator.advance(layer);
+            if heap.is_full() && self.c_prime_max() * terms < heap.threshold() {
+                stats.terminated_early = true;
+                break;
+            }
+            let p = c * self.uinv().row_dot_sparse(u, &col_idx, &col_val);
+            stats.proximity_computations += 1;
+            estimator.record_selected(layer, p, self.a_col_max()[u as usize]);
+            heap.offer(p, u);
+        }
+
         let mut items: Vec<RankedNode> = heap
             .sorted_entries()
             .iter()
@@ -283,16 +376,37 @@ mod tests {
         for seed in [0u64, 4, 8] {
             let g = random_graph(90, 4, seed);
             let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+            // The scalar kernel is the one with a bit-identity contract
+            // against the merge join (the wide kernels re-associate).
+            let mut searcher =
+                Searcher::with_kernel(&index, crate::GatherKernel::Scalar).unwrap();
             for q in [0u32, 33, 71] {
                 for k in [1usize, 6, 90, 120] {
-                    let new = index.top_k(q, k).unwrap();
+                    let new = searcher.top_k(q, k).unwrap();
                     let old = index.top_k_merge_join(q, k).unwrap();
                     assert_eq!(new.items.len(), old.items.len());
                     for (x, y) in new.items.iter().zip(&old.items) {
                         assert_eq!(x.node, y.node, "seed {seed} q {q} k {k}");
                         assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
                     }
-                    assert_eq!(new.stats, old.stats, "identical work counters expected");
+                    // Work counters agree; the traversal counters follow
+                    // lazy vs eager semantics (see SearchStats::reachable).
+                    assert_eq!(new.stats.visited, old.stats.visited);
+                    assert_eq!(
+                        new.stats.proximity_computations,
+                        old.stats.proximity_computations
+                    );
+                    assert_eq!(new.stats.terminated_early, old.stats.terminated_early);
+                    assert_eq!(old.stats.frontier_expanded, old.stats.reachable);
+                    if new.stats.terminated_early {
+                        assert!(new.stats.reachable <= old.stats.reachable);
+                        assert!(
+                            new.stats.frontier_expanded < new.stats.reachable,
+                            "early termination must leave the last layer unexpanded"
+                        );
+                    } else {
+                        assert_eq!(new.stats, old.stats, "full runs agree exactly");
+                    }
                 }
             }
         }

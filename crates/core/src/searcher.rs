@@ -12,11 +12,32 @@
 //! `tests/zero_alloc.rs` integration test pins this down with a counting
 //! allocator).
 //!
+//! # Lazy frontier
+//!
+//! The BFS that orders the visit is fused into the search loop: layers are
+//! discovered on demand ([`BfsScratch::expand_next_layer`]), so a query
+//! the Lemma 2 bound terminates after a few layers never enumerates —
+//! never even *discovers* — the rest of the reachable set. The layer the
+//! search died in is the last one discovered, and nothing below it is
+//! expanded; [`SearchStats::frontier_expanded`] counts the nodes whose
+//! out-edges were actually scanned, and [`SearchStats::reachable`]
+//! consequently reports the discovered-so-far count on early-terminated
+//! queries (exact reachability, as before, when the search runs to
+//! completion). Layer-at-a-time expansion reproduces the eager queue
+//! order exactly, so results and visit order are identical to the eager
+//! reference — only the traversal cost shrinks.
+//!
+//! # Proximity kernels
+//!
 //! Proximities come from the scatter/gather kernel: the fixed query column
 //! `L⁻¹ e_q` is scattered once per query, then each candidate costs a
-//! gather over only `nnz((U⁻¹)ᵤ)` — bit-identical to the merge-join
-//! kernel ([`KdashIndex::top_k_merge_join`] keeps the old path alive as
-//! the exactness cross-check).
+//! gather over only `nnz((U⁻¹)ᵤ)` — through the workspace's selected
+//! [`GatherKernel`] (default [`GatherKernel::Auto`]: AVX2 where the host
+//! has it, the four-accumulator unrolled kernel otherwise; see
+//! [`Searcher::set_kernel`]). The wide kernels are bit-identical to each
+//! other and within `1e-12` of the scalar reference, which itself is
+//! bit-identical to the merge join ([`KdashIndex::top_k_merge_join`] keeps
+//! the old eager path alive as the exactness cross-check).
 //!
 //! All five query entry points run through this workspace; the matching
 //! [`KdashIndex`] methods are thin conveniences that build a transient
@@ -27,7 +48,7 @@ use crate::{
     TopKResult,
 };
 use kdash_graph::{BfsScratch, NodeId};
-use kdash_sparse::ScatteredColumn;
+use kdash_sparse::{GatherKernel, ResolvedKernel, ScatteredColumn};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Fixed-capacity min-heap keeping the K largest `(proximity, node)` pairs.
@@ -137,7 +158,7 @@ impl TopKHeap {
 #[derive(Debug)]
 pub struct Searcher<'a> {
     index: &'a KdashIndex,
-    /// Epoch-stamped BFS layers/order, reused across queries.
+    /// Epoch-stamped lazy BFS layers/order, reused across queries.
     bfs: BfsScratch,
     /// The dense scattered query column `L⁻¹ e_q`.
     column: ScatteredColumn,
@@ -147,10 +168,13 @@ pub struct Searcher<'a> {
     hits: Vec<(f64, NodeId)>,
     /// Permuted restart-set scratch for multi-source queries.
     sources_p: Vec<NodeId>,
+    /// Host-validated gather kernel every proximity runs through.
+    kernel: ResolvedKernel,
 }
 
 impl<'a> Searcher<'a> {
-    /// A fresh workspace for `index`. `O(n)` once; queries then reuse it.
+    /// A fresh workspace for `index` with the [`GatherKernel::Auto`]
+    /// kernel. `O(n)` once; queries then reuse it.
     pub fn new(index: &'a KdashIndex) -> Self {
         let n = index.num_nodes();
         Searcher {
@@ -160,7 +184,32 @@ impl<'a> Searcher<'a> {
             heap: TopKHeap::new(0),
             hits: Vec::new(),
             sources_p: Vec::new(),
+            kernel: ResolvedKernel::default(),
         }
+    }
+
+    /// A fresh workspace running every proximity through `kernel`.
+    /// Fails with [`KdashError::UnsupportedKernel`] when the host CPU
+    /// cannot honour the selection (only [`GatherKernel::Auto`] falls
+    /// back).
+    pub fn with_kernel(index: &'a KdashIndex, kernel: GatherKernel) -> Result<Self> {
+        let mut searcher = Searcher::new(index);
+        searcher.set_kernel(kernel)?;
+        Ok(searcher)
+    }
+
+    /// Switches the gather kernel for subsequent queries. Fails with
+    /// [`KdashError::UnsupportedKernel`] — leaving the current kernel in
+    /// place — when the host cannot honour the selection.
+    pub fn set_kernel(&mut self, kernel: GatherKernel) -> Result<()> {
+        self.kernel = kernel.resolve()?;
+        Ok(())
+    }
+
+    /// The kernel proximities currently run through (the *resolved*
+    /// dispatch target, e.g. `Auto` shows up as `avx2` or `unrolled`).
+    pub fn kernel(&self) -> ResolvedKernel {
+        self.kernel
     }
 
     /// The index this workspace serves.
@@ -168,15 +217,38 @@ impl<'a> Searcher<'a> {
         self.index
     }
 
-    /// Shared single-root query prologue: validates `q`, runs the BFS from
-    /// it and scatters its `L⁻¹` column. Returns the permuted query id.
+    /// Shared single-root query prologue: validates `q`, seeds the lazy
+    /// BFS at it (layer 0 only — deeper layers are discovered on demand by
+    /// the search loop) and scatters its `L⁻¹` column. Returns the
+    /// permuted query id.
     fn prepare_query(&mut self, q: NodeId) -> Result<NodeId> {
         self.index.check_node(q)?;
         let qp = self.index.permutation().new_of(q);
-        self.bfs.run(self.index.permuted_graph(), qp);
+        self.bfs.begin(self.index.permuted_graph(), qp);
         let (col_idx, col_val) = self.index.linv().col(qp);
         self.column.load(col_idx, col_val);
         Ok(qp)
+    }
+
+    /// One lazy-frontier step: ensures the node at visit position `pos` is
+    /// discovered, expanding exactly one further layer if the cursor has
+    /// consumed everything discovered so far. Returns the node, or `None`
+    /// when the traversal is exhausted.
+    #[inline]
+    fn next_visit(&mut self, pos: usize) -> Option<NodeId> {
+        if pos == self.bfs.num_discovered() && self.bfs.expand_next_layer(self.index.permuted_graph()) == 0
+        {
+            return None;
+        }
+        Some(self.bfs.order()[pos])
+    }
+
+    /// Folds the traversal counters of the finished (or abandoned) lazy
+    /// run into `stats`.
+    #[inline]
+    fn record_traversal(&self, stats: &mut SearchStats) {
+        stats.reachable = self.bfs.num_discovered();
+        stats.frontier_expanded = self.bfs.num_expanded();
     }
 
     /// Exact top-k search (Algorithm 4). Returns `min(k, n)` nodes in
@@ -196,6 +268,30 @@ impl<'a> Searcher<'a> {
     /// far — a later query reaching strictly more nodes than any before
     /// it still grows them once.)
     pub fn top_k_into(&mut self, q: NodeId, k: usize, out: &mut TopKResult) -> Result<()> {
+        self.top_k_into_impl(q, k, out, false)
+    }
+
+    /// The eager-traversal replay of [`top_k_into`](Self::top_k_into): the
+    /// whole BFS tree is drained *before* the same search loop runs,
+    /// exactly what the engine did before the lazy frontier landed.
+    /// Hidden — benchmark baseline (the `query_engine` bench measures the
+    /// lazy path's traversal saving against it) and equivalence oracle
+    /// only.
+    #[doc(hidden)]
+    pub fn top_k_eager_into(&mut self, q: NodeId, k: usize, out: &mut TopKResult) -> Result<()> {
+        self.top_k_into_impl(q, k, out, true)
+    }
+
+    /// One search loop for both traversal modes, so the eager baseline can
+    /// never drift from the production algorithm: `eager` only decides
+    /// whether the frontier is drained up front or pulled by `next_visit`.
+    fn top_k_into_impl(
+        &mut self,
+        q: NodeId,
+        k: usize,
+        out: &mut TopKResult,
+        eager: bool,
+    ) -> Result<()> {
         let index = self.index;
         if k == 0 {
             // The answer is known empty; skip the traversal entirely.
@@ -205,45 +301,59 @@ impl<'a> Searcher<'a> {
             return Ok(());
         }
         self.prepare_query(q)?;
+        if eager {
+            while self.bfs.expand_next_layer(index.permuted_graph()) > 0 {}
+        }
         let c = index.restart_probability();
 
         self.heap.reset(k);
         let mut estimator = LayerEstimator::new(index.a_max());
-        let mut stats =
-            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+        let mut stats = SearchStats::default();
 
-        for (pos, &u) in self.bfs.order().iter().enumerate() {
+        // The frontier is pulled lazily: `next_visit` discovers one more
+        // layer exactly when the cursor has consumed everything known, so
+        // breaking out of this loop leaves every deeper layer unexpanded.
+        // (An eager run arrives pre-drained and `next_visit` just walks
+        // the complete order.)
+        let mut pos = 0;
+        while let Some(u) = self.next_visit(pos) {
             stats.visited += 1;
             let layer = self.bfs.layer(u);
             if pos == 0 {
                 // The root is the query: p̄_q = 1 by definition, never pruned.
-                let p = c * index.uinv().row_dot_scattered(u, &self.column);
+                let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
                 stats.proximity_computations += 1;
                 estimator.record_root(p, index.a_col_max()[u as usize]);
                 self.heap.offer(p, u);
+                pos += 1;
                 continue;
             }
             let terms = estimator.advance(layer);
             // Termination must cover every unvisited node, whose c' may
             // exceed this node's when self-loops are present — use max c'.
             if self.heap.is_full() && index.c_prime_max() * terms < self.heap.threshold() {
-                // Lemma 2: every unvisited node is bounded by this too.
+                // Lemma 2: every unvisited node is bounded by this too —
+                // discovered or not, so the undiscovered layers need never
+                // be enumerated.
                 stats.terminated_early = true;
                 break;
             }
-            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
             stats.proximity_computations += 1;
             estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
             self.heap.offer(p, u);
+            pos += 1;
         }
+        self.record_traversal(&mut stats);
 
         self.finish(k, true, stats, out);
         Ok(())
     }
 
     /// Algorithm 4 with the termination test removed: computes the exact
-    /// proximity of every reachable node. This is the "Without pruning"
-    /// series of Figure 7.
+    /// proximity of every reachable node (the traversal always runs to
+    /// exhaustion, so its `reachable` is the full reachable count). This
+    /// is the "Without pruning" series of Figure 7.
     pub fn top_k_unpruned(&mut self, q: NodeId, k: usize) -> Result<TopKResult> {
         let index = self.index;
         if k == 0 {
@@ -254,14 +364,16 @@ impl<'a> Searcher<'a> {
         let c = index.restart_probability();
 
         self.heap.reset(k);
-        let mut stats =
-            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
-        for &u in self.bfs.order() {
+        let mut stats = SearchStats::default();
+        let mut pos = 0;
+        while let Some(u) = self.next_visit(pos) {
             stats.visited += 1;
-            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
             stats.proximity_computations += 1;
             self.heap.offer(p, u);
+            pos += 1;
         }
+        self.record_traversal(&mut stats);
         let mut out = TopKResult::default();
         self.finish(k, true, stats, &mut out);
         Ok(out)
@@ -288,9 +400,9 @@ impl<'a> Searcher<'a> {
 
         self.hits.clear();
         let mut estimator = LayerEstimator::new(index.a_max());
-        let mut stats =
-            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
-        for (pos, &u) in self.bfs.order().iter().enumerate() {
+        let mut stats = SearchStats::default();
+        let mut pos = 0;
+        while let Some(u) = self.next_visit(pos) {
             stats.visited += 1;
             let layer = self.bfs.layer(u);
             if pos > 0 {
@@ -300,7 +412,7 @@ impl<'a> Searcher<'a> {
                     break;
                 }
             }
-            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
             stats.proximity_computations += 1;
             if pos == 0 {
                 estimator.record_root(p, index.a_col_max()[u as usize]);
@@ -310,7 +422,9 @@ impl<'a> Searcher<'a> {
             if p >= theta {
                 self.hits.push((p, u));
             }
+            pos += 1;
         }
+        self.record_traversal(&mut stats);
         self.hits.sort_unstable_by(|a, b| {
             b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1))
         });
@@ -340,28 +454,29 @@ impl<'a> Searcher<'a> {
         self.sources_p.clear();
         self.sources_p.extend(sources.iter().map(|&s| index.permutation().new_of(s)));
         let roots = std::mem::take(&mut self.sources_p);
-        self.bfs.run_multi(index.permuted_graph(), &roots);
+        self.bfs.begin_multi(index.permuted_graph(), &roots);
         self.sources_p = roots;
         let c = index.restart_probability();
 
         self.heap.reset(k);
         let mut estimator = LayerEstimator::new(index.a_max());
-        let mut stats =
-            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+        let mut stats = SearchStats::default();
 
-        for (pos, &u) in self.bfs.order().iter().enumerate() {
+        let mut pos = 0;
+        while let Some(u) = self.next_visit(pos) {
             stats.visited += 1;
             let layer = self.bfs.layer(u);
             if layer == 0 {
                 // Sources carry the restart term; their proximities are
                 // computed unconditionally and feed the estimator chain.
-                let p = c * index.uinv().row_dot_scattered(u, &self.column);
+                let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
                 stats.proximity_computations += 1;
                 if pos > 0 {
                     let _ = estimator.advance(0);
                 }
                 estimator.record_selected(0, p, index.a_col_max()[u as usize]);
                 self.heap.offer(p, u);
+                pos += 1;
                 continue;
             }
             let terms = estimator.advance(layer);
@@ -369,11 +484,13 @@ impl<'a> Searcher<'a> {
                 stats.terminated_early = true;
                 break;
             }
-            let p = c * index.uinv().row_dot_scattered(u, &self.column);
+            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
             stats.proximity_computations += 1;
             estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
             self.heap.offer(p, u);
+            pos += 1;
         }
+        self.record_traversal(&mut stats);
         let mut out = TopKResult::default();
         self.finish(k, true, stats, &mut out);
         Ok(out)
@@ -400,6 +517,11 @@ impl<'a> Searcher<'a> {
         }
         let qp = index.permutation().new_of(q);
         let rootp = index.permutation().new_of(root);
+        // The order-agnostic bound can never terminate the search, so every
+        // node must be visited regardless — the lazy frontier has nothing
+        // to save here and the tree is drained eagerly up front. Its
+        // counters are exact: `reachable` is the full root-reachable set
+        // and `frontier_expanded` equals it.
         self.bfs.run(index.permuted_graph(), rootp);
         let (col_idx, col_val) = index.linv().col(qp);
         self.column.load(col_idx, col_val);
@@ -407,8 +529,8 @@ impl<'a> Searcher<'a> {
 
         self.heap.reset(k);
         let mut bound_state = ArbitraryOrderBound::new(index.a_max());
-        let mut stats =
-            SearchStats { reachable: self.bfs.num_reachable(), ..Default::default() };
+        let mut stats = SearchStats::default();
+        self.record_traversal(&mut stats);
 
         // Visit order: BFS from the root, then every node the root cannot
         // reach (they may still be answers — the walk starts at q, not at
@@ -416,6 +538,7 @@ impl<'a> Searcher<'a> {
         for &u in self.bfs.order() {
             visit_any_order(
                 index,
+                self.kernel,
                 &self.column,
                 &mut self.heap,
                 &mut bound_state,
@@ -429,6 +552,7 @@ impl<'a> Searcher<'a> {
             if !self.bfs.is_reached(v) {
                 visit_any_order(
                     index,
+                    self.kernel,
                     &self.column,
                     &mut self.heap,
                     &mut bound_state,
@@ -450,6 +574,11 @@ impl<'a> Searcher<'a> {
     /// unreachable, zero-proximity nodes when fewer than `k` candidates
     /// exist. Heap entries are always reached nodes, so pads can never
     /// collide with them.
+    ///
+    /// Padding and lazy discovery cannot conflict: fewer than `k` heap
+    /// entries means the heap never filled, so the Lemma 2 termination
+    /// (which requires a full heap) never fired, the traversal ran to
+    /// exhaustion, and `is_reached` is exact reachability.
     fn finish(&mut self, k: usize, pad_unreached: bool, stats: SearchStats, out: &mut TopKResult) {
         let index = self.index;
         out.stats = stats;
@@ -480,6 +609,7 @@ impl<'a> Searcher<'a> {
 #[inline]
 fn visit_any_order(
     index: &KdashIndex,
+    kernel: ResolvedKernel,
     column: &ScatteredColumn,
     heap: &mut TopKHeap,
     bound_state: &mut ArbitraryOrderBound,
@@ -497,7 +627,7 @@ fn visit_any_order(
             return;
         }
     }
-    let p = c * index.uinv().row_dot_scattered(u, column);
+    let p = c * index.uinv().row_dot_scattered_with(kernel, u, column);
     stats.proximity_computations += 1;
     bound_state.record(p, index.a_col_max()[u as usize]);
     heap.offer(p, u);

@@ -64,8 +64,28 @@ pub struct SearchStats {
     pub skipped: usize,
     /// True when the search ended through the Lemma 2 early-termination.
     pub terminated_early: bool,
-    /// Nodes reachable from the BFS root.
+    /// Nodes the search tree had *discovered* when the search ended.
+    ///
+    /// The search expands its BFS frontier lazily, one layer at a time, so
+    /// a query that terminates early (`terminated_early == true`) never
+    /// enumerates the rest of the reachable set: this field then reports
+    /// the discovered-so-far count — a lower bound on true reachability —
+    /// not the size of the full reachable set. When the search ran to
+    /// completion the traversal is exhaustive and this is the exact
+    /// reachable count, as before. (The eager reference path
+    /// `KdashIndex::top_k_merge_join` always reports the full count;
+    /// consumers comparing the two — the experiment harness's
+    /// "computed/reachable" ratios, the CLI stats line — must take an
+    /// unpruned or merge-join run as the denominator.)
     pub reachable: usize,
+    /// Nodes whose out-edges the lazy BFS frontier actually scanned.
+    ///
+    /// Always `<= reachable`; equal when the search ran to completion and
+    /// *strictly* smaller on early-terminated queries (the layer the
+    /// search died in was discovered but never expanded). The gap is the
+    /// traversal work Lemma 2 saved on top of the skipped proximity
+    /// computations.
+    pub frontier_expanded: usize,
 }
 
 #[cfg(test)]

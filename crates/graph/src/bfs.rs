@@ -5,37 +5,71 @@
 //! out-edges from the query node: layer 0 is the root, layer `i` contains
 //! the nodes exactly `i` hops downstream. Nodes that are not reachable have
 //! RWR proximity exactly 0 and are reported with layer [`UNREACHABLE`].
+//!
+//! Two drivers share the same order-as-queue idiom:
+//!
+//! * [`BfsTree`] runs an *eager* traversal to exhaustion and owns its
+//!   buffers — the convenient one-off form, and the oracle the lazy driver
+//!   is tested against.
+//! * [`BfsScratch`] is the reusable, *lazy* form: [`begin`](BfsScratch::begin)
+//!   seeds layer 0 and [`expand_next_layer`](BfsScratch::expand_next_layer)
+//!   discovers exactly one further layer per call. A search that terminates
+//!   early (K-dash's Lemma 2) simply stops calling it, and every layer it
+//!   never asked for is never expanded — the traversal cost tracks the
+//!   pruned visit count instead of the whole reachable set. Because layers
+//!   are expanded whole and in order, the visit order, layers and parents
+//!   are *identical* to the eager tree's at every prefix.
 
 use crate::{CsrGraph, EpochStamps, NodeId};
-use std::collections::VecDeque;
 
 /// Layer marker for nodes the BFS never reached.
 pub const UNREACHABLE: u32 = u32::MAX;
 
-/// Reusable BFS state: epoch-stamped `layer`/`parent`/`order` buffers that
-/// amortise the three `O(n)` allocations (and `O(n)` re-fills) a fresh
-/// [`BfsTree`] pays on every traversal.
+/// Reusable *lazy* BFS state: epoch-stamped `layer`/`parent`/`order`
+/// buffers that amortise the three `O(n)` allocations (and `O(n)` re-fills)
+/// a fresh [`BfsTree`] pays on every traversal, plus the frontier cursors
+/// that let layers be discovered one at a time, on demand.
 ///
-/// A node is *reached by the current run* iff its visit stamp carries the
-/// current generation ([`EpochStamps`]); `layer` and `parent` are only
+/// A node is *discovered by the current run* iff its visit stamp carries
+/// the current generation ([`EpochStamps`]); `layer` and `parent` are only
 /// meaningful on stamped nodes, so starting a new run is `O(1)` — bump
 /// the generation — instead of `O(n)` — refill three vectors. The `order`
 /// vector doubles as the FIFO frontier (a cursor walks it while new nodes
-/// are appended), which also removes the `VecDeque`.
+/// are appended), the same idiom [`BfsTree::new_multi`] uses.
+///
+/// # Lazy protocol
+///
+/// [`begin`](Self::begin) / [`begin_multi`](Self::begin_multi) seed layer 0
+/// (the roots) and discover nothing else. Each
+/// [`expand_next_layer`](Self::expand_next_layer) call scans the out-edges
+/// of the deepest discovered layer, appending the next layer to
+/// [`order`](Self::order); once a call discovers nothing the run is
+/// [`exhausted`](Self::is_exhausted). Consumers walk `order` with their own
+/// cursor and ask for the next layer exactly when the cursor hits
+/// [`num_discovered`](Self::num_discovered) — so a consumer that stops
+/// early (K-dash's Lemma 2 termination) never pays for the layers it never
+/// visited. [`run`](Self::run) / [`run_multi`](Self::run_multi) drain the
+/// protocol to exhaustion and match [`BfsTree`] exactly.
 ///
 /// The query engine holds one of these per `Searcher`; for one-off
 /// traversals [`BfsTree`] remains the convenient owner of its buffers.
 #[derive(Debug, Clone)]
 pub struct BfsScratch {
-    /// Reached marks for the current run.
+    /// Discovery marks for the current run.
     visited: EpochStamps,
     /// Hop distance, valid only where stamped.
     layer: Vec<u32>,
     /// BFS tree parent, valid only where stamped (roots are their own
     /// parents).
     parent: Vec<NodeId>,
-    /// Visit order of the current run; also serves as the BFS queue.
+    /// Discovery order of the current run; also serves as the BFS queue.
     order: Vec<NodeId>,
+    /// Nodes in `order[..expand_head]` have had their out-edges scanned.
+    expand_head: usize,
+    /// Hop distance of the deepest fully-discovered layer.
+    frontier_depth: u32,
+    /// Set once an expansion discovers nothing: the run is complete.
+    exhausted: bool,
 }
 
 impl BfsScratch {
@@ -46,6 +80,9 @@ impl BfsScratch {
             layer: vec![UNREACHABLE; n],
             parent: vec![NodeId::MAX; n],
             order: Vec::new(),
+            expand_head: 0,
+            frontier_depth: 0,
+            exhausted: false,
         }
     }
 
@@ -55,20 +92,38 @@ impl BfsScratch {
         self.visited.dim()
     }
 
-    /// Runs BFS over out-edges from `root`, replacing the previous run.
+    /// Runs BFS over out-edges from `root` to exhaustion, replacing the
+    /// previous run.
     pub fn run(&mut self, graph: &CsrGraph, root: NodeId) {
         self.run_multi(graph, &[root]);
     }
 
-    /// Multi-root BFS, mirroring [`BfsTree::new_multi`]: all roots form
-    /// layer 0 (in the given order) and are their own parents. `roots`
-    /// must be non-empty, in bounds, and duplicate-free.
+    /// Multi-root BFS to exhaustion, mirroring [`BfsTree::new_multi`]: all
+    /// roots form layer 0 (in the given order) and are their own parents.
+    /// `roots` must be non-empty, in bounds, and duplicate-free.
     pub fn run_multi(&mut self, graph: &CsrGraph, roots: &[NodeId]) {
+        self.begin_multi(graph, roots);
+        while self.expand_next_layer(graph) > 0 {}
+    }
+
+    /// Starts a new lazy run from `root`: layer 0 is seeded, nothing else
+    /// is discovered yet.
+    pub fn begin(&mut self, graph: &CsrGraph, root: NodeId) {
+        self.begin_multi(graph, &[root]);
+    }
+
+    /// Starts a new lazy multi-root run: all `roots` form layer 0 (in the
+    /// given order) and are their own parents; no out-edge has been scanned
+    /// yet. `roots` must be non-empty, in bounds, and duplicate-free.
+    pub fn begin_multi(&mut self, graph: &CsrGraph, roots: &[NodeId]) {
         let n = self.dim();
         assert_eq!(graph.num_nodes(), n, "graph does not match scratch dimension");
         assert!(!roots.is_empty(), "BFS needs at least one root");
         self.visited.advance();
         self.order.clear();
+        self.expand_head = 0;
+        self.frontier_depth = 0;
+        self.exhausted = false;
         for &root in roots {
             assert!((root as usize) < n, "BFS root {root} out of bounds for {n} nodes");
             assert!(!self.visited.is_marked(root as usize), "duplicate BFS root {root}");
@@ -77,11 +132,29 @@ impl BfsScratch {
             self.parent[root as usize] = root;
             self.order.push(root);
         }
-        let mut head = 0;
-        while head < self.order.len() {
-            let v = self.order[head];
-            head += 1;
-            let next_layer = self.layer[v as usize] + 1;
+    }
+
+    /// Scans the out-edges of the deepest discovered layer, appending every
+    /// newly discovered node (the next layer) to [`order`](Self::order) in
+    /// first-discovery order. Returns the number of nodes discovered; `0`
+    /// means the run is exhausted (and further calls are free no-ops).
+    ///
+    /// Expanding whole layers in order reproduces the eager node-at-a-time
+    /// queue exactly: the nodes scanned here are precisely the queue window
+    /// the eager driver would pop next, in the same sequence, so `order`,
+    /// `layer` and `parent` agree with [`BfsTree`] at every prefix.
+    ///
+    /// `graph` must be the graph the run [`begin`](Self::begin)-ed on.
+    pub fn expand_next_layer(&mut self, graph: &CsrGraph) -> usize {
+        debug_assert_eq!(graph.num_nodes(), self.dim(), "graph changed mid-run");
+        if self.exhausted {
+            return 0;
+        }
+        let layer_end = self.order.len();
+        let next_layer = self.frontier_depth + 1;
+        while self.expand_head < layer_end {
+            let v = self.order[self.expand_head];
+            self.expand_head += 1;
             for &t in graph.out_neighbors(v) {
                 if !self.visited.is_marked(t as usize) {
                     self.visited.mark(t as usize);
@@ -91,15 +164,58 @@ impl BfsScratch {
                 }
             }
         }
+        let discovered = self.order.len() - layer_end;
+        if discovered == 0 {
+            self.exhausted = true;
+        } else {
+            self.frontier_depth = next_layer;
+        }
+        discovered
     }
 
-    /// Nodes of the current run in visit order (roots first).
+    /// Nodes of the current run in discovery order (roots first). During a
+    /// lazy run this holds every *fully discovered* layer so far.
     #[inline]
     pub fn order(&self) -> &[NodeId] {
         &self.order
     }
 
-    /// Number of nodes the current run reached.
+    /// Number of nodes discovered so far. Once the run is
+    /// [`exhausted`](Self::is_exhausted) this is the exact reachable count;
+    /// before that it is a lower bound (layers not yet expanded are
+    /// missing).
+    #[inline]
+    pub fn num_discovered(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of nodes whose out-edges have been scanned so far — the work
+    /// a lazy consumer actually paid for. At exhaustion this equals
+    /// [`num_discovered`](Self::num_discovered); a run abandoned early has
+    /// scanned strictly fewer nodes than it discovered.
+    #[inline]
+    pub fn num_expanded(&self) -> usize {
+        self.expand_head
+    }
+
+    /// Whether expansion has run out of new nodes — i.e. `order` now holds
+    /// the entire reachable set.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Hop distance of the deepest fully-discovered layer so far.
+    #[inline]
+    pub fn frontier_depth(&self) -> u32 {
+        self.frontier_depth
+    }
+
+    /// Number of nodes the current run reached. Meaningful once the run is
+    /// [`exhausted`](Self::is_exhausted) (always true after
+    /// [`run`](Self::run)/[`run_multi`](Self::run_multi)); mid-protocol it
+    /// reports the discovered-so-far count, same as
+    /// [`num_discovered`](Self::num_discovered).
     #[inline]
     pub fn num_reachable(&self) -> usize {
         self.order.len()
@@ -167,27 +283,32 @@ impl BfsTree {
     /// style) builds its layer structure this way. `roots` must be
     /// non-empty and duplicate-free.
     pub fn new_multi(graph: &CsrGraph, roots: &[NodeId]) -> Self {
+        // Order-as-queue: `order` itself is the FIFO frontier — a head
+        // cursor walks it while newly discovered nodes are appended. Same
+        // idiom as `BfsScratch`, so the two drivers stay line-for-line
+        // comparable (the eager tree is the lazy driver's test oracle).
         let n = graph.num_nodes();
         assert!(!roots.is_empty(), "BFS needs at least one root");
         let mut layer = vec![UNREACHABLE; n];
         let mut parent = vec![NodeId::MAX; n];
         let mut order = Vec::with_capacity(n.min(1024));
-        let mut queue = VecDeque::new();
         for &root in roots {
             assert!((root as usize) < n, "BFS root {root} out of bounds for {n} nodes");
             assert!(layer[root as usize] == UNREACHABLE, "duplicate BFS root {root}");
             layer[root as usize] = 0;
             parent[root as usize] = root;
-            queue.push_back(root);
+            order.push(root);
         }
-        while let Some(v) = queue.pop_front() {
-            order.push(v);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
             let next_layer = layer[v as usize] + 1;
             for &t in graph.out_neighbors(v) {
                 if layer[t as usize] == UNREACHABLE {
                     layer[t as usize] = next_layer;
                     parent[t as usize] = v;
-                    queue.push_back(t);
+                    order.push(t);
                 }
             }
         }
@@ -396,6 +517,89 @@ mod tests {
         }
         assert_eq!(scratch.layer(3), 0);
         assert_eq!(scratch.layer(4), 1);
+    }
+
+    #[test]
+    fn lazy_layers_match_eager_tree_at_every_prefix() {
+        // Drive the lazy protocol layer by layer; after each expansion the
+        // discovered prefix must equal the eager tree's order restricted to
+        // the same layers, with identical layers and parents.
+        let diamond = {
+            let mut b = GraphBuilder::new(8);
+            for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (2, 6)] {
+                b.add_edge(u, v, 1.0);
+            }
+            b.build().unwrap()
+        };
+        for roots in [vec![0u32], vec![2], vec![0, 4]] {
+            let tree = BfsTree::new_multi(&diamond, &roots);
+            let mut scratch = BfsScratch::new(8);
+            scratch.begin_multi(&diamond, &roots);
+            assert_eq!(scratch.num_discovered(), roots.len());
+            assert_eq!(scratch.num_expanded(), 0, "begin must not scan any edges");
+            loop {
+                let seen = scratch.num_discovered();
+                assert_eq!(scratch.order(), &tree.order[..seen], "roots {roots:?}");
+                for &v in scratch.order() {
+                    assert_eq!(scratch.layer(v), tree.layer[v as usize]);
+                    assert_eq!(scratch.parent(v), tree.parent[v as usize]);
+                }
+                if scratch.expand_next_layer(&diamond) == 0 {
+                    break;
+                }
+            }
+            assert!(scratch.is_exhausted());
+            assert_eq!(scratch.num_discovered(), tree.num_reachable());
+            assert_eq!(
+                scratch.num_expanded(),
+                tree.num_reachable(),
+                "a drained run scans every reachable node"
+            );
+            assert_eq!(scratch.frontier_depth(), tree.depth());
+            // Exhausted runs answer further expansion requests for free.
+            assert_eq!(scratch.expand_next_layer(&diamond), 0);
+        }
+    }
+
+    #[test]
+    fn abandoned_lazy_run_scans_strictly_less() {
+        // Stop after discovering layer 1 of a 5-layer path: layers 2..4
+        // must never be expanded, and the next begin() resets cleanly.
+        let path = path_graph(6);
+        let mut scratch = BfsScratch::new(6);
+        scratch.begin(&path, 0);
+        assert_eq!(scratch.expand_next_layer(&path), 1); // discovers node 1
+        assert_eq!(scratch.num_discovered(), 2);
+        assert_eq!(scratch.num_expanded(), 1, "only the root was scanned");
+        assert!(!scratch.is_exhausted());
+        assert!(!scratch.is_reached(2), "layer 2 must not be discovered yet");
+        // Abandon and start over from the other end.
+        scratch.begin(&path, 4);
+        assert_eq!(scratch.order(), &[4]);
+        scratch.run(&path, 4); // also exercise restart-into-drain
+        assert_eq!(scratch.order(), &[4, 5]);
+        assert!(scratch.is_exhausted());
+    }
+
+    #[test]
+    fn run_multi_equals_lazy_drain() {
+        let g = {
+            let mut b = GraphBuilder::new(7);
+            for (u, v) in [(0, 1), (1, 2), (0, 3), (3, 4), (4, 1), (2, 5)] {
+                b.add_edge(u, v, 1.0);
+            }
+            b.build().unwrap()
+        };
+        let mut eager = BfsScratch::new(7);
+        eager.run_multi(&g, &[0, 4]);
+        let mut lazy = BfsScratch::new(7);
+        lazy.begin_multi(&g, &[0, 4]);
+        while lazy.expand_next_layer(&g) > 0 {}
+        assert_eq!(eager.order(), lazy.order());
+        for v in 0..7u32 {
+            assert_eq!(eager.layer(v), lazy.layer(v));
+            assert_eq!(eager.parent(v), lazy.parent(v));
+        }
     }
 
     #[test]

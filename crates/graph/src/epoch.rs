@@ -58,6 +58,16 @@ impl EpochStamps {
         self.stamp[i] == self.epoch
     }
 
+    /// The raw stamp array and the current generation, for kernels that
+    /// test many slots in bulk (the SIMD gather compares four stamps per
+    /// instruction): slot `i` is marked iff `raw().0[i] == raw().1` —
+    /// exactly what [`is_marked`](Self::is_marked) computes one slot at a
+    /// time.
+    #[inline]
+    pub fn raw(&self) -> (&[u32], u32) {
+        (&self.stamp, self.epoch)
+    }
+
     /// Test hook: forces the generation counter, to exercise the rollover
     /// path without four billion advances.
     #[doc(hidden)]

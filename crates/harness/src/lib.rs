@@ -6,6 +6,7 @@
 //! dependency set for cross-crate targets.
 
 use kdash_baselines::{IterativeRwr, TopKEngine};
+use kdash_core::TopKResult;
 use kdash_datagen::DatasetProfile;
 use kdash_graph::{CsrGraph, NodeId};
 
@@ -22,6 +23,54 @@ pub fn exact_top_k(graph: &CsrGraph, c: f64, q: NodeId, k: usize) -> Vec<NodeId>
 /// Exact ground-truth top-k with proximities.
 pub fn exact_top_k_scored(graph: &CsrGraph, c: f64, q: NodeId, k: usize) -> Vec<(NodeId, f64)> {
     IterativeRwr::new(graph, c).top_k(q, k)
+}
+
+/// The lazy-vs-eager query-engine contract, shared by the equivalence
+/// suites: `lazy` from the lazy-frontier production path (under the
+/// *scalar* kernel), `eager` from an eager whole-tree-first replay oracle
+/// (`top_k_merge_join`, `top_k_from_set_replay`, `top_k_eager_into`).
+///
+/// Checks: items bit-identical; `visited`/`proximity_computations`/
+/// `skipped`/`terminated_early` equal; the eager oracle expands everything
+/// it reaches; under early termination the lazy path discovered at most
+/// the true reachable count and left the death layer unexpanded
+/// (`frontier_expanded` strictly below `reachable`); on complete runs the
+/// stats agree exactly.
+pub fn check_lazy_vs_eager(lazy: &TopKResult, eager: &TopKResult) -> Result<(), String> {
+    if lazy.items.len() != eager.items.len() {
+        return Err(format!("lengths differ: {} vs {}", lazy.items.len(), eager.items.len()));
+    }
+    for (x, y) in lazy.items.iter().zip(&eager.items) {
+        if x.node != y.node || x.proximity.to_bits() != y.proximity.to_bits() {
+            return Err(format!(
+                "item mismatch: ({}, {:.17e}) vs ({}, {:.17e})",
+                x.node, x.proximity, y.node, y.proximity
+            ));
+        }
+    }
+    let (a, b) = (&lazy.stats, &eager.stats);
+    if (a.visited, a.proximity_computations, a.skipped, a.terminated_early)
+        != (b.visited, b.proximity_computations, b.skipped, b.terminated_early)
+    {
+        return Err(format!("work counters differ: {a:?} vs {b:?}"));
+    }
+    if b.frontier_expanded != b.reachable {
+        return Err(format!("eager replay must expand its whole tree: {b:?}"));
+    }
+    if a.terminated_early {
+        if a.reachable > b.reachable {
+            return Err(format!(
+                "lazy discovery exceeded true reachability: {} > {}",
+                a.reachable, b.reachable
+            ));
+        }
+        if a.frontier_expanded >= a.reachable {
+            return Err(format!("death layer leaked into the expansion count: {a:?}"));
+        }
+    } else if a != b {
+        return Err(format!("full runs must agree exactly: {a:?} vs {b:?}"));
+    }
+    Ok(())
 }
 
 /// Picks `count` query nodes with at least one out-edge, deterministically

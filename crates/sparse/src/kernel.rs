@@ -1,0 +1,494 @@
+//! Runtime-dispatched gather kernels.
+//!
+//! The query hot loop is the gather [`CsrMatrix::row_dot_scattered`]: one
+//! dot product of a `U⁻¹` row against the scattered query column per
+//! candidate. On the dense rows hub queries touch, the reference kernel's
+//! single scalar accumulator serialises every add behind the previous
+//! one — the loop runs at FP-add latency, not throughput. This module
+//! provides two wider kernels and the machinery to pick one safely at
+//! runtime:
+//!
+//! * [`CsrMatrix::row_dot_unrolled4`] — a portable fixed-width kernel with
+//!   **four** independent accumulators: lane `j` sums the row's nonzeros at
+//!   positions `≡ j (mod 4)`, and the lanes reduce as
+//!   `(acc0 + acc2) + (acc1 + acc3)`.
+//! * [`CsrMatrix::row_dot_avx2`] (x86-64 only) — the same kernel as four
+//!   SIMD lanes: stamps are fetched four at once (`vpgatherdd`), compared
+//!   against the generation in one instruction, and values are fetched
+//!   with a *masked* gather (`vgatherdpd`) so lanes whose stamp check fails
+//!   never touch the value array at all.
+//!
+//! Both kernels perform **the same lane operations in the same order** —
+//! unmatched positions contribute an explicit `value = 0.0` to their lane
+//! (instead of the reference kernel's skipped add), full four-wide chunks
+//! first, the `len % 4` tail folded into lanes `0..tail` scalar-wise, then
+//! the fixed lane reduction. Their results are therefore **bit-identical
+//! to each other on every row**, on every machine — deterministic output
+//! no matter which kernel the host dispatches to — though they may differ
+//! from the one-accumulator reference in the last bits (different
+//! association order; the equivalence suite pins `≤ 1e-12` against it, and
+//! the search results stay exact against the iterative ground truth under
+//! every kernel).
+//!
+//! Selection is two-phase so unsupported choices fail *typed* instead of
+//! faulting: a [`GatherKernel`] is the caller's request, and
+//! [`GatherKernel::resolve`] checks it against the host CPU, returning a
+//! construction-gated [`ResolvedKernel`] token — the only way to obtain
+//! one — or [`SparseError::UnsupportedKernel`]. Only [`GatherKernel::Auto`]
+//! ever falls back (SIMD where detected, otherwise the unrolled kernel);
+//! an explicit `Simd` request on a CPU without AVX2 is an error, never a
+//! silent downgrade.
+
+use crate::{CsrMatrix, Index, Result, ScatteredColumn, SparseError};
+use std::fmt;
+use std::str::FromStr;
+
+/// A requested gather kernel, resolved against the host CPU by
+/// [`resolve`](GatherKernel::resolve) before use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GatherKernel {
+    /// The one-accumulator reference gather
+    /// ([`CsrMatrix::row_dot_scattered`]), bit-identical to the merge join.
+    Scalar,
+    /// The portable four-accumulator kernel
+    /// ([`CsrMatrix::row_dot_unrolled4`]).
+    Unrolled4,
+    /// The vector kernel ([`CsrMatrix::row_dot_avx2`] on x86-64 with AVX2).
+    /// Resolution fails on hosts that cannot honour it.
+    Simd,
+    /// `Simd` where the host supports it, otherwise `Unrolled4` — the only
+    /// variant that falls back instead of erroring.
+    #[default]
+    Auto,
+}
+
+impl GatherKernel {
+    /// Every selectable kernel, in CLI presentation order.
+    pub const ALL: [GatherKernel; 4] =
+        [GatherKernel::Scalar, GatherKernel::Unrolled4, GatherKernel::Simd, GatherKernel::Auto];
+
+    /// The selector's spelling (also what [`FromStr`] parses).
+    pub fn name(self) -> &'static str {
+        match self {
+            GatherKernel::Scalar => "scalar",
+            GatherKernel::Unrolled4 => "unrolled",
+            GatherKernel::Simd => "simd",
+            GatherKernel::Auto => "auto",
+        }
+    }
+
+    /// Resolves the request against the host CPU. `Scalar` and `Unrolled4`
+    /// always succeed; `Simd` succeeds only where the vector kernel can
+    /// actually run ([`simd_support`] explains the host's answer); `Auto`
+    /// falls back to `Unrolled4` when SIMD is unavailable.
+    pub fn resolve(self) -> Result<ResolvedKernel> {
+        match self {
+            GatherKernel::Scalar => Ok(ResolvedKernel(Dispatch::Scalar)),
+            GatherKernel::Unrolled4 => Ok(ResolvedKernel(Dispatch::Unrolled4)),
+            GatherKernel::Simd => match simd_support() {
+                Ok(dispatch) => Ok(ResolvedKernel(dispatch)),
+                Err(reason) => Err(SparseError::UnsupportedKernel {
+                    requested: self.name().to_string(),
+                    reason,
+                }),
+            },
+            GatherKernel::Auto => Ok(ResolvedKernel(
+                simd_support().unwrap_or(Dispatch::Unrolled4),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for GatherKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for GatherKernel {
+    type Err = SparseError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "scalar" => Ok(GatherKernel::Scalar),
+            "unrolled" | "unrolled4" => Ok(GatherKernel::Unrolled4),
+            "simd" => Ok(GatherKernel::Simd),
+            "auto" => Ok(GatherKernel::Auto),
+            other => Err(SparseError::UnsupportedKernel {
+                requested: other.to_string(),
+                reason: "unknown kernel (expected scalar, unrolled, simd or auto)".to_string(),
+            }),
+        }
+    }
+}
+
+/// Whether the host can run the vector kernel, and which one.
+fn simd_support() -> std::result::Result<Dispatch, String> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Ok(Dispatch::Avx2)
+        } else {
+            Err("host x86-64 CPU does not report AVX2".to_string())
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Err(format!(
+            "no vector gather kernel for target architecture {}",
+            std::env::consts::ARCH
+        ))
+    }
+}
+
+/// A kernel choice validated against the host CPU — the token
+/// [`CsrMatrix::row_dot_scattered_with`] dispatches on.
+///
+/// Only obtainable through [`GatherKernel::resolve`]; the inner dispatch
+/// target is private so a vector variant can never be conjured on a host
+/// that failed detection (calling AVX2 code there would be undefined
+/// behaviour, not just wrong).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedKernel(Dispatch);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    Scalar,
+    Unrolled4,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl ResolvedKernel {
+    /// What actually runs, for logs and stats: `"scalar"`, `"unrolled"` or
+    /// `"avx2"`.
+    pub fn name(self) -> &'static str {
+        match self.0 {
+            Dispatch::Scalar => "scalar",
+            Dispatch::Unrolled4 => "unrolled",
+            #[cfg(target_arch = "x86_64")]
+            Dispatch::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this resolution dispatches to a vector (`std::arch`) path.
+    pub fn is_simd(self) -> bool {
+        match self.0 {
+            Dispatch::Scalar | Dispatch::Unrolled4 => false,
+            #[cfg(target_arch = "x86_64")]
+            Dispatch::Avx2 => true,
+        }
+    }
+}
+
+impl Default for ResolvedKernel {
+    /// The `Auto` resolution for this host.
+    fn default() -> Self {
+        GatherKernel::Auto.resolve().expect("Auto always resolves")
+    }
+}
+
+impl CsrMatrix {
+    /// [`row_dot_scattered`](Self::row_dot_scattered) through the kernel
+    /// `kernel` resolved for this host. The hot-path entry point: one
+    /// enum branch, then straight into the selected kernel.
+    #[inline]
+    pub fn row_dot_scattered_with(
+        &self,
+        kernel: ResolvedKernel,
+        r: Index,
+        buf: &ScatteredColumn,
+    ) -> f64 {
+        match kernel.0 {
+            Dispatch::Scalar => self.row_dot_scattered(r, buf),
+            Dispatch::Unrolled4 => self.row_dot_unrolled4(r, buf),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: a `Dispatch::Avx2` token only exists if
+            // `GatherKernel::resolve` observed AVX2 on this host.
+            Dispatch::Avx2 => unsafe { self.row_dot_avx2_unchecked(r, buf) },
+        }
+    }
+
+    /// The portable four-accumulator gather: lane `j` accumulates the
+    /// row's nonzeros at positions `≡ j (mod 4)`; an unmatched position
+    /// contributes `value × 0.0` to its lane; the `len % 4` tail lands in
+    /// lanes `0..tail`; lanes reduce as `(acc0 + acc2) + (acc1 + acc3)`.
+    ///
+    /// This exact operation order is the cross-kernel contract: the SIMD
+    /// kernels perform the same per-lane multiplies and adds in the same
+    /// sequence, so their results are bit-identical to this one on every
+    /// row (pinned by the kernel equivalence suite).
+    pub fn row_dot_unrolled4(&self, r: Index, buf: &ScatteredColumn) -> f64 {
+        debug_assert_eq!(buf.dim(), self.ncols());
+        let (cols, vals) = self.row(r);
+        let (stamps, generation, values) = buf.raw_parts();
+        #[inline(always)]
+        fn lane(stamps: &[u32], generation: u32, values: &[f64], c: u32, v: f64) -> f64 {
+            let c = c as usize;
+            let x = if stamps[c] == generation { values[c] } else { 0.0 };
+            v * x
+        }
+        // Four named accumulators (not an array) so they live in registers:
+        // the whole point is breaking the FP-add latency chain, which an
+        // in-memory accumulator would silently re-serialise through
+        // store-to-load forwarding.
+        let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut col_chunks = cols.chunks_exact(4);
+        let mut val_chunks = vals.chunks_exact(4);
+        for (cc, vv) in (&mut col_chunks).zip(&mut val_chunks) {
+            acc0 += lane(stamps, generation, values, cc[0], vv[0]);
+            acc1 += lane(stamps, generation, values, cc[1], vv[1]);
+            acc2 += lane(stamps, generation, values, cc[2], vv[2]);
+            acc3 += lane(stamps, generation, values, cc[3], vv[3]);
+        }
+        let mut acc = [acc0, acc1, acc2, acc3];
+        for (j, (&c, &v)) in
+            col_chunks.remainder().iter().zip(val_chunks.remainder()).enumerate()
+        {
+            acc[j] += lane(stamps, generation, values, c, v);
+        }
+        (acc[0] + acc[2]) + (acc[1] + acc[3])
+    }
+
+    /// The AVX2 gather: four stamps per `vpgatherdd`, one generation
+    /// compare per chunk, and a *masked* `vgatherdpd` so failed lanes never
+    /// read the value array. Lane arithmetic (`vmulpd` + `vaddpd`, no FMA)
+    /// and the tail/reduction mirror
+    /// [`row_dot_unrolled4`](Self::row_dot_unrolled4) exactly, so the two
+    /// are bit-identical on every row.
+    ///
+    /// Panics if the host CPU does not report AVX2; resolve
+    /// [`GatherKernel::Simd`] and use
+    /// [`row_dot_scattered_with`](Self::row_dot_scattered_with) to get a
+    /// typed error instead.
+    #[cfg(target_arch = "x86_64")]
+    pub fn row_dot_avx2(&self, r: Index, buf: &ScatteredColumn) -> f64 {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "row_dot_avx2 called on a host without AVX2"
+        );
+        // SAFETY: just checked the required target feature.
+        unsafe { self.row_dot_avx2_unchecked(r, buf) }
+    }
+
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn row_dot_avx2_unchecked(&self, r: Index, buf: &ScatteredColumn) -> f64 {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(buf.dim(), self.ncols());
+        // The gathers sign-extend each 32-bit index lane: a column index
+        // >= 2^31 would wrap negative and read out of bounds. Unreachable
+        // for any matrix this crate can build in practice, but the unsafe
+        // block must not rely on "in practice" — fail loudly instead.
+        assert!(
+            self.ncols() <= i32::MAX as usize,
+            "AVX2 gather kernel limited to matrices with < 2^31 columns"
+        );
+        let (cols, vals) = self.row(r);
+        let (stamps, generation, values) = buf.raw_parts();
+        let split = cols.len() - cols.len() % 4;
+        let generation_v = _mm_set1_epi32(generation as i32);
+        let zero = _mm256_setzero_pd();
+        let mut acc_v = zero;
+        let mut i = 0;
+        while i < split {
+            // SAFETY (for every gather below): `cols` holds validated
+            // in-bounds column indices for a matrix whose column count
+            // equals `buf.dim()` and (asserted above) fits in i32, so the
+            // sign-extended index lanes are non-negative and `stamps[c]`
+            // and `values[c]` are in-bounds reads; the masked value gather
+            // touches only lanes whose stamp matched.
+            let idx = _mm_loadu_si128(cols.as_ptr().add(i) as *const __m128i);
+            let st = _mm_i32gather_epi32::<4>(stamps.as_ptr() as *const i32, idx);
+            let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(_mm_cmpeq_epi32(
+                st,
+                generation_v,
+            )));
+            let x = _mm256_mask_i32gather_pd::<8>(zero, values.as_ptr(), idx, mask);
+            let v = _mm256_loadu_pd(vals.as_ptr().add(i));
+            acc_v = _mm256_add_pd(acc_v, _mm256_mul_pd(v, x));
+            i += 4;
+        }
+        let mut acc = [0.0f64; 4];
+        _mm256_storeu_pd(acc.as_mut_ptr(), acc_v);
+        for j in 0..cols.len() - split {
+            let c = cols[split + j] as usize;
+            let x = if stamps[c] == generation { values[c] } else { 0.0 };
+            acc[j] += vals[split + j] * x;
+        }
+        (acc[0] + acc[2]) + (acc[1] + acc[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CscMatrix;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_csr(nrows: usize, ncols: usize, density: f64, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trips = Vec::new();
+        for r in 0..nrows as Index {
+            for c in 0..ncols as Index {
+                if rng.gen_bool(density) {
+                    trips.push((r, c, rng.gen_range(-2.0..2.0)));
+                }
+            }
+        }
+        CsrMatrix::from_csc(&CscMatrix::from_triplets(nrows, ncols, &trips).unwrap())
+    }
+
+    fn random_sparse_vec(n: usize, density: f64, seed: u64) -> (Vec<Index>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut idx, mut val) = (Vec::new(), Vec::new());
+        for i in 0..n as Index {
+            if rng.gen_bool(density) {
+                idx.push(i);
+                val.push(rng.gen_range(-1.0..1.0));
+            }
+        }
+        (idx, val)
+    }
+
+    /// Every kernel the host can run, with the reference first.
+    fn host_kernels() -> Vec<ResolvedKernel> {
+        let mut kernels = vec![
+            GatherKernel::Scalar.resolve().unwrap(),
+            GatherKernel::Unrolled4.resolve().unwrap(),
+        ];
+        if let Ok(simd) = GatherKernel::Simd.resolve() {
+            kernels.push(simd);
+        }
+        kernels.push(GatherKernel::Auto.resolve().unwrap());
+        kernels
+    }
+
+    #[test]
+    fn kernels_agree_within_tolerance_and_unrolled_matches_simd_bitwise() {
+        for seed in 0..12u64 {
+            // Row lengths sweep every tail residue (len % 4 ∈ {0,1,2,3})
+            // because density is random per row.
+            let m = random_csr(24, 53, 0.35, seed);
+            let (idx, val) = random_sparse_vec(53, 0.4, seed + 99);
+            let mut buf = ScatteredColumn::new(53);
+            buf.load(&idx, &val);
+            for r in 0..24 as Index {
+                let reference = m.row_dot_scattered(r, &buf);
+                let unrolled = m.row_dot_unrolled4(r, &buf);
+                assert!(
+                    (reference - unrolled).abs() <= 1e-12 * reference.abs().max(1.0),
+                    "seed {seed} row {r}: scalar {reference} vs unrolled {unrolled}"
+                );
+                if let Ok(simd) = GatherKernel::Simd.resolve() {
+                    let vec = m.row_dot_scattered_with(simd, r, &buf);
+                    assert_eq!(
+                        unrolled.to_bits(),
+                        vec.to_bits(),
+                        "seed {seed} row {r}: unrolled {unrolled} vs simd {vec} not bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tail_length_is_exact() {
+        // Deterministic rows of length 0..=9 against a fully-loaded buffer:
+        // both wide kernels must equal the exact (rational) dot product.
+        for len in 0..10usize {
+            let trips: Vec<(Index, Index, f64)> =
+                (0..len).map(|c| (0, c as Index, (c + 1) as f64 * 0.25)).collect();
+            let m = CsrMatrix::from_csc(&CscMatrix::from_triplets(1, 10, &trips).unwrap());
+            let idx: Vec<Index> = (0..10).collect();
+            let val: Vec<f64> = (0..10).map(|i| (i as f64) - 4.0).collect();
+            let mut buf = ScatteredColumn::new(10);
+            buf.load(&idx, &val);
+            let exact: f64 =
+                (0..len).map(|c| (c + 1) as f64 * 0.25 * ((c as f64) - 4.0)).sum();
+            for kernel in host_kernels() {
+                let got = m.row_dot_scattered_with(kernel, 0, &buf);
+                assert!(
+                    (got - exact).abs() < 1e-12,
+                    "len {len} kernel {}: {got} vs {exact}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_positions_contribute_nothing() {
+        // A row whose columns are entirely outside the loaded vector: all
+        // kernels must return exactly 0.0 (the wide kernels' explicit
+        // `value × 0.0` lanes included), even with negative row values.
+        let trips: Vec<(Index, Index, f64)> =
+            (0..7).map(|c| (0, c as Index, -1.5 * (c + 1) as f64)).collect();
+        let m = CsrMatrix::from_csc(&CscMatrix::from_triplets(1, 12, &trips).unwrap());
+        let mut buf = ScatteredColumn::new(12);
+        buf.load(&[9, 11], &[3.0, -4.0]);
+        for kernel in host_kernels() {
+            let got = m.row_dot_scattered_with(kernel, 0, &buf);
+            assert_eq!(got, 0.0, "kernel {}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn kernels_respect_epoch_rollover() {
+        let m = random_csr(8, 16, 0.5, 5);
+        let mut buf = ScatteredColumn::new(16);
+        let all: Vec<Index> = (0..16).collect();
+        buf.force_epoch(u32::MAX - 1);
+        buf.load(&all, &vec![1.0; 16]); // generation becomes u32::MAX
+        let (idx, val) = random_sparse_vec(16, 0.3, 6);
+        buf.load(&idx, &val); // wraps: stamps cleared
+        for kernel in host_kernels() {
+            for r in 0..8 as Index {
+                let want = m.row_dot_sparse(r, &idx, &val);
+                let got = m.row_dot_scattered_with(kernel, r, &buf);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "kernel {} row {r}: {got} vs {want} after rollover",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selector_parsing_and_names() {
+        for kernel in GatherKernel::ALL {
+            assert_eq!(kernel.name().parse::<GatherKernel>().unwrap(), kernel);
+        }
+        assert_eq!("unrolled4".parse::<GatherKernel>().unwrap(), GatherKernel::Unrolled4);
+        match "neon-but-misspelled".parse::<GatherKernel>() {
+            Err(SparseError::UnsupportedKernel { requested, .. }) => {
+                assert_eq!(requested, "neon-but-misspelled");
+            }
+            other => panic!("expected UnsupportedKernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolution_is_typed_and_auto_always_succeeds() {
+        assert_eq!(GatherKernel::Scalar.resolve().unwrap().name(), "scalar");
+        assert_eq!(GatherKernel::Unrolled4.resolve().unwrap().name(), "unrolled");
+        let auto = GatherKernel::Auto.resolve().expect("Auto must resolve on every host");
+        match GatherKernel::Simd.resolve() {
+            // Where SIMD resolves, Auto must have picked it up too.
+            Ok(simd) => {
+                assert!(simd.is_simd());
+                assert_eq!(auto, simd, "Auto must prefer the vector kernel when available");
+            }
+            // Where it does not, the error is typed and Auto fell back.
+            Err(SparseError::UnsupportedKernel { requested, reason }) => {
+                assert_eq!(requested, "simd");
+                assert!(!reason.is_empty());
+                assert_eq!(auto.name(), "unrolled");
+            }
+            Err(other) => panic!("expected UnsupportedKernel, got {other:?}"),
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //!   `L⁻¹ e_q` scattered once into an epoch-stamped dense accumulator
 //!   ([`ScatteredColumn`]), each candidate proximity then a gather over
 //!   `O(nnz(row))` only — bit-identical to the merge-join kernel it
-//!   replaces on the hot path.
+//!   replaces on the hot path,
+//! * [`kernel`] — runtime-dispatched wide gathers: the portable
+//!   four-accumulator unrolled kernel and its AVX2 twin (bit-identical to
+//!   each other, within `1e-12` of the one-lane reference), selected via
+//!   [`GatherKernel`] and a host-validated [`ResolvedKernel`] token.
 //!
 //! ## Conventions
 //!
@@ -32,6 +36,7 @@
 pub mod csc;
 pub mod csr;
 pub mod inverse;
+pub mod kernel;
 pub mod lu;
 pub mod rwr;
 pub mod scatter;
@@ -42,6 +47,7 @@ pub use csr::CsrMatrix;
 pub use inverse::{
     invert_lower_unit, invert_lower_unit_with, invert_upper, invert_upper_with, InvertOptions,
 };
+pub use kernel::{GatherKernel, ResolvedKernel};
 pub use lu::{sparse_lu, LuFactors};
 pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
 pub use scatter::ScatteredColumn;
@@ -63,6 +69,10 @@ pub enum SparseError {
     NotTriangular(String),
     /// Restart probability outside `(0, 1)`.
     InvalidRestartProbability(f64),
+    /// A [`GatherKernel`] selector the host CPU cannot honour (or an
+    /// unknown selector spelling). Only `Auto` falls back; explicit
+    /// requests fail typed rather than silently downgrading.
+    UnsupportedKernel { requested: String, reason: String },
 }
 
 impl std::fmt::Display for SparseError {
@@ -78,6 +88,9 @@ impl std::fmt::Display for SparseError {
             SparseError::NotTriangular(m) => write!(f, "matrix is not triangular: {m}"),
             SparseError::InvalidRestartProbability(c) => {
                 write!(f, "restart probability {c} outside (0, 1)")
+            }
+            SparseError::UnsupportedKernel { requested, reason } => {
+                write!(f, "gather kernel '{requested}' unavailable: {reason}")
             }
         }
     }

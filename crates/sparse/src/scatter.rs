@@ -21,6 +21,13 @@
 //! every proximity the query engine reports — is **bit-identical** to the
 //! merge-join kernel. `row_dot_sparse` stays around as the independent
 //! reference implementation; the equivalence suite cross-checks the two.
+//!
+//! [`row_dot_scattered`](CsrMatrix::row_dot_scattered) below is the
+//! *one-accumulator reference* gather. The production hot path dispatches
+//! through [`crate::kernel`] instead: a four-accumulator unrolled kernel
+//! and its bit-identical AVX2 twin, selected at runtime via
+//! [`crate::GatherKernel`] — this reference is what both are validated
+//! against (`≤ 1e-12`, exactness preserved).
 
 use crate::{CsrMatrix, Index};
 use kdash_graph::EpochStamps;
@@ -83,6 +90,16 @@ impl ScatteredColumn {
     #[doc(hidden)]
     pub fn force_epoch(&mut self, epoch: u32) {
         self.stamps.force_epoch(epoch);
+    }
+
+    /// Raw view for the gather kernels ([`crate::kernel`]): the stamp
+    /// array, the current generation, and the dense values. Position `i`
+    /// holds a current value iff `stamps[i] == generation` — the bulk form
+    /// of [`get`](Self::get).
+    #[inline]
+    pub(crate) fn raw_parts(&self) -> (&[u32], u32, &[f64]) {
+        let (stamps, generation) = self.stamps.raw();
+        (stamps, generation, &self.values)
     }
 }
 

@@ -6,7 +6,7 @@
 //! ```
 
 use kdash_baselines::{IterativeRwr, TopKEngine};
-use kdash_core::IndexBuilder;
+use kdash_core::{GatherKernel, IndexBuilder};
 use kdash_datagen::DatasetProfile;
 
 fn main() {
@@ -40,17 +40,34 @@ fn main() {
         index.stats().inverse_nnz_ratio()
     );
 
-    // 3. Query: exact top-10 highest-proximity nodes for node 0.
+    // 3. Query: exact top-10 highest-proximity nodes for node 0. A serving
+    //    loop holds one `Searcher` (allocation-free after warm-up) and can
+    //    pick its gather kernel: `Auto` dispatches to AVX2 where the host
+    //    has it and to the portable four-accumulator kernel otherwise —
+    //    same answers either way (the wide kernels are bit-identical to
+    //    each other); an explicit choice the CPU cannot honour is a typed
+    //    error, so deployments never silently degrade.
     let q = 0;
     let k = 10;
-    let result = index.top_k(q, k).expect("query");
-    println!("\ntop-{k} nodes for query {q}:");
+    let mut searcher =
+        kdash_core::Searcher::with_kernel(&index, GatherKernel::Auto).expect("kernel");
+    let result = searcher.top_k(q, k).expect("query");
+    println!("\ntop-{k} nodes for query {q} (gather kernel: {}):", searcher.kernel().name());
     for (rank, item) in result.items.iter().enumerate() {
         println!("  #{:<2} node {:<6} proximity {:.6e}", rank + 1, item.node, item.proximity);
     }
+    // The BFS frontier is expanded lazily, fused into the search loop: on
+    // early-terminated queries `frontier_expanded` < `reachable`, and
+    // `reachable` itself is only the *discovered* count — the pruned-away
+    // layers are never even enumerated.
     println!(
-        "visited {} nodes, computed {} exact proximities, early-termination: {}",
-        result.stats.visited, result.stats.proximity_computations, result.stats.terminated_early
+        "visited {} nodes, computed {} exact proximities, expanded {} of {} discovered, \
+         early-termination: {}",
+        result.stats.visited,
+        result.stats.proximity_computations,
+        result.stats.frontier_expanded,
+        result.stats.reachable,
+        result.stats.terminated_early
     );
 
     // 4. Verify exactness against the iterative definition (Equation 1).

@@ -1,0 +1,200 @@
+//! The cross-kernel contract for the gather kernels
+//! (`kdash_sparse::kernel`), checked at the *search* level:
+//!
+//! * **unrolled ≡ SIMD, bit for bit** — the two wide kernels perform the
+//!   same lane operations in the same order, so whole query results
+//!   (items *and* stats, including the early-termination point) must be
+//!   byte-equal wherever the host can run both. This is what makes
+//!   results deterministic across machines: a host dispatching AVX2 and a
+//!   host falling back to the portable unrolled kernel return identical
+//!   answers.
+//! * **wide vs scalar ≤ 1e-12** — the wide kernels re-associate the sum
+//!   (four lanes instead of one), so they are only tolerance-pinned
+//!   against the one-accumulator reference (which itself is bit-identical
+//!   to the merge join).
+//! * **every kernel is exact** — proximities match the iterative
+//!   ground-truth RWR under each kernel the host supports.
+//! * selection failures are **typed**: an impossible selector comes back
+//!   as `KdashError::UnsupportedKernel`, never a panic, and only `Auto`
+//!   falls back.
+
+use kdash_core::{GatherKernel, IndexOptions, KdashError, KdashIndex, Searcher, TopKResult};
+use kdash_datagen::{barabasi_albert, erdos_renyi};
+use kdash_graph::NodeId;
+use kdash_harness::exact_top_k_scored;
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = kdash_graph::CsrGraph> {
+    (0usize..2, 16usize..80, 1usize..5, any::<u64>()).prop_map(|(family, n, density, seed)| {
+        match family {
+            0 => erdos_renyi(n, n * density, seed),
+            _ => barabasi_albert(n, density.min(n - 1).max(1), seed),
+        }
+    })
+}
+
+fn assert_byte_equal(a: &TopKResult, b: &TopKResult) -> Result<(), String> {
+    if a.items.len() != b.items.len() {
+        return Err(format!("lengths: {} vs {}", a.items.len(), b.items.len()));
+    }
+    for (x, y) in a.items.iter().zip(&b.items) {
+        if x.node != y.node || x.proximity.to_bits() != y.proximity.to_bits() {
+            return Err(format!(
+                "({}, {:.17e}) vs ({}, {:.17e})",
+                x.node, x.proximity, y.node, y.proximity
+            ));
+        }
+    }
+    if a.stats != b.stats {
+        return Err(format!("stats: {:?} vs {:?}", a.stats, b.stats));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full query results under the unrolled kernel are byte-equal to the
+    /// SIMD kernel's (where the host has one), and within 1e-12 of the
+    /// scalar reference — across top-k, restart-set and threshold queries.
+    #[test]
+    fn wide_kernels_are_bit_identical_and_tolerance_pinned((graph, q_sel, k_sel) in
+        (graph_strategy(), any::<u32>(), 1usize..12)) {
+        let n = graph.num_nodes();
+        let q = (q_sel as usize % n) as NodeId;
+        let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
+        let mut scalar = Searcher::with_kernel(&index, GatherKernel::Scalar).unwrap();
+        let mut unrolled = Searcher::with_kernel(&index, GatherKernel::Unrolled4).unwrap();
+        let simd_available = GatherKernel::Simd.resolve().is_ok();
+
+        let sources = [q, (q + 1) % n as NodeId];
+        let runs: [(&str, fn(&mut Searcher, NodeId, usize, &[NodeId]) -> TopKResult); 3] = [
+            ("top_k", |s, q, k, _| s.top_k(q, k).unwrap()),
+            ("from_set", |s, _, k, src| s.top_k_from_set(src, k).unwrap()),
+            ("nodes_above", |s, q, _, _| s.nodes_above(q, 1e-6).unwrap()),
+        ];
+        for (label, run) in runs {
+            let s_res = run(&mut scalar, q, k_sel, &sources);
+            let u_res = run(&mut unrolled, q, k_sel, &sources);
+            if simd_available {
+                // Fresh workspace per run keeps the borrows simple.
+                let mut simd_searcher = Searcher::with_kernel(&index, GatherKernel::Simd).unwrap();
+                let v_res = run(&mut simd_searcher, q, k_sel, &sources);
+                if let Err(msg) = assert_byte_equal(&u_res, &v_res) {
+                    prop_assert!(false, "{} unrolled vs simd: {}", label, msg);
+                }
+            }
+            // Wide vs scalar: same candidates may round differently in the
+            // last bits and may even swap ranks at the k-th cutoff, so
+            // match by node id — against the scalar result where the node
+            // appears, else against the full proximity vector *of the same
+            // query family* (the restart-set family has its own vector).
+            let full = if label == "from_set" {
+                index.full_proximities_from_set(&sources).unwrap()
+            } else {
+                index.full_proximities(q).unwrap()
+            };
+            for item in &u_res.items {
+                let reference = s_res
+                    .items
+                    .iter()
+                    .find(|r| r.node == item.node)
+                    .map(|r| r.proximity)
+                    .unwrap_or(full[item.node as usize]);
+                prop_assert!(
+                    (item.proximity - reference).abs() <= 1e-12,
+                    "{} node {}: unrolled {:.17e} vs scalar {:.17e}",
+                    label, item.node, item.proximity, reference
+                );
+            }
+        }
+    }
+}
+
+/// Exactness re-pinned for every kernel the host supports: search results
+/// must match the iterative ground truth under each of them.
+#[test]
+fn every_kernel_is_exact_against_iterative_ground_truth() {
+    for seed in [3u64, 17] {
+        let g = barabasi_albert(90, 3, seed);
+        let index = KdashIndex::build(
+            &g,
+            IndexOptions { restart_probability: 0.9, ..Default::default() },
+        )
+        .unwrap();
+        for q in [0u32, 41, 88] {
+            let truth = exact_top_k_scored(&g, 0.9, q, 8);
+            for kernel in [
+                GatherKernel::Scalar,
+                GatherKernel::Unrolled4,
+                GatherKernel::Simd,
+                GatherKernel::Auto,
+            ] {
+                let mut searcher = match Searcher::with_kernel(&index, kernel) {
+                    Ok(s) => s,
+                    // A host without SIMD skips that row; Auto and the
+                    // scalar kernels must always be available.
+                    Err(KdashError::UnsupportedKernel { .. })
+                        if kernel == GatherKernel::Simd =>
+                    {
+                        continue
+                    }
+                    Err(other) => panic!("kernel {kernel}: unexpected error {other}"),
+                };
+                let got = searcher.top_k(q, 8).unwrap();
+                assert_eq!(got.items.len(), truth.len());
+                for (item, (_, want)) in got.items.iter().zip(&truth) {
+                    assert!(
+                        (item.proximity - want).abs() < 1e-9,
+                        "kernel {} q {q}: {} vs ground truth {}",
+                        searcher.kernel().name(),
+                        item.proximity,
+                        want
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Selection failures are typed errors, never panics; rejected selections
+/// leave the workspace's current kernel untouched and usable.
+#[test]
+fn unsupported_selectors_fail_typed_and_leave_searcher_usable() {
+    let g = erdos_renyi(30, 90, 5);
+    let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+    let mut searcher = index.searcher();
+    let auto_kernel = searcher.kernel();
+
+    // A selector spelling that exists on no host.
+    match "avx1024".parse::<GatherKernel>() {
+        Err(e) => {
+            // Core surfaces the same failure as its own typed variant.
+            let core_err: KdashError = e.into();
+            match core_err {
+                KdashError::UnsupportedKernel { requested, .. } => {
+                    assert_eq!(requested, "avx1024")
+                }
+                other => panic!("expected UnsupportedKernel, got {other:?}"),
+            }
+        }
+        Ok(k) => panic!("'avx1024' must not parse, got {k:?}"),
+    }
+
+    // An explicit SIMD request either resolves (host has AVX2) or fails
+    // typed; in both cases the workspace keeps answering queries.
+    match searcher.set_kernel(GatherKernel::Simd) {
+        Ok(()) => assert!(searcher.kernel().is_simd()),
+        Err(KdashError::UnsupportedKernel { requested, reason }) => {
+            assert_eq!(requested, "simd");
+            assert!(!reason.is_empty());
+            assert_eq!(searcher.kernel(), auto_kernel, "failed switch must not change kernel");
+        }
+        Err(other) => panic!("expected UnsupportedKernel, got {other:?}"),
+    }
+    assert_eq!(searcher.top_k(0, 3).unwrap().items.len(), 3);
+
+    // Auto resolves everywhere and never to SIMD on a host lacking it.
+    searcher.set_kernel(GatherKernel::Auto).unwrap();
+    assert_eq!(searcher.top_k(0, 3).unwrap().items.len(), 3);
+}

@@ -1,17 +1,28 @@
-//! The query-engine equivalence contract: the scatter/gather `Searcher`
-//! path must return **bit-identical** proximities — and therefore identical
-//! rankings and work counters — to the original merge-join path
-//! (`KdashIndex::top_k_merge_join`), across random graphs, random queries
-//! and every entry-point family.
+//! The query-engine equivalence contract, post-lazy-BFS and kernel
+//! dispatch:
 //!
-//! The gather visits exactly the merge join's matching pairs in the same
-//! ascending-column order, so the floating-point sums agree to the last
-//! bit; this suite is what keeps that argument honest as the kernels
-//! evolve.
+//! * under the **scalar** gather kernel, the lazy `Searcher` path must
+//!   return **bit-identical** proximities — and identical rankings and
+//!   work counters — to the original eager merge-join path
+//!   (`KdashIndex::top_k_merge_join`), across random graphs, random
+//!   queries and every entry-point family. (The gather visits exactly the
+//!   merge join's matching pairs in the same ascending-column order.)
+//! * the **traversal counters** differ by design: the merge join
+//!   enumerates the whole reachable set up front (`reachable` =
+//!   `frontier_expanded` = full count), while the lazy path stops
+//!   discovering at early termination — `reachable` is then the
+//!   discovered-so-far count and `frontier_expanded` is strictly below it
+//!   (the death layer was discovered, never expanded). When a search runs
+//!   to completion the two paths must agree exactly.
+//! * under the **default (`Auto`) kernel** the wide gathers re-associate
+//!   the sum, so proximities are only pinned to `1e-12` of the reference —
+//!   the bit-level cross-kernel contracts live in
+//!   `tests/kernel_equivalence.rs`.
 
-use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_core::{GatherKernel, IndexOptions, KdashIndex, NodeOrdering, Searcher};
 use kdash_datagen::{barabasi_albert, erdos_renyi};
 use kdash_graph::NodeId;
+use kdash_harness::check_lazy_vs_eager;
 use proptest::prelude::*;
 
 /// Strategy over the two generator families the paper's datasets span:
@@ -26,35 +37,11 @@ fn graph_strategy() -> impl Strategy<Value = kdash_graph::CsrGraph> {
     })
 }
 
-fn assert_bit_identical(
-    a: &kdash_core::TopKResult,
-    b: &kdash_core::TopKResult,
-) -> Result<(), String> {
-    if a.items.len() != b.items.len() {
-        return Err(format!("lengths differ: {} vs {}", a.items.len(), b.items.len()));
-    }
-    for (x, y) in a.items.iter().zip(&b.items) {
-        if x.node != y.node {
-            return Err(format!("ranking differs: node {} vs {}", x.node, y.node));
-        }
-        if x.proximity.to_bits() != y.proximity.to_bits() {
-            return Err(format!(
-                "proximity of node {} differs in the last bit: {:.17e} vs {:.17e}",
-                x.node, x.proximity, y.proximity
-            ));
-        }
-    }
-    if a.stats != b.stats {
-        return Err(format!("work counters differ: {:?} vs {:?}", a.stats, b.stats));
-    }
-    Ok(())
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
-    /// Scatter/gather top-k ≡ merge-join top-k, bit for bit, including the
-    /// early-termination point (identical stats).
+    /// Lazy scatter/gather top-k ≡ eager merge-join top-k, bit for bit,
+    /// with the traversal counters obeying the lazy/eager contract.
     #[test]
     fn searcher_matches_merge_join((graph, q_sel, k_sel, c_pick) in
         (graph_strategy(), any::<u32>(), 0usize..12, 0usize..3)) {
@@ -65,26 +52,28 @@ proptest! {
             &graph,
             IndexOptions { restart_probability: c, ..Default::default() },
         ).unwrap();
+        let mut searcher = Searcher::with_kernel(&index, GatherKernel::Scalar).unwrap();
         for k in [k_sel, n / 2, n + 3] {
-            let new = index.top_k(q, k).unwrap();
+            let new = searcher.top_k(q, k).unwrap();
             let old = index.top_k_merge_join(q, k).unwrap();
-            if let Err(msg) = assert_bit_identical(&new, &old) {
+            if let Err(msg) = check_lazy_vs_eager(&new, &old) {
                 prop_assert!(false, "n={} q={} k={}: {}", n, q, k, msg);
             }
         }
     }
 
     /// A single reused Searcher replays a whole query stream bit-identically
-    /// to the merge-join reference — reuse must not leak state.
+    /// to the merge-join reference — reuse must not leak state, lazy
+    /// frontier cursors included.
     #[test]
     fn reused_searcher_matches_merge_join((graph, k_sel) in (graph_strategy(), 1usize..8)) {
         let n = graph.num_nodes();
         let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
-        let mut searcher = index.searcher();
+        let mut searcher = Searcher::with_kernel(&index, GatherKernel::Scalar).unwrap();
         for q in (0..n as NodeId).step_by(7) {
             let new = searcher.top_k(q, k_sel).unwrap();
             let old = index.top_k_merge_join(q, k_sel).unwrap();
-            if let Err(msg) = assert_bit_identical(&new, &old) {
+            if let Err(msg) = check_lazy_vs_eager(&new, &old) {
                 prop_assert!(false, "n={} q={} k={}: {}", n, q, k_sel, msg);
             }
         }
@@ -105,10 +94,43 @@ proptest! {
         ][which];
         let index = KdashIndex::build(&graph, IndexOptions { ordering, ..Default::default() })
             .unwrap();
+        let new = Searcher::with_kernel(&index, GatherKernel::Scalar)
+            .unwrap()
+            .top_k(q, 10)
+            .unwrap();
+        let old = index.top_k_merge_join(q, 10).unwrap();
+        if let Err(msg) = check_lazy_vs_eager(&new, &old) {
+            prop_assert!(false, "{:?} n={} q={}: {}", ordering, n, q, msg);
+        }
+    }
+
+    /// The default (Auto) kernel may re-associate the gather sum but must
+    /// stay within 1e-12 of the merge-join reference per returned node.
+    #[test]
+    fn auto_kernel_stays_within_tolerance((graph, q_sel) in
+        (graph_strategy(), any::<u32>())) {
+        let n = graph.num_nodes();
+        let q = (q_sel as usize % n) as NodeId;
+        let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
         let new = index.top_k(q, 10).unwrap();
         let old = index.top_k_merge_join(q, 10).unwrap();
-        if let Err(msg) = assert_bit_identical(&new, &old) {
-            prop_assert!(false, "{:?} n={} q={}: {}", ordering, n, q, msg);
+        prop_assert_eq!(new.items.len(), old.items.len());
+        // Match by node id: last-bit rounding may swap ranks at the k-th
+        // cutoff, so a node in the Auto result can be absent from the
+        // merge-join list — the full vector then supplies its reference.
+        let full = index.full_proximities(q).unwrap();
+        for x in &new.items {
+            let reference = old
+                .items
+                .iter()
+                .find(|y| y.node == x.node)
+                .map(|y| y.proximity)
+                .unwrap_or(full[x.node as usize]);
+            prop_assert!(
+                (x.proximity - reference).abs() <= 1e-12,
+                "node {} ({:?} kernel): {:.17e} vs {:.17e}",
+                x.node, index.searcher().kernel().name(), x.proximity, reference
+            );
         }
     }
 
@@ -123,6 +145,9 @@ proptest! {
         let full = index.full_proximities(q).unwrap();
 
         let unpruned = index.top_k_unpruned(q, n).unwrap();
+        // Unpruned searches always run to completion: full reachability.
+        prop_assert_eq!(unpruned.stats.frontier_expanded, unpruned.stats.reachable);
+        prop_assert!(!unpruned.stats.terminated_early);
         for item in &unpruned.items {
             let want = full[item.node as usize];
             prop_assert!(
