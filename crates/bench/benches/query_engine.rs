@@ -1,43 +1,63 @@
 //! Query-engine headline benchmark (PR 1: scatter/gather + `Searcher`
-//! reuse; PR 3: lazy layer-by-layer BFS + runtime-dispatched wide gather
-//! kernels).
+//! reuse; PR 3: lazy BFS + wide gather kernels; PR 4: blocked u16 index
+//! layout + deterministic per-row adaptive kernel policy + prefetched
+//! candidate batching).
 //!
 //! On a ~65k-node RMAT graph (the paper's Social/Email stand-in):
 //!
-//! * `proximity_kernel/*` — the gather kernels in isolation (merge join,
-//!   1-lane scalar gather, 4-accumulator unrolled, AVX2 where the host has
-//!   it) over a stride of all `U⁻¹` rows;
-//! * `proximity_kernel_hub/*` — the same kernels over the **densest** rows
-//!   (hub candidates), where the wide kernels' instruction-level
-//!   parallelism matters most;
-//! * `query_engine/*` — end-to-end top-k sweeps: the eager merge-join
-//!   reference vs one reused lazy `Searcher` per kernel.
+//! * `kernel_hub/*`, `kernel_mixed/*`, `kernel_cold/*` — the gather
+//!   kernels in isolation over three row populations (hit-dominated hub
+//!   candidates, the PR 1 strided mix, and miss-dominated cold rows),
+//!   each under **both** layouts (`flat_*` vs `blocked_*`) and every
+//!   kernel including `adaptive`. These are the three series the
+//!   adaptive-policy acceptance compares: adaptive must match the best
+//!   fixed kernel on all three simultaneously.
+//! * `query_engine/*` — end-to-end top-k sweeps: merge-join reference,
+//!   the PR 1 eager-scalar baseline, one reused lazy `Searcher` per
+//!   kernel on the blocked (default) layout, plus `lazy_adaptive_flat`
+//!   to isolate the layout's contribution.
+//! * `query_engine_k5/*` — the traversal-bound light-query series.
 //!
-//! The setup also prints the lazy-frontier counters over the query mix
-//! (`frontier expanded / discovered / full reachable`): the expanded count
-//! is the traversal work the fused BFS actually pays, the full count what
-//! the eager path paid before.
-//!
-//! Headline numbers land in `BENCH_PR3.json` at the repo root (PR 1's in
-//! `BENCH_PR1.json`). `KDASH_BENCH_SCALE` overrides the RMAT scale
-//! (default 16 ⇒ 2^16 = 65,536 nodes) for quick smoke runs.
+//! The setup prints the index-bytes/nnz report (blocked vs flat), the
+//! lazy-frontier counters, per-population stamp-hit rates with the
+//! policy's predictions, and the per-query gather-byte counters — the
+//! observability the BENCH_PR4.json notes are written from.
+//! `KDASH_BENCH_SCALE` overrides the RMAT scale (default 16).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kdash_core::{GatherKernel, IndexOptions, KdashIndex, Searcher, TopKResult};
+use kdash_core::{GatherKernel, IndexOptions, KdashIndex, RowLayout, Searcher, TopKResult};
 use kdash_datagen::{rmat, RmatParams};
 use kdash_graph::NodeId;
+use kdash_sparse::{GatherCounters, GatherScratch, ProximityStore, ScatteredColumn};
 
-/// The kernels this host can run, labelled for the report.
+/// The fixed kernels this host can run, labelled for the report.
 fn host_kernels() -> Vec<(&'static str, GatherKernel)> {
     let mut kernels = vec![
         ("scalar", GatherKernel::Scalar),
         ("unrolled4", GatherKernel::Unrolled4),
     ];
     if let Ok(resolved) = GatherKernel::Simd.resolve() {
-        // Label with the concrete dispatch target (e.g. "avx2").
         kernels.push((resolved.name(), GatherKernel::Simd));
     }
+    kernels.push(("adaptive", GatherKernel::Adaptive));
     kernels
+}
+
+/// Sweeps `rows` through one store/kernel pair, returning the checksum.
+fn sweep(
+    store: &ProximityStore,
+    kernel: GatherKernel,
+    rows: &[NodeId],
+    column: &ScatteredColumn,
+    scratch: &mut GatherScratch,
+) -> f64 {
+    let resolved = kernel.resolve().expect("host kernel");
+    let mut counters = GatherCounters::default();
+    let mut acc = 0.0;
+    for &r in rows {
+        acc += store.row_gather(resolved, r, column, scratch, &mut counters);
+    }
+    std::hint::black_box(acc)
 }
 
 fn bench(c: &mut Criterion) {
@@ -49,6 +69,9 @@ fn bench(c: &mut Criterion) {
     let graph = rmat(scale, n * 4, RmatParams::default(), 42);
     let t0 = std::time::Instant::now();
     let index = KdashIndex::build(&graph, IndexOptions::default()).expect("index build");
+    let flat_index = index.with_layout(RowLayout::Flat);
+    let blocked = index.uinv_rows();
+    let flat = flat_index.uinv_rows();
     println!(
         "query_engine setup: rmat scale {scale}: {} nodes, {} edges; index built in {:.1?} \
          (nnz L-inv {}, nnz U-inv {})",
@@ -58,6 +81,13 @@ fn bench(c: &mut Criterion) {
         index.stats().nnz_l_inv,
         index.stats().nnz_u_inv,
     );
+    println!(
+        "index bytes/nnz: blocked {:.3} vs flat {:.3} ({:.1}% index-traffic cut, {} runs)",
+        blocked.index_bytes() as f64 / blocked.nnz() as f64,
+        flat.index_bytes() as f64 / flat.nnz() as f64,
+        100.0 * (1.0 - blocked.index_bytes() as f64 / flat.index_bytes() as f64),
+        blocked.as_blocked().expect("blocked").num_runs(),
+    );
 
     // Deterministic query mix over non-dangling nodes: hubs and leaves both
     // appear, which is exactly the skew the engine must absorb. One
@@ -66,12 +96,12 @@ fn bench(c: &mut Criterion) {
     let queries: Vec<NodeId> = kdash_bench::queries_for(&graph, 32);
     let k = 50;
 
-    // Lazy-frontier counters over the mix: what the fused BFS pays
-    // (expanded), what it enumerates (discovered) and what the eager path
-    // enumerated (full reachable, from the merge-join reference).
+    // Lazy-frontier counters plus the new gather-byte counters over the
+    // mix, per kernel class.
     {
         let mut searcher = index.searcher();
         let (mut expanded, mut discovered, mut full, mut early) = (0usize, 0usize, 0usize, 0usize);
+        let (mut bytes, mut val_bytes, mut r_scalar, mut r_wide) = (0usize, 0usize, 0usize, 0usize);
         for &q in &queries {
             let lazy = searcher.top_k(q, k).expect("query");
             let eager = index.top_k_merge_join(q, k).expect("query");
@@ -79,6 +109,10 @@ fn bench(c: &mut Criterion) {
             discovered += lazy.stats.reachable;
             full += eager.stats.reachable;
             early += lazy.stats.terminated_early as usize;
+            bytes += lazy.stats.bytes_touched;
+            val_bytes += lazy.stats.value_bytes_touched;
+            r_scalar += lazy.stats.rows_scalar;
+            r_wide += lazy.stats.rows_wide;
         }
         println!(
             "lazy frontier over {} queries (k={k}): expanded {expanded} / discovered \
@@ -88,96 +122,115 @@ fn bench(c: &mut Criterion) {
             early,
             100.0 * expanded as f64 / full.max(1) as f64,
         );
+        println!(
+            "adaptive gathers (blocked): rows scalar {r_scalar} / wide {r_wide}; index bytes \
+             {bytes}, model value bytes {val_bytes}"
+        );
     }
 
     // Kernel-level comparison, isolated from BFS and heap costs: the
     // *hub-most* query of the mix (densest scattered `L⁻¹` column — the
     // per-query cost profile the paper's skewed datasets stress) against
-    // the U⁻¹ rows a search meets.
+    // three row populations of the stored U⁻¹.
     let hub_query = *queries
         .iter()
         .max_by_key(|&&q| index.linv_query_column(q).0.len())
         .expect("non-empty query mix");
     let (col_idx, col_val) = index.linv_query_column(hub_query);
     println!("kernel column: query {hub_query}, nnz(L⁻¹ e_q) = {}", col_idx.len());
-    let uinv = index.uinv_rows();
-    let mut column = kdash_sparse::ScatteredColumn::new(graph.num_nodes());
+    let mut column = ScatteredColumn::new(graph.num_nodes());
     column.load(col_idx, col_val);
+    let mut scratch = GatherScratch::with_capacity(blocked.max_row_nnz());
 
-    // The strided mix (PR 1's series): mostly rows *far* from the query,
-    // whose stamp checks nearly all fail — the branchy scalar gather skips
-    // almost every multiply there, so it is the right default for cold
-    // candidates and the continuity baseline against BENCH_PR1.json.
-    let mut kernels = c.benchmark_group("proximity_kernel");
-    kernels.sample_size(30);
-    {
-        let rows: Vec<NodeId> = (0..graph.num_nodes() as NodeId).step_by(7).collect();
-        kernels.bench_function("merge_join", |b| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for &r in &rows {
-                    acc += uinv.row_dot_sparse(r, col_idx, col_val);
-                }
-                std::hint::black_box(acc)
-            });
-        });
-        for (label, kernel) in host_kernels() {
-            let resolved = kernel.resolve().expect("host kernel");
-            kernels.bench_function(label, |b| {
+    // Row populations (analysed on the flat twin, benched on both
+    // layouts):
+    //  * mixed — the PR 1 stride over all rows vs the hub column
+    //            (continuity baseline);
+    //  * hub   — the 512 highest-overlap rows vs the hub column
+    //            (hit-dominated: the wide kernels' best case);
+    //  * cold  — the same dense rows against the *sparsest* query column
+    //            of the mix (miss-dominated: PR 3's regression case —
+    //            big DRAM-resident rows, almost every stamp check fails).
+    let flat_csr = flat.as_flat().expect("flat twin");
+    let mixed: Vec<NodeId> = (0..graph.num_nodes() as NodeId).step_by(7).collect();
+    let mut by_overlap: Vec<(usize, usize, NodeId)> = (0..graph.num_nodes() as NodeId)
+        .map(|r| {
+            let (cols, _) = flat_csr.row(r);
+            let matched = cols.iter().filter(|&&c| column.get(c).is_some()).count();
+            (matched, cols.len(), r)
+        })
+        .collect();
+    by_overlap.sort_by_key(|&(matched, nnz, r)| (std::cmp::Reverse(matched), nnz, r));
+    let hubs: Vec<NodeId> = by_overlap.iter().take(512).map(|&(_, _, r)| r).collect();
+
+    let cold_query = *queries
+        .iter()
+        .filter(|&&q| index.linv_query_column(q).0.len() > 0)
+        .min_by_key(|&&q| index.linv_query_column(q).0.len())
+        .expect("non-empty query mix");
+    let (cold_idx, cold_val) = index.linv_query_column(cold_query);
+    println!("cold column: query {cold_query}, nnz(L⁻¹ e_q) = {}", cold_idx.len());
+    let mut cold_column = ScatteredColumn::new(graph.num_nodes());
+    cold_column.load(cold_idx, cold_val);
+
+    // Per-population observability: actual stamp-hit rate vs what the
+    // policy decides, and how many rows it hands to the wide kernel.
+    for (label, rows, col) in [
+        ("hub", &hubs, &column),
+        ("mixed", &mixed, &column),
+        ("cold", &hubs, &cold_column),
+    ] {
+        let (mut nnz_total, mut matched_total, mut wide_rows) = (0usize, 0usize, 0usize);
+        for &r in rows.iter() {
+            let (cols, _) = flat_csr.row(r);
+            nnz_total += cols.len();
+            matched_total += cols.iter().filter(|&&c| col.get(c).is_some()).count();
+            let stat = blocked.row_stat(r);
+            if kdash_sparse::adaptive_picks_wide(stat, col) {
+                wide_rows += 1;
+            }
+        }
+        println!(
+            "{label} rows: {} rows, avg nnz {:.0}, actual stamp-hit {:.1}%, policy sends \
+             {wide_rows} wide",
+            rows.len(),
+            nnz_total as f64 / rows.len().max(1) as f64,
+            100.0 * matched_total as f64 / nnz_total.max(1) as f64,
+        );
+    }
+
+    // The three kernel series groups × both layouts × every kernel.
+    for (group_name, rows, col) in [
+        ("kernel_hub", &hubs, &column),
+        ("kernel_mixed", &mixed, &column),
+        ("kernel_cold", &hubs, &cold_column),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(30);
+        if group_name == "kernel_mixed" {
+            // Continuity with BENCH_PR1/PR3: the merge join over the mix,
+            // on the flat matrix those PRs measured (the blocked decode
+            // would otherwise pollute the cross-PR comparison).
+            let rows = rows.clone();
+            group.bench_function("merge_join", |b| {
                 b.iter(|| {
                     let mut acc = 0.0;
                     for &r in &rows {
-                        acc += uinv.row_dot_scattered_with(resolved, r, &column);
+                        acc += flat_csr.row_dot_sparse(r, col_idx, col_val);
                     }
                     std::hint::black_box(acc)
                 });
             });
         }
-    }
-    kernels.finish();
-
-    // Candidate (hub) rows: the rows a search actually computes proximities
-    // over are the ones overlapping the query column — dense rows of nodes
-    // near the query, where the stamp check *passes* and the single-lane
-    // gather serialises behind its accumulator. Rank rows by matched
-    // nonzeros against the loaded column and take the hottest 512: this is
-    // the kernel's latency-bound case, where the four independent
-    // accumulators pay off.
-    let mut hub_group = c.benchmark_group("proximity_kernel_hub");
-    hub_group.sample_size(30);
-    {
-        let mut by_overlap: Vec<(usize, usize, NodeId)> = (0..graph.num_nodes() as NodeId)
-            .map(|r| {
-                let (cols, _) = uinv.row(r);
-                let matched = cols.iter().filter(|&&c| column.get(c).is_some()).count();
-                (matched, cols.len(), r)
-            })
-            .collect();
-        by_overlap.sort_by_key(|&(matched, nnz, r)| (std::cmp::Reverse(matched), nnz, r));
-        let hubs: Vec<NodeId> = by_overlap.iter().take(512).map(|&(_, _, r)| r).collect();
-        let (total_nnz, total_matched): (usize, usize) = by_overlap
-            .iter()
-            .take(512)
-            .fold((0, 0), |(n, m), &(matched, nnz, _)| (n + nnz, m + matched));
-        println!(
-            "hub rows: 512 highest-overlap U⁻¹ rows, avg nnz {:.0}, avg stamp-hit rate {:.0}%",
-            total_nnz as f64 / 512.0,
-            100.0 * total_matched as f64 / total_nnz.max(1) as f64,
-        );
-        for (label, kernel) in host_kernels() {
-            let resolved = kernel.resolve().expect("host kernel");
-            hub_group.bench_function(label, |b| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for &r in &hubs {
-                        acc += uinv.row_dot_scattered_with(resolved, r, &column);
-                    }
-                    std::hint::black_box(acc)
+        for (layout_label, store) in [("flat", flat), ("blocked", blocked)] {
+            for (kernel_label, kernel) in host_kernels() {
+                group.bench_function(format!("{layout_label}_{kernel_label}"), |b| {
+                    b.iter(|| sweep(store, kernel, rows, col, &mut scratch));
                 });
-            });
+            }
         }
+        group.finish();
     }
-    hub_group.finish();
 
     let mut group = c.benchmark_group("query_engine");
     group.sample_size(20);
@@ -193,12 +246,13 @@ fn bench(c: &mut Criterion) {
     });
 
     // The PR 1 path: reused Searcher, scalar gather, whole BFS tree
-    // drained before the search loop — the baseline the lazy frontier's
-    // end-to-end saving is measured against, in-run.
+    // drained before the search loop — measured on the *flat* layout it
+    // was built for, in-run.
     {
-        let mut searcher = Searcher::with_kernel(&index, GatherKernel::Scalar).expect("scalar");
+        let mut searcher =
+            Searcher::with_kernel(&flat_index, GatherKernel::Scalar).expect("scalar");
         let mut out = TopKResult::default();
-        group.bench_function("eager_reused_scalar", |b| {
+        group.bench_function("eager_reused_scalar_flat", |b| {
             b.iter(|| {
                 let mut total = 0usize;
                 for &q in &queries {
@@ -210,7 +264,9 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    // One reused lazy Searcher per kernel — the serving configuration.
+    // One reused lazy Searcher per kernel on the default (blocked) layout
+    // — the serving configuration — plus the flat/adaptive twin so the
+    // layout's own contribution is visible.
     for (label, kernel) in host_kernels() {
         let mut searcher = Searcher::with_kernel(&index, kernel).expect("host kernel");
         let mut out = TopKResult::default();
@@ -225,19 +281,30 @@ fn bench(c: &mut Criterion) {
             });
         });
     }
-
+    {
+        let mut searcher =
+            Searcher::with_kernel(&flat_index, GatherKernel::Adaptive).expect("adaptive");
+        let mut out = TopKResult::default();
+        group.bench_function("lazy_adaptive_flat", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    searcher.top_k_into(q, k, &mut out).expect("query");
+                    total += out.items.len();
+                }
+                std::hint::black_box(total)
+            });
+        });
+    }
     group.finish();
 
     // Light queries (k = 5): Lemma 2 fires after a couple of layers, so
     // the *traversal* — not the gather kernel — is the per-query cost.
-    // This is the lazy frontier's headline case: the eager path still
-    // enumerates each query's whole reachable set (tens of thousands of
-    // nodes here) before computing a handful of proximities.
     let mut light = c.benchmark_group("query_engine_k5");
     light.sample_size(20);
     {
         let k_light = 5;
-        let mut searcher = Searcher::with_kernel(&index, GatherKernel::Scalar).expect("scalar");
+        let mut searcher = index.searcher();
         let (mut expanded, mut full) = (0usize, 0usize);
         let mut out = TopKResult::default();
         for &q in &queries {
@@ -251,7 +318,7 @@ fn bench(c: &mut Criterion) {
              ({:.1}% of the eager traversal)",
             100.0 * expanded as f64 / full.max(1) as f64
         );
-        light.bench_function("eager_reused_scalar", |b| {
+        light.bench_function("eager_reused_adaptive", |b| {
             b.iter(|| {
                 let mut total = 0usize;
                 for &q in &queries {
@@ -261,7 +328,7 @@ fn bench(c: &mut Criterion) {
                 std::hint::black_box(total)
             });
         });
-        light.bench_function("lazy_reused_scalar", |b| {
+        light.bench_function("lazy_reused_adaptive", |b| {
             b.iter(|| {
                 let mut total = 0usize;
                 for &q in &queries {

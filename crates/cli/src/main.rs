@@ -27,7 +27,8 @@
 //! are the versioned binary format of `kdash_core::persist`.
 
 use kdash_core::{
-    BuildStage, GatherKernel, IndexBuilder, IndexOptions, KdashIndex, NodeOrdering, Searcher,
+    BuildStage, GatherKernel, IndexBuilder, IndexOptions, KdashIndex, NodeOrdering, RowLayout,
+    Searcher,
 };
 use kdash_datagen::DatasetProfile;
 use kdash_graph::io::read_edge_list;
@@ -138,16 +139,18 @@ fn parse_ordering(text: &str) -> Result<NodeOrdering, String> {
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    reject_unknown_flags(&flags, &["c", "ordering", "threads"])?;
+    reject_unknown_flags(&flags, &["c", "ordering", "threads", "layout"])?;
     let [edges_path, index_path] = pos.as_slice() else {
         return Err("usage: kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] \
-                    [--threads 1]"
+                    [--threads 1] [--layout blocked]"
             .into());
     };
     let c: f64 = flag(&flags, "c").unwrap_or("0.95").parse().map_err(|_| "invalid --c")?;
     let ordering = parse_ordering(flag(&flags, "ordering").unwrap_or("hybrid"))?;
     let threads: usize =
         flag(&flags, "threads").unwrap_or("1").parse().map_err(|_| "invalid --threads")?;
+    let layout: RowLayout =
+        flag(&flags, "layout").unwrap_or("blocked").parse().map_err(|e| format!("{e}"))?;
 
     let file = File::open(edges_path).map_err(|e| format!("open {edges_path}: {e}"))?;
     let graph = read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -156,6 +159,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let builder = IndexBuilder::from_options(IndexOptions {
         ordering,
         restart_probability: c,
+        layout,
         ..Default::default()
     })
     .threads(threads);
@@ -176,10 +180,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         println!("stage {:<14} {:>12.2?}{extra}", timing.stage.name(), timing.duration);
     }
     println!(
-        "built index in {:.2?} ({} ordering, inverse nnz/m = {:.1})",
+        "built index in {:.2?} ({} ordering, {} layout, inverse nnz/m = {:.1}, U⁻¹ index \
+         {:.2} B/nnz)",
         report.total(),
         ordering.name(),
-        index.stats().inverse_nnz_ratio()
+        index.layout().name(),
+        index.stats().inverse_nnz_ratio(),
+        index.stats().uinv_index_bytes as f64 / index.stats().nnz_u_inv.max(1) as f64,
     );
 
     let out = File::create(index_path).map_err(|e| format!("create {index_path}: {e}"))?;
@@ -206,7 +213,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let q: u32 = node_text.parse().map_err(|_| "invalid node id")?;
     let k: usize = flag(&flags, "k").unwrap_or("5").parse().map_err(|_| "invalid --k")?;
     let kernel: GatherKernel =
-        flag(&flags, "kernel").unwrap_or("auto").parse().map_err(|e| format!("{e}"))?;
+        flag(&flags, "kernel").unwrap_or("adaptive").parse().map_err(|e| format!("{e}"))?;
     let pruning = match flag(&flags, "pruning").unwrap_or("on") {
         "on" => true,
         "off" => false,
@@ -258,6 +265,18 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         s.reachable,
         s.terminated_early
     );
+    // The adaptive policy's observability line: which kernel class ran
+    // each candidate row, and what the gathers streamed (value bytes per
+    // the fixed accounting model — machine-independent).
+    println!(
+        "-- gather: kernel resolved {}; rows scalar {}, rows wide {}; index bytes {}, value \
+         bytes {} (model)",
+        if s.kernel.is_empty() { "n/a" } else { s.kernel },
+        s.rows_scalar,
+        s.rows_wide,
+        s.bytes_touched,
+        s.value_bytes_touched,
+    );
     Ok(())
 }
 
@@ -277,6 +296,12 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("nnz(U⁻¹)           {}", s.nnz_u_inv);
     println!("inverse nnz / m    {:.2}", s.inverse_nnz_ratio());
     println!("inverse heap bytes {}", s.inverse_heap_bytes);
+    println!("U⁻¹ row layout     {}", index.layout().name());
+    println!(
+        "U⁻¹ index bytes    {} ({:.2} B/nnz; flat CSR would be 4.00)",
+        s.uinv_index_bytes,
+        s.uinv_index_bytes as f64 / s.nnz_u_inv.max(1) as f64
+    );
     Ok(())
 }
 

@@ -13,13 +13,14 @@
 //! scatter buffers are allocated `threads` times per *batch*, not once per
 //! *query*.
 
-use crate::{KdashIndex, Result, Searcher, TopKResult};
+use crate::{GatherKernel, KdashIndex, Result, Searcher, TopKResult};
 use kdash_graph::NodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `top_k` for every query, fanning out over at most `threads`
-/// worker threads. Results are returned in query order; the first error
-/// (e.g. an out-of-bounds query, by lowest query index) aborts the batch.
+/// worker threads with the default ([`GatherKernel::Adaptive`]) gather
+/// kernel. Results are returned in query order; the first error (e.g. an
+/// out-of-bounds query, by lowest query index) aborts the batch.
 ///
 /// `threads == 0` means "auto": one worker per available hardware thread
 /// (`std::thread::available_parallelism`). Any requested count is capped
@@ -31,9 +32,24 @@ pub fn batch_top_k(
     k: usize,
     threads: usize,
 ) -> Result<Vec<TopKResult>> {
+    batch_top_k_with_kernel(index, queries, k, threads, GatherKernel::default())
+}
+
+/// [`batch_top_k`] with an explicit gather-kernel selection for every
+/// worker. The selection is resolved against the host once, up front —
+/// an unsupported request (e.g. `simd` without AVX2) fails typed before
+/// any thread spawns; only `auto`/`adaptive` fall back.
+pub fn batch_top_k_with_kernel(
+    index: &KdashIndex,
+    queries: &[NodeId],
+    k: usize,
+    threads: usize,
+    kernel: GatherKernel,
+) -> Result<Vec<TopKResult>> {
+    kernel.resolve().map_err(crate::KdashError::from)?;
     let threads = resolve_threads(threads, queries.len());
     if threads <= 1 {
-        let mut searcher = Searcher::new(index);
+        let mut searcher = Searcher::with_kernel(index, kernel).expect("validated above");
         return queries.iter().map(|&q| searcher.top_k(q, k)).collect();
     }
 
@@ -44,7 +60,8 @@ pub fn batch_top_k(
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut searcher = Searcher::new(index);
+                    let mut searcher =
+                        Searcher::with_kernel(index, kernel).expect("validated above");
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);

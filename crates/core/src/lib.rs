@@ -97,7 +97,7 @@
 //! query to the next idle worker, one `Searcher` per worker thread
 //! (`threads = 0` means "use all available cores").
 //!
-//! Two hot-path levers live on the `Searcher`:
+//! Four hot-path levers live on the index and its `Searcher`:
 //!
 //! * **Lazy frontier** — BFS layers are discovered on demand inside the
 //!   search loop, so a query the Lemma 2 bound terminates early never
@@ -105,13 +105,30 @@
 //!   [`SearchStats::frontier_expanded`] reports the traversal work paid;
 //!   [`SearchStats::reachable`] is the discovered-so-far count on
 //!   early-terminated queries (exact reachability on complete runs).
+//! * **Blocked index layout** — the stored `U⁻¹` encodes column indices
+//!   as `u16` deltas against aligned block anchors
+//!   ([`RowLayout::Blocked`], the default): ~half the index bytes of
+//!   flat CSR on the fill-dominated inverse rows, bit-identical values
+//!   and answers ([`IndexOptions::layout`](precompute::IndexOptions),
+//!   pinned by `tests/layout_equivalence.rs`).
 //! * **Gather kernels** — proximities run through a runtime-selected
-//!   kernel ([`GatherKernel`]: `scalar`, `unrolled`, `simd`, `auto`). The
-//!   wide kernels are bit-identical to each other on every row (AVX2 and
-//!   the portable 4-accumulator unrolled kernel share one reduction
-//!   order), so answers are deterministic across machines; a selector the
-//!   host cannot honour is a typed [`KdashError::UnsupportedKernel`], and
-//!   only `auto` falls back.
+//!   kernel ([`GatherKernel`]: `scalar`, `unrolled`, `simd`, `auto`,
+//!   `adaptive`). The wide kernels are bit-identical to each other on
+//!   every row (AVX2 and the portable 4-accumulator unrolled kernel
+//!   share one reduction order), so answers are deterministic across
+//!   machines; a selector the host cannot honour is a typed
+//!   [`KdashError::UnsupportedKernel`], and only `auto`/`adaptive` fall
+//!   back. `Adaptive` — the recommended default — picks scalar or wide
+//!   *per candidate row* from build-time row stats and the query
+//!   column's density profile: a pure function of index + query, never
+//!   the machine, so the kernel-class choice (and with it every byte
+//!   counter in [`SearchStats`]) is host-independent. The resolution and
+//!   the per-class row split are recorded in [`SearchStats`] for
+//!   reproducibility.
+//! * **Prefetched candidate batching** — the search loops prefetch the
+//!   next block of candidate rows' index/value spans while the current
+//!   row gathers, restoring memory-level parallelism on DRAM-resident
+//!   indexes.
 
 pub mod batch;
 pub mod estimator;
@@ -123,7 +140,7 @@ pub mod search;
 pub mod searcher;
 pub mod stats;
 
-pub use batch::batch_top_k;
+pub use batch::{batch_top_k, batch_top_k_with_kernel};
 pub use estimator::{ArbitraryOrderBound, LayerEstimator};
 pub use ordering::{compute_ordering, compute_ordering_with_stats, NodeOrdering, OrderingStats};
 pub use pipeline::{BuildReport, BuildStage, IndexBuilder, StageTiming};
@@ -132,9 +149,10 @@ pub use search::{RankedNode, TopKResult};
 pub use searcher::Searcher;
 pub use stats::{IndexStats, SearchStats};
 
-/// The gather-kernel selector, re-exported so callers picking a kernel
-/// (CLI, serving loops) need not depend on `kdash-sparse` directly.
-pub use kdash_sparse::{GatherKernel, ResolvedKernel};
+/// The gather-kernel selector and the `U⁻¹` row-layout selector,
+/// re-exported so callers picking a kernel or layout (CLI, serving
+/// loops) need not depend on `kdash-sparse` directly.
+pub use kdash_sparse::{GatherKernel, ResolvedKernel, RowLayout};
 
 /// Errors surfaced by index construction and queries.
 #[derive(Debug, Clone, PartialEq)]

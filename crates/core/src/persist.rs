@@ -6,59 +6,120 @@
 //! little-endian binary format (magic + version header, then the raw
 //! arrays) and validates every structural invariant on load, so a
 //! corrupted or truncated file yields an error instead of wrong answers.
+//!
+//! # Format versions
+//!
+//! * **v2** (current): after the shared header and `L⁻¹`, a one-byte row
+//!   **layout tag** selects how `U⁻¹` is encoded — flat CSC transpose
+//!   arrays (as v1) or the blocked arrays of
+//!   [`kdash_sparse::BlockedCsr`] (run anchors + `u16` deltas, the
+//!   bandwidth-lean on-disk *and* in-memory form). A packed per-row
+//!   **policy-stats section** ([`kdash_sparse::RowStat`]) follows; on
+//!   load it is checked against the stats recomputed from the arrays, so
+//!   a corrupted stats section is rejected rather than silently steering
+//!   the adaptive kernel policy wrong.
+//! * **v1**: the flat-only format of earlier releases. Still loads — the
+//!   matrix is upgraded to the blocked layout on read, so old index files
+//!   transparently gain the new read path. ([`KdashIndex::save_v1`]
+//!   remains, hidden, so the compatibility path stays testable.)
 
 use crate::{KdashIndex, NodeOrdering};
 use kdash_graph::{CsrGraph, Permutation};
-use kdash_sparse::{CscMatrix, CsrMatrix};
+use kdash_sparse::{BlockedCsr, CscMatrix, CsrMatrix, ProximityStore, RowLayout, RowStat};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"KDASHIDX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const LAYOUT_FLAT: u8 = 0;
+const LAYOUT_BLOCKED: u8 = 1;
 
 impl KdashIndex {
-    /// Serialises the index. The raw LU factors (if kept) are not
-    /// persisted — reload yields an index without the
-    /// `proximities_via_factors` ablation path.
+    /// Serialises the index in the current (v2) format, preserving the
+    /// row layout. The raw LU factors (if kept) are not persisted —
+    /// reload yields an index without the `proximities_via_factors`
+    /// ablation path.
     pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        self.write_header(&mut w, VERSION)?;
+        // U⁻¹ under its layout tag.
+        let uinv = self.uinv_rows();
+        match uinv.layout() {
+            RowLayout::Flat => {
+                w.write_all(&[LAYOUT_FLAT])?;
+                write_csc(&mut w, &uinv.to_csc())?;
+            }
+            RowLayout::Blocked => {
+                w.write_all(&[LAYOUT_BLOCKED])?;
+                let blocked = uinv.as_blocked().expect("layout says blocked");
+                let (row_ptr, run_ptr, run_base, run_end, deltas, values) = blocked.raw();
+                write_usize_slice(&mut w, row_ptr)?;
+                write_u64(&mut w, run_base.len() as u64)?;
+                write_usize_slice(&mut w, run_ptr)?;
+                write_u32_slice(&mut w, run_base)?;
+                write_u32_slice(&mut w, run_end)?;
+                write_u64(&mut w, deltas.len() as u64)?;
+                write_u16_slice(&mut w, deltas)?;
+                write_f64_slice(&mut w, values)?;
+            }
+        }
+        // The per-row policy stats the adaptive kernel reads.
+        for stat in uinv.row_stats() {
+            write_u32(&mut w, stat.nnz)?;
+            write_u32(&mut w, stat.first)?;
+            write_u32(&mut w, stat.last)?;
+        }
+        self.write_estimator(&mut w)
+    }
+
+    /// Serialises in the legacy v1 (flat-only) format. Kept solely so the
+    /// v1→v2 upgrade path stays covered by tests against real v1 bytes.
+    #[doc(hidden)]
+    pub fn save_v1<W: Write>(&self, mut w: W) -> io::Result<()> {
+        self.write_header(&mut w, 1)?;
+        write_csc(&mut w, &self.uinv_rows().to_csc())?;
+        self.write_estimator(&mut w)
+    }
+
+    /// The header + permutation + graph + `L⁻¹` prefix shared by both
+    /// versions.
+    fn write_header<W: Write>(&self, w: &mut W, version: u32) -> io::Result<()> {
         w.write_all(MAGIC)?;
-        write_u32(&mut w, VERSION)?;
-        write_f64(&mut w, self.restart_probability())?;
+        write_u32(w, version)?;
+        write_f64(w, self.restart_probability())?;
         let (tag, seed) = encode_ordering(self.ordering());
         w.write_all(&[tag])?;
-        write_u64(&mut w, seed)?;
-        let n = self.num_nodes() as u64;
-        write_u64(&mut w, n)?;
-        write_u32_slice(&mut w, self.permutation().order())?;
+        write_u64(w, seed)?;
+        write_u64(w, self.num_nodes() as u64)?;
+        write_u32_slice(w, self.permutation().order())?;
         // Permuted graph.
         let (row_ptr, col_idx, weights) = self.permuted_graph().raw();
-        write_usize_slice(&mut w, row_ptr)?;
-        write_u64(&mut w, col_idx.len() as u64)?;
-        write_u32_slice(&mut w, col_idx)?;
-        write_f64_slice(&mut w, weights)?;
+        write_usize_slice(w, row_ptr)?;
+        write_u64(w, col_idx.len() as u64)?;
+        write_u32_slice(w, col_idx)?;
+        write_f64_slice(w, weights)?;
         // L⁻¹ (CSC).
-        let (col_ptr, row_idx, values) = self.linv().raw();
-        write_usize_slice(&mut w, col_ptr)?;
-        write_u64(&mut w, row_idx.len() as u64)?;
-        write_u32_slice(&mut w, row_idx)?;
-        write_f64_slice(&mut w, values)?;
-        // U⁻¹ (CSR, persisted through its CSC transpose arrays).
-        let uinv_csc = self.uinv().to_csc();
-        let (u_ptr, u_idx, u_val) = uinv_csc.raw();
-        write_usize_slice(&mut w, u_ptr)?;
-        write_u64(&mut w, u_idx.len() as u64)?;
-        write_u32_slice(&mut w, u_idx)?;
-        write_f64_slice(&mut w, u_val)?;
-        // Estimator constants.
-        write_f64_slice(&mut w, self.a_col_max())?;
-        write_f64(&mut w, self.a_max())?;
-        write_f64_slice(&mut w, self.c_prime())?;
+        let linv = self.linv();
+        let (col_ptr, row_idx, values) = linv.raw();
+        write_usize_slice(w, col_ptr)?;
+        write_u64(w, row_idx.len() as u64)?;
+        write_u32_slice(w, row_idx)?;
+        write_f64_slice(w, values)?;
         Ok(())
     }
 
-    /// Deserialises an index previously written by [`save`](Self::save),
-    /// re-validating all structural invariants. Build-time statistics are
-    /// not stored; the loaded index reports zero durations with the
-    /// correct nnz counts.
+    /// The estimator-constant trailer shared by both versions.
+    fn write_estimator<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_f64_slice(w, self.a_col_max())?;
+        write_f64(w, self.a_max())?;
+        write_f64_slice(w, self.c_prime())?;
+        Ok(())
+    }
+
+    /// Deserialises an index previously written by [`save`](Self::save)
+    /// (v2) or the legacy v1 writer, re-validating all structural
+    /// invariants. A v1 file's flat `U⁻¹` is upgraded to the blocked
+    /// layout on read (bit-identical values, so bit-identical answers).
+    /// Build-time statistics are not stored; the loaded index reports
+    /// zero durations with the correct nnz counts.
     pub fn load<R: Read>(mut r: R) -> io::Result<KdashIndex> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
@@ -66,7 +127,7 @@ impl KdashIndex {
             return Err(invalid("bad magic — not a K-dash index file"));
         }
         let version = read_u32(&mut r)?;
-        if version != VERSION {
+        if version != 1 && version != VERSION {
             return Err(invalid(&format!("unsupported index version {version}")));
         }
         let c = read_f64(&mut r)?;
@@ -82,14 +143,81 @@ impl KdashIndex {
 
         let row_ptr = read_usize_vec(&mut r, n + 1)?;
         let m = read_u64(&mut r)? as usize;
+        if m != *row_ptr.last().expect("n + 1 entries") {
+            return Err(invalid("graph edge count disagrees with row pointers"));
+        }
         let col_idx = read_u32_vec(&mut r, m)?;
         let weights = read_f64_vec(&mut r, m)?;
         let graph = CsrGraph::from_raw_parts(row_ptr, col_idx, weights)
             .map_err(|e| invalid(&format!("corrupt graph: {e}")))?;
 
         let linv = read_csc(&mut r, n)?;
-        let uinv_csc = read_csc(&mut r, n)?;
-        let uinv = CsrMatrix::from_csc(&uinv_csc);
+
+        let uinv = if version == 1 {
+            // Legacy flat encoding: upgrade to the blocked layout.
+            let flat = CsrMatrix::from_csc(&read_csc(&mut r, n)?);
+            ProximityStore::from_csr(flat, RowLayout::Blocked)
+                .map_err(|e| invalid(&format!("corrupt U⁻¹: {e}")))?
+        } else {
+            let mut layout_tag = [0u8; 1];
+            r.read_exact(&mut layout_tag)?;
+            let store = match layout_tag[0] {
+                LAYOUT_FLAT => {
+                    let flat = CsrMatrix::from_csc(&read_csc(&mut r, n)?);
+                    ProximityStore::from_csr(flat, RowLayout::Flat)
+                        .map_err(|e| invalid(&format!("corrupt U⁻¹: {e}")))?
+                }
+                LAYOUT_BLOCKED => {
+                    // The count fields are untrusted on-disk data: they
+                    // are cross-checked against the pointer arrays here,
+                    // and every `read_*_vec` caps its pre-allocation, so
+                    // a corrupted count surfaces as InvalidData/EOF —
+                    // never a capacity panic or an OOM abort. The format
+                    // invariants: nnz ≤ u32::MAX (run offsets are u32)
+                    // and every row has at most one run per nonzero.
+                    let b_row_ptr = read_usize_vec(&mut r, n + 1)?;
+                    let expect_nnz = *b_row_ptr.last().expect("n + 1 entries");
+                    if expect_nnz > u32::MAX as usize {
+                        return Err(invalid("blocked U⁻¹ claims ≥ 2^32 entries"));
+                    }
+                    let nruns = read_u64(&mut r)? as usize;
+                    if nruns > expect_nnz {
+                        return Err(invalid("blocked U⁻¹ claims more runs than entries"));
+                    }
+                    let run_ptr = read_usize_vec(&mut r, n + 1)?;
+                    let run_base = read_u32_vec(&mut r, nruns)?;
+                    let run_end = read_u32_vec(&mut r, nruns)?;
+                    let nnz = read_u64(&mut r)? as usize;
+                    if nnz != expect_nnz {
+                        return Err(invalid("blocked U⁻¹ entry count disagrees with row pointers"));
+                    }
+                    let deltas = read_u16_vec(&mut r, nnz)?;
+                    let values = read_f64_vec(&mut r, nnz)?;
+                    let blocked = BlockedCsr::from_raw_parts(
+                        n, n, b_row_ptr, run_ptr, run_base, run_end, deltas, values,
+                    )
+                    .map_err(|e| invalid(&format!("corrupt blocked U⁻¹: {e}")))?;
+                    ProximityStore::from_blocked(blocked)
+                }
+                other => return Err(invalid(&format!("unknown row-layout tag {other}"))),
+            };
+            // The persisted policy stats must match the arrays they claim
+            // to describe: a mismatch means either section is corrupt, and
+            // a wrong table would silently mis-steer the adaptive kernel.
+            for (i, expect) in store.row_stats().iter().enumerate() {
+                let got = RowStat {
+                    nnz: read_u32(&mut r)?,
+                    first: read_u32(&mut r)?,
+                    last: read_u32(&mut r)?,
+                };
+                if got != *expect {
+                    return Err(invalid(&format!(
+                        "row-stats section disagrees with U⁻¹ at row {i}"
+                    )));
+                }
+            }
+            store
+        };
 
         let a_col_max = read_f64_vec(&mut r, n)?;
         let a_max = read_f64(&mut r)?;
@@ -100,9 +228,23 @@ impl KdashIndex {
     }
 }
 
+fn write_csc<W: Write>(w: &mut W, csc: &CscMatrix) -> io::Result<()> {
+    let (col_ptr, row_idx, values) = csc.raw();
+    write_usize_slice(w, col_ptr)?;
+    write_u64(w, row_idx.len() as u64)?;
+    write_u32_slice(w, row_idx)?;
+    write_f64_slice(w, values)
+}
+
 fn read_csc<R: Read>(r: &mut R, n: usize) -> io::Result<CscMatrix> {
     let col_ptr = read_usize_vec(r, n + 1)?;
     let nnz = read_u64(r)? as usize;
+    // Untrusted count: it must match the pointer array it describes
+    // before it sizes an allocation (a corrupted count must error, not
+    // panic on capacity overflow).
+    if nnz != *col_ptr.last().expect("n + 1 entries") {
+        return Err(invalid("matrix entry count disagrees with column pointers"));
+    }
     let row_idx = read_u32_vec(r, nnz)?;
     let values = read_f64_vec(r, nnz)?;
     CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
@@ -138,6 +280,9 @@ fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+fn write_u16<W: Write>(w: &mut W, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
@@ -146,6 +291,12 @@ fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
 }
 fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
+}
+fn write_u16_slice<W: Write>(w: &mut W, s: &[u16]) -> io::Result<()> {
+    for &v in s {
+        write_u16(w, v)?;
+    }
+    Ok(())
 }
 fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> io::Result<()> {
     for &v in s {
@@ -166,6 +317,11 @@ fn write_f64_slice<W: Write>(w: &mut W, s: &[f64]) -> io::Result<()> {
     Ok(())
 }
 
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
 fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -181,22 +337,35 @@ fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
 }
+/// Cap on the up-front capacity the readers trust an on-disk count for:
+/// beyond it the vector grows as bytes actually arrive, so an inflated
+/// count field runs into EOF instead of attempting a multi-gigabyte
+/// allocation.
+const MAX_TRUSTED_PREALLOC: usize = 1 << 20;
+
+fn read_u16_vec<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<u16>> {
+    let mut out = Vec::with_capacity(len.min(MAX_TRUSTED_PREALLOC));
+    for _ in 0..len {
+        out.push(read_u16(r)?);
+    }
+    Ok(out)
+}
 fn read_u32_vec<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<u32>> {
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(len.min(MAX_TRUSTED_PREALLOC));
     for _ in 0..len {
         out.push(read_u32(r)?);
     }
     Ok(out)
 }
 fn read_usize_vec<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<usize>> {
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(len.min(MAX_TRUSTED_PREALLOC));
     for _ in 0..len {
         out.push(read_u64(r)? as usize);
     }
     Ok(out)
 }
 fn read_f64_vec<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<f64>> {
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(len.min(MAX_TRUSTED_PREALLOC));
     for _ in 0..len {
         let v = read_f64(r)?;
         if !v.is_finite() {
@@ -237,12 +406,58 @@ mod tests {
         assert_eq!(loaded.num_nodes(), index.num_nodes());
         assert_eq!(loaded.restart_probability(), index.restart_probability());
         assert_eq!(loaded.ordering(), index.ordering());
+        assert_eq!(loaded.layout(), index.layout());
         for q in [0u32, 13, 39] {
             let a = index.top_k(q, 7).unwrap();
             let b = loaded.top_k(q, 7).unwrap();
             assert_eq!(a.nodes(), b.nodes());
             for (x, y) in a.items.iter().zip(&b.items) {
                 assert_eq!(x.proximity, y.proximity, "bit-exact reload expected");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_layout_roundtrips_as_flat() {
+        let g = {
+            let mut b = GraphBuilder::new(20);
+            for v in 0..20u32 {
+                b.add_edge(v, (v + 1) % 20, 1.0);
+                b.add_edge(v, (v + 5) % 20, 0.5);
+            }
+            b.build().unwrap()
+        };
+        let index = KdashIndex::build(
+            &g,
+            IndexOptions { layout: RowLayout::Flat, ..Default::default() },
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = KdashIndex::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.layout(), RowLayout::Flat);
+        for q in 0..20u32 {
+            let (a, b) = (index.top_k(q, 5).unwrap(), loaded.top_k(q, 5).unwrap());
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn v1_files_load_and_upgrade_to_blocked() {
+        let index = sample_index();
+        let mut v1 = Vec::new();
+        index.save_v1(&mut v1).unwrap();
+        let loaded = KdashIndex::load(v1.as_slice()).unwrap();
+        assert_eq!(loaded.layout(), RowLayout::Blocked, "v1 upgrades on read");
+        assert_eq!(loaded.stats().nnz_u_inv, index.stats().nnz_u_inv);
+        for q in [0u32, 21, 39] {
+            let a = index.top_k(q, 6).unwrap();
+            let b = loaded.top_k(q, 6).unwrap();
+            assert_eq!(a.nodes(), b.nodes());
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
             }
         }
     }
@@ -256,6 +471,7 @@ mod tests {
         assert_eq!(loaded.stats().nnz_l_inv, index.stats().nnz_l_inv);
         assert_eq!(loaded.stats().nnz_u_inv, index.stats().nnz_u_inv);
         assert_eq!(loaded.stats().num_edges, index.stats().num_edges);
+        assert_eq!(loaded.stats().uinv_index_bytes, index.stats().uinv_index_bytes);
         assert!(loaded.stats().total_time().is_zero());
     }
 

@@ -26,7 +26,7 @@ use crate::{IndexOptions, IndexStats, KdashIndex, NodeOrdering, Result};
 use kdash_graph::{CsrGraph, NodeId};
 use kdash_sparse::{
     invert_lower_unit_with, invert_upper_with, sparse_lu, transition_matrix, w_matrix, CsrMatrix,
-    DanglingPolicy, InvertOptions,
+    DanglingPolicy, InvertOptions, ProximityStore, RowLayout,
 };
 use std::time::{Duration, Instant};
 
@@ -164,6 +164,14 @@ impl IndexBuilder {
         self
     }
 
+    /// Row layout of the stored `U⁻¹` (blocked by default — see
+    /// [`RowLayout`]). Results are bit-identical across layouts; only the
+    /// gather path's memory traffic changes.
+    pub fn layout(mut self, layout: RowLayout) -> Self {
+        self.options.layout = layout;
+        self
+    }
+
     /// Keep the raw LU factors alongside the inverses.
     pub fn keep_factors(mut self, keep: bool) -> Self {
         self.options.keep_factors = keep;
@@ -235,10 +243,12 @@ impl IndexBuilder {
         let estimator_time = t.elapsed();
         report.stages.push(StageTiming { stage: BuildStage::Estimator, duration: estimator_time });
 
-        // Stage 5 — assemble: statistics + the final immutable index. The
-        // timer covers the assembly itself, so it is stamped into the
-        // finished index afterwards.
+        // Stage 5 — assemble: the per-row policy table, the (blocked by
+        // default) proximity-store encoding of U⁻¹, statistics, and the
+        // final immutable index. The timer covers the assembly itself, so
+        // it is stamped into the finished index afterwards.
         let t = Instant::now();
+        let uinv = ProximityStore::from_csr(uinv, options.layout)?;
         let stats = IndexStats {
             ordering_time,
             factorization_time,
@@ -251,6 +261,7 @@ impl IndexBuilder {
             num_edges: graph.num_edges(),
             num_nodes: graph.num_nodes(),
             inverse_heap_bytes: linv.heap_bytes() + uinv.heap_bytes(),
+            uinv_index_bytes: uinv.index_bytes(),
             ..Default::default()
         };
         let mut index = KdashIndex::from_parts(IndexParts {

@@ -7,7 +7,7 @@
 
 use crate::{IndexBuilder, IndexStats, KdashError, NodeOrdering, Result};
 use kdash_graph::{CsrGraph, NodeId, Permutation};
-use kdash_sparse::{CscMatrix, CsrMatrix, DanglingPolicy, LuFactors};
+use kdash_sparse::{CscMatrix, DanglingPolicy, LuFactors, ProximityStore, RowLayout};
 
 /// Index construction options. Defaults follow the paper's evaluation:
 /// hybrid reordering, `c = 0.95`, dangling nodes kept as-is.
@@ -23,6 +23,11 @@ pub struct IndexOptions {
     /// enables [`KdashIndex::proximities_via_factors`], the
     /// "solve instead of stored inverses" ablation.
     pub keep_factors: bool,
+    /// Row layout of the stored `U⁻¹` ([`RowLayout::Blocked`] by default:
+    /// ~half the index traffic on the gather hot path, bit-identical
+    /// results — [`RowLayout::Flat`] is kept for cross-layout equivalence
+    /// checks and benchmarks).
+    pub layout: RowLayout,
 }
 
 impl Default for IndexOptions {
@@ -32,6 +37,7 @@ impl Default for IndexOptions {
             restart_probability: 0.95,
             dangling: DanglingPolicy::Keep,
             keep_factors: false,
+            layout: RowLayout::default(),
         }
     }
 }
@@ -50,8 +56,10 @@ pub struct KdashIndex {
     graph: CsrGraph,
     /// `L⁻¹`, column-major: column `q` is `L⁻¹ e_q`.
     linv: CscMatrix,
-    /// `U⁻¹`, row-major: a node's proximity is one sparse row·column dot.
-    uinv: CsrMatrix,
+    /// `U⁻¹`, row-major, behind the layout-aware proximity store (blocked
+    /// index encoding by default): a node's proximity is one gather of a
+    /// stored row against the scattered query column.
+    uinv: ProximityStore,
     /// `A_max(v)` per (permuted) node.
     a_col_max: Vec<f64>,
     /// Global `A_max`.
@@ -80,7 +88,7 @@ pub(crate) struct IndexParts {
     pub perm: Permutation,
     pub graph: CsrGraph,
     pub linv: CscMatrix,
-    pub uinv: CsrMatrix,
+    pub uinv: ProximityStore,
     pub a_col_max: Vec<f64>,
     pub a_max: f64,
     pub c_prime: Vec<f64>,
@@ -129,6 +137,23 @@ impl KdashIndex {
     /// The reordering strategy the index was built with.
     pub fn ordering(&self) -> NodeOrdering {
         self.ordering
+    }
+
+    /// The row layout of the stored `U⁻¹`.
+    pub fn layout(&self) -> RowLayout {
+        self.uinv.layout()
+    }
+
+    /// A copy of this index with `U⁻¹` re-encoded into `layout` — values
+    /// bit-identical, every query answer unchanged. Cheap relative to a
+    /// build (`O(nnz)`), so benchmarks and layout-equivalence checks can
+    /// compare both layouts from one expensive construction.
+    pub fn with_layout(&self, layout: RowLayout) -> KdashIndex {
+        let mut copy = self.clone();
+        copy.uinv = self.uinv.relayout(layout);
+        copy.stats.uinv_index_bytes = copy.uinv.index_bytes();
+        copy.stats.inverse_heap_bytes = copy.linv.heap_bytes() + copy.uinv.heap_bytes();
+        copy
     }
 
     /// Build-time statistics (Figure 5/6 quantities).
@@ -258,7 +283,7 @@ impl KdashIndex {
         perm: Permutation,
         graph: CsrGraph,
         linv: CscMatrix,
-        uinv: CsrMatrix,
+        uinv: ProximityStore,
         a_col_max: Vec<f64>,
         a_max: f64,
         c_prime: Vec<f64>,
@@ -280,6 +305,7 @@ impl KdashIndex {
         let stats = IndexStats {
             nnz_l_inv: linv.nnz(),
             nnz_u_inv: uinv.nnz(),
+            uinv_index_bytes: uinv.index_bytes(),
             num_edges: graph.num_edges(),
             num_nodes: n,
             inverse_heap_bytes: linv.heap_bytes() + uinv.heap_bytes(),
@@ -312,7 +338,7 @@ impl KdashIndex {
     /// Benchmark/diagnostic access to the stored `U⁻¹` (row-major). Hidden:
     /// layout and permutation are internal; use the query API for answers.
     #[doc(hidden)]
-    pub fn uinv_rows(&self) -> &CsrMatrix {
+    pub fn uinv_rows(&self) -> &ProximityStore {
         &self.uinv
     }
 
@@ -343,7 +369,7 @@ impl KdashIndex {
     pub(crate) fn linv(&self) -> &CscMatrix {
         &self.linv
     }
-    pub(crate) fn uinv(&self) -> &CsrMatrix {
+    pub(crate) fn uinv(&self) -> &ProximityStore {
         &self.uinv
     }
     pub(crate) fn a_col_max(&self) -> &[f64] {

@@ -405,7 +405,16 @@ mod tests {
                             "early termination must leave the last layer unexpanded"
                         );
                     } else {
-                        assert_eq!(new.stats, old.stats, "full runs agree exactly");
+                        // The merge join never runs the gather kernel, so
+                        // its byte counters stay zero — everything else
+                        // must agree exactly on complete runs.
+                        assert_eq!(
+                            new.stats.without_gather(),
+                            old.stats.without_gather(),
+                            "full runs agree exactly"
+                        );
+                        assert!(new.stats.bytes_touched > 0, "gather path must account bytes");
+                        assert_eq!(new.stats.kernel, "scalar");
                     }
                 }
             }

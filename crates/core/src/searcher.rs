@@ -32,12 +32,19 @@
 //! Proximities come from the scatter/gather kernel: the fixed query column
 //! `L⁻¹ e_q` is scattered once per query, then each candidate costs a
 //! gather over only `nnz((U⁻¹)ᵤ)` — through the workspace's selected
-//! [`GatherKernel`] (default [`GatherKernel::Auto`]: AVX2 where the host
-//! has it, the four-accumulator unrolled kernel otherwise; see
-//! [`Searcher::set_kernel`]). The wide kernels are bit-identical to each
-//! other and within `1e-12` of the scalar reference, which itself is
+//! [`GatherKernel`] (default [`GatherKernel::Adaptive`]: per row, the
+//! deterministic hit-rate policy picks the branchy scalar gather on
+//! miss-dominated rows and a wide kernel — AVX2 where the host has it,
+//! the four-accumulator unrolled twin otherwise — on hit-dominated ones;
+//! see [`Searcher::set_kernel`]). The wide kernels are bit-identical to
+//! each other and within `1e-12` of the scalar reference, which itself is
 //! bit-identical to the merge join ([`KdashIndex::top_k_merge_join`] keeps
-//! the old eager path alive as the exactness cross-check).
+//! the old eager path alive as the exactness cross-check). Rows stream
+//! from the index's [`ProximityStore`](kdash_sparse::ProximityStore)
+//! (blocked u16-delta layout by default — bit-identical across layouts),
+//! candidate rows are software-prefetched a block ahead
+//! ([`PREFETCH_BLOCK`]), and every query's byte traffic, per-class row
+//! split and resolved kernel land in [`SearchStats`].
 //!
 //! All five query entry points run through this workspace; the matching
 //! [`KdashIndex`] methods are thin conveniences that build a transient
@@ -48,8 +55,16 @@ use crate::{
     TopKResult,
 };
 use kdash_graph::{BfsScratch, NodeId};
-use kdash_sparse::{GatherKernel, ResolvedKernel, ScatteredColumn};
+use kdash_sparse::{GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, ScatteredColumn};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Candidate rows per prefetch block: when the visit cursor enters a new
+/// block, the whole block's `U⁻¹` row spans are software-prefetched before
+/// the first of them is gathered — so on DRAM-resident indexes the next
+/// rows' cache misses overlap the current row's arithmetic instead of
+/// serialising behind it. Small enough that a Lemma 2 termination wastes
+/// at most a handful of speculative prefetches.
+const PREFETCH_BLOCK: usize = 8;
 
 /// Fixed-capacity min-heap keeping the K largest `(proximity, node)` pairs.
 /// θ (the K-th best proximity so far) is the root once the heap is full.
@@ -170,11 +185,20 @@ pub struct Searcher<'a> {
     sources_p: Vec<NodeId>,
     /// Host-validated gather kernel every proximity runs through.
     kernel: ResolvedKernel,
+    /// Decode scratch for wide kernels over the blocked layout, sized to
+    /// the largest `U⁻¹` row at construction (stays allocation-free).
+    scratch: GatherScratch,
+    /// Byte-traffic and kernel-split counters, reset per query and folded
+    /// into [`SearchStats`].
+    counters: GatherCounters,
+    /// Visit position up to which candidate rows have been prefetched.
+    prefetched_until: usize,
 }
 
 impl<'a> Searcher<'a> {
-    /// A fresh workspace for `index` with the [`GatherKernel::Auto`]
-    /// kernel. `O(n)` once; queries then reuse it.
+    /// A fresh workspace for `index` with the [`GatherKernel::Adaptive`]
+    /// kernel (the recommended default). `O(n)` once; queries then reuse
+    /// it.
     pub fn new(index: &'a KdashIndex) -> Self {
         let n = index.num_nodes();
         Searcher {
@@ -185,6 +209,9 @@ impl<'a> Searcher<'a> {
             hits: Vec::new(),
             sources_p: Vec::new(),
             kernel: ResolvedKernel::default(),
+            scratch: GatherScratch::with_capacity(index.uinv_rows().max_row_nnz()),
+            counters: GatherCounters::default(),
+            prefetched_until: 0,
         }
     }
 
@@ -227,7 +254,39 @@ impl<'a> Searcher<'a> {
         self.bfs.begin(self.index.permuted_graph(), qp);
         let (col_idx, col_val) = self.index.linv().col(qp);
         self.column.load(col_idx, col_val);
+        self.counters.reset();
+        self.prefetched_until = 0;
         Ok(qp)
+    }
+
+    /// One candidate proximity gather (without the `c` factor): row `u`
+    /// of the stored `U⁻¹` against the scattered query column, through
+    /// the workspace kernel, with byte traffic accumulated.
+    #[inline]
+    fn gather(&mut self, u: NodeId) -> f64 {
+        self.index.uinv().row_gather(
+            self.kernel,
+            u,
+            &self.column,
+            &mut self.scratch,
+            &mut self.counters,
+        )
+    }
+
+    /// Candidate batching: on entering a new block of visit positions,
+    /// prefetches the whole block's row spans (index and values) so their
+    /// DRAM fetches overlap the gathers that precede them.
+    #[inline]
+    fn prefetch_block(&mut self, pos: usize) {
+        if pos < self.prefetched_until {
+            return;
+        }
+        let end = (pos + PREFETCH_BLOCK).min(self.bfs.num_discovered());
+        let uinv = self.index.uinv();
+        for &u in &self.bfs.order()[pos..end] {
+            uinv.prefetch_row(u);
+        }
+        self.prefetched_until = end;
     }
 
     /// One lazy-frontier step: ensures the node at visit position `pos` is
@@ -249,6 +308,18 @@ impl<'a> Searcher<'a> {
     fn record_traversal(&self, stats: &mut SearchStats) {
         stats.reachable = self.bfs.num_discovered();
         stats.frontier_expanded = self.bfs.num_expanded();
+        self.record_gather(stats);
+    }
+
+    /// Folds the gather counters and the resolved kernel into `stats` —
+    /// how `auto`/`adaptive` resolutions stay reproducible from logs.
+    #[inline]
+    fn record_gather(&self, stats: &mut SearchStats) {
+        stats.bytes_touched = self.counters.index_bytes;
+        stats.value_bytes_touched = self.counters.value_bytes;
+        stats.rows_scalar = self.counters.rows_scalar;
+        stats.rows_wide = self.counters.rows_wide;
+        stats.kernel = self.kernel.name();
     }
 
     /// Exact top-k search (Algorithm 4). Returns `min(k, n)` nodes in
@@ -317,11 +388,12 @@ impl<'a> Searcher<'a> {
         // the complete order.)
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            self.prefetch_block(pos);
             stats.visited += 1;
             let layer = self.bfs.layer(u);
             if pos == 0 {
                 // The root is the query: p̄_q = 1 by definition, never pruned.
-                let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
+                let p = c * self.gather(u);
                 stats.proximity_computations += 1;
                 estimator.record_root(p, index.a_col_max()[u as usize]);
                 self.heap.offer(p, u);
@@ -338,7 +410,7 @@ impl<'a> Searcher<'a> {
                 stats.terminated_early = true;
                 break;
             }
-            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
+            let p = c * self.gather(u);
             stats.proximity_computations += 1;
             estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
             self.heap.offer(p, u);
@@ -367,8 +439,9 @@ impl<'a> Searcher<'a> {
         let mut stats = SearchStats::default();
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            self.prefetch_block(pos);
             stats.visited += 1;
-            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
+            let p = c * self.gather(u);
             stats.proximity_computations += 1;
             self.heap.offer(p, u);
             pos += 1;
@@ -403,6 +476,7 @@ impl<'a> Searcher<'a> {
         let mut stats = SearchStats::default();
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            self.prefetch_block(pos);
             stats.visited += 1;
             let layer = self.bfs.layer(u);
             if pos > 0 {
@@ -412,7 +486,7 @@ impl<'a> Searcher<'a> {
                     break;
                 }
             }
-            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
+            let p = c * self.gather(u);
             stats.proximity_computations += 1;
             if pos == 0 {
                 estimator.record_root(p, index.a_col_max()[u as usize]);
@@ -451,6 +525,8 @@ impl<'a> Searcher<'a> {
             return Ok(TopKResult::default());
         }
         self.column.load(&col_idx, &col_val);
+        self.counters.reset();
+        self.prefetched_until = 0;
         self.sources_p.clear();
         self.sources_p.extend(sources.iter().map(|&s| index.permutation().new_of(s)));
         let roots = std::mem::take(&mut self.sources_p);
@@ -464,12 +540,13 @@ impl<'a> Searcher<'a> {
 
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            self.prefetch_block(pos);
             stats.visited += 1;
             let layer = self.bfs.layer(u);
             if layer == 0 {
                 // Sources carry the restart term; their proximities are
                 // computed unconditionally and feed the estimator chain.
-                let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
+                let p = c * self.gather(u);
                 stats.proximity_computations += 1;
                 if pos > 0 {
                     let _ = estimator.advance(0);
@@ -484,7 +561,7 @@ impl<'a> Searcher<'a> {
                 stats.terminated_early = true;
                 break;
             }
-            let p = c * index.uinv().row_dot_scattered_with(self.kernel, u, &self.column);
+            let p = c * self.gather(u);
             stats.proximity_computations += 1;
             estimator.record_selected(layer, p, index.a_col_max()[u as usize]);
             self.heap.offer(p, u);
@@ -525,6 +602,7 @@ impl<'a> Searcher<'a> {
         self.bfs.run(index.permuted_graph(), rootp);
         let (col_idx, col_val) = index.linv().col(qp);
         self.column.load(col_idx, col_val);
+        self.counters.reset();
         let c = index.restart_probability();
 
         self.heap.reset(k);
@@ -534,12 +612,22 @@ impl<'a> Searcher<'a> {
 
         // Visit order: BFS from the root, then every node the root cannot
         // reach (they may still be answers — the walk starts at q, not at
-        // the root).
-        for &u in self.bfs.order() {
+        // the root). The tree is complete up front, so candidate batching
+        // prefetches straight off the final order.
+        let uinv = index.uinv();
+        let order = self.bfs.order();
+        for (i, &u) in order.iter().enumerate() {
+            if i % PREFETCH_BLOCK == 0 {
+                for &v in &order[i..(i + PREFETCH_BLOCK).min(order.len())] {
+                    uinv.prefetch_row(v);
+                }
+            }
             visit_any_order(
                 index,
                 self.kernel,
                 &self.column,
+                &mut self.scratch,
+                &mut self.counters,
                 &mut self.heap,
                 &mut bound_state,
                 &mut stats,
@@ -548,12 +636,25 @@ impl<'a> Searcher<'a> {
                 u,
             );
         }
-        for v in 0..index.num_nodes() as NodeId {
+        let n = index.num_nodes() as NodeId;
+        for v in 0..n {
+            // Same candidate batching for the unreached tail (which can be
+            // most of the graph when the root's component is small):
+            // prefetch the block's unreached rows before gathering them.
+            if v % PREFETCH_BLOCK as NodeId == 0 {
+                for w in v..(v + PREFETCH_BLOCK as NodeId).min(n) {
+                    if !self.bfs.is_reached(w) {
+                        uinv.prefetch_row(w);
+                    }
+                }
+            }
             if !self.bfs.is_reached(v) {
                 visit_any_order(
                     index,
                     self.kernel,
                     &self.column,
+                    &mut self.scratch,
+                    &mut self.counters,
                     &mut self.heap,
                     &mut bound_state,
                     &mut stats,
@@ -563,6 +664,9 @@ impl<'a> Searcher<'a> {
                 );
             }
         }
+        // The traversal counters were exact before the visits; the gather
+        // counters only exist now that the visits ran.
+        self.record_gather(&mut stats);
         // Every node was visited (or skipped soundly); no padding needed.
         let mut out = TopKResult::default();
         self.finish(k, false, stats, &mut out);
@@ -611,6 +715,8 @@ fn visit_any_order(
     index: &KdashIndex,
     kernel: ResolvedKernel,
     column: &ScatteredColumn,
+    scratch: &mut GatherScratch,
+    counters: &mut GatherCounters,
     heap: &mut TopKHeap,
     bound_state: &mut ArbitraryOrderBound,
     stats: &mut SearchStats,
@@ -627,7 +733,7 @@ fn visit_any_order(
             return;
         }
     }
-    let p = c * index.uinv().row_dot_scattered_with(kernel, u, column);
+    let p = c * index.uinv().row_gather(kernel, u, column, scratch, counters);
     stats.proximity_computations += 1;
     bound_state.record(p, index.a_col_max()[u as usize]);
     heap.offer(p, u);

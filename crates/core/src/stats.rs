@@ -31,6 +31,10 @@ pub struct IndexStats {
     pub num_nodes: usize,
     /// Approximate heap footprint of the stored inverses in bytes.
     pub inverse_heap_bytes: usize,
+    /// Column-index bytes of the stored `U⁻¹` under its row layout —
+    /// what a full sweep of the gather path streams from memory (flat:
+    /// 4/nnz; blocked: 2/nnz + 8/run).
+    pub uinv_index_bytes: usize,
 }
 
 impl IndexStats {
@@ -86,6 +90,49 @@ pub struct SearchStats {
     /// traversal work Lemma 2 saved on top of the skipped proximity
     /// computations.
     pub frontier_expanded: usize,
+    /// Index bytes the proximity gathers streamed (layout-dependent:
+    /// 4/nnz flat, 2/nnz + 8/run blocked). Zero on paths that never run
+    /// the gather kernel (the merge-join oracles).
+    pub bytes_touched: usize,
+    /// Value bytes the gathers touched under the fixed accounting model
+    /// (scalar rows: 8 per stamp hit; wide rows: 8 per stored entry) —
+    /// machine-independent, so the cold-row regression pin can compare
+    /// executed traffic across kernels.
+    pub value_bytes_touched: usize,
+    /// Candidate rows the (possibly adaptive) dispatch ran through the
+    /// branchy scalar gather.
+    pub rows_scalar: usize,
+    /// Candidate rows dispatched to a wide (unrolled/AVX2) kernel.
+    pub rows_wide: usize,
+    /// The resolved gather kernel that produced this query's proximities
+    /// (e.g. `"scalar"`, `"avx2"`, `"adaptive(avx2)"`), recorded so
+    /// `auto`/`adaptive` resolutions are reproducible from logs. Empty on
+    /// paths that never run the gather kernel.
+    pub kernel: &'static str,
+}
+
+impl SearchStats {
+    /// This record with every gather-kernel field cleared (byte counters,
+    /// row split, kernel label). Search-work comparisons across *different
+    /// kernels, layouts or the merge-join oracles* pin everything else —
+    /// visits, proximity computations, termination, traversal — while the
+    /// gather fields legitimately vary with the execution strategy.
+    pub fn without_gather(&self) -> SearchStats {
+        SearchStats {
+            bytes_touched: 0,
+            value_bytes_touched: 0,
+            rows_scalar: 0,
+            rows_wide: 0,
+            kernel: "",
+            ..self.clone()
+        }
+    }
+
+    /// Total gather traffic under the accounting model: index bytes plus
+    /// model value bytes. The quantity the adaptive policy minimises.
+    pub fn gather_bytes(&self) -> usize {
+        self.bytes_touched + self.value_bytes_touched
+    }
 }
 
 #[cfg(test)]

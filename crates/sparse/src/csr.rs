@@ -138,6 +138,13 @@ impl CsrMatrix {
         })
     }
 
+    /// Consumes the matrix into its raw arrays `(row_ptr, col_idx,
+    /// values)` — the zero-copy handoff the blocked re-encoder uses (the
+    /// value array moves over untouched).
+    pub fn into_raw_parts(self) -> (Vec<usize>, Vec<Index>, Vec<f64>) {
+        (self.row_ptr, self.col_idx, self.values)
+    }
+
     /// Heap footprint of the arrays in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.row_ptr.len() * std::mem::size_of::<usize>()

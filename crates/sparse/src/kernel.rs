@@ -35,9 +35,28 @@
 //! [`GatherKernel::resolve`] checks it against the host CPU, returning a
 //! construction-gated [`ResolvedKernel`] token — the only way to obtain
 //! one — or [`SparseError::UnsupportedKernel`]. Only [`GatherKernel::Auto`]
-//! ever falls back (SIMD where detected, otherwise the unrolled kernel);
-//! an explicit `Simd` request on a CPU without AVX2 is an error, never a
-//! silent downgrade.
+//! and [`GatherKernel::Adaptive`] ever fall back (SIMD where detected,
+//! otherwise the unrolled kernel); an explicit `Simd` request on a CPU
+//! without AVX2 is an error, never a silent downgrade.
+//!
+//! # The adaptive per-row policy
+//!
+//! PR 3 measured the kernels splitting cleanly by stamp-hit rate: the
+//! branchy scalar gather wins on **miss-dominated** rows (it skips the
+//! value load on every miss — a 3× DRAM-traffic saving once the index
+//! outgrows cache), while the wide kernels win on **hit-dominated** (hub)
+//! rows where the FP-add latency chain binds. [`GatherKernel::Adaptive`]
+//! picks per row: [`adaptive_picks_wide`] combines a build-time
+//! [`RowStat`] (nonzeros + column span) with the loaded query column's
+//! bucketed density ([`ScatteredColumn::expected_hit_rate`]) into a
+//! predicted stamp-hit rate, and selects the wide kernel only where hits
+//! are predicted to dominate (`≥` [`ADAPTIVE_WIDE_HIT_RATE`]). The
+//! decision is a **pure function of index + query** — thresholds are
+//! fixed constants, no host feature or cache size is ever consulted — so
+//! which *class* (scalar vs wide) executes a row is identical on every
+//! machine; within the wide class the host picks AVX2 or the unrolled
+//! twin, which are bit-identical to each other, so whole-query results
+//! stay deterministic across machines.
 
 use crate::{CsrMatrix, Index, Result, ScatteredColumn, SparseError};
 use std::fmt;
@@ -56,16 +75,27 @@ pub enum GatherKernel {
     /// The vector kernel ([`CsrMatrix::row_dot_avx2`] on x86-64 with AVX2).
     /// Resolution fails on hosts that cannot honour it.
     Simd,
-    /// `Simd` where the host supports it, otherwise `Unrolled4` — the only
-    /// variant that falls back instead of erroring.
-    #[default]
+    /// One fixed kernel for every row: `Simd` where the host supports it,
+    /// otherwise `Unrolled4`.
     Auto,
+    /// Per-row selection between the scalar and the wide kernel by the
+    /// deterministic hit-rate policy ([`adaptive_picks_wide`]); the wide
+    /// arm is `Simd` where the host supports it, otherwise `Unrolled4`
+    /// (bit-identical to each other). Resolves on every host. The
+    /// recommended default.
+    #[default]
+    Adaptive,
 }
 
 impl GatherKernel {
     /// Every selectable kernel, in CLI presentation order.
-    pub const ALL: [GatherKernel; 4] =
-        [GatherKernel::Scalar, GatherKernel::Unrolled4, GatherKernel::Simd, GatherKernel::Auto];
+    pub const ALL: [GatherKernel; 5] = [
+        GatherKernel::Scalar,
+        GatherKernel::Unrolled4,
+        GatherKernel::Simd,
+        GatherKernel::Auto,
+        GatherKernel::Adaptive,
+    ];
 
     /// The selector's spelling (also what [`FromStr`] parses).
     pub fn name(self) -> &'static str {
@@ -74,27 +104,34 @@ impl GatherKernel {
             GatherKernel::Unrolled4 => "unrolled",
             GatherKernel::Simd => "simd",
             GatherKernel::Auto => "auto",
+            GatherKernel::Adaptive => "adaptive",
         }
     }
 
     /// Resolves the request against the host CPU. `Scalar` and `Unrolled4`
     /// always succeed; `Simd` succeeds only where the vector kernel can
     /// actually run ([`simd_support`] explains the host's answer); `Auto`
-    /// falls back to `Unrolled4` when SIMD is unavailable.
+    /// and `Adaptive` fall back to the unrolled wide kernel when SIMD is
+    /// unavailable.
     pub fn resolve(self) -> Result<ResolvedKernel> {
         match self {
             GatherKernel::Scalar => Ok(ResolvedKernel(Dispatch::Scalar)),
-            GatherKernel::Unrolled4 => Ok(ResolvedKernel(Dispatch::Unrolled4)),
+            GatherKernel::Unrolled4 => {
+                Ok(ResolvedKernel(Dispatch::Wide(WideDispatch::Unrolled4)))
+            }
             GatherKernel::Simd => match simd_support() {
-                Ok(dispatch) => Ok(ResolvedKernel(dispatch)),
+                Ok(wide) => Ok(ResolvedKernel(Dispatch::Wide(wide))),
                 Err(reason) => Err(SparseError::UnsupportedKernel {
                     requested: self.name().to_string(),
                     reason,
                 }),
             },
-            GatherKernel::Auto => Ok(ResolvedKernel(
-                simd_support().unwrap_or(Dispatch::Unrolled4),
-            )),
+            GatherKernel::Auto => Ok(ResolvedKernel(Dispatch::Wide(
+                simd_support().unwrap_or(WideDispatch::Unrolled4),
+            ))),
+            GatherKernel::Adaptive => Ok(ResolvedKernel(Dispatch::Adaptive(
+                simd_support().unwrap_or(WideDispatch::Unrolled4),
+            ))),
         }
     }
 }
@@ -114,20 +151,22 @@ impl FromStr for GatherKernel {
             "unrolled" | "unrolled4" => Ok(GatherKernel::Unrolled4),
             "simd" => Ok(GatherKernel::Simd),
             "auto" => Ok(GatherKernel::Auto),
+            "adaptive" => Ok(GatherKernel::Adaptive),
             other => Err(SparseError::UnsupportedKernel {
                 requested: other.to_string(),
-                reason: "unknown kernel (expected scalar, unrolled, simd or auto)".to_string(),
+                reason: "unknown kernel (expected scalar, unrolled, simd, auto or adaptive)"
+                    .to_string(),
             }),
         }
     }
 }
 
 /// Whether the host can run the vector kernel, and which one.
-fn simd_support() -> std::result::Result<Dispatch, String> {
+fn simd_support() -> std::result::Result<WideDispatch, String> {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
-            Ok(Dispatch::Avx2)
+            Ok(WideDispatch::Avx2)
         } else {
             Err("host x86-64 CPU does not report AVX2".to_string())
         }
@@ -153,45 +192,311 @@ pub struct ResolvedKernel(Dispatch);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Dispatch {
+    /// The one-accumulator reference gather on every row.
     Scalar,
+    /// One fixed wide kernel on every row.
+    Wide(WideDispatch),
+    /// Per-row scalar-vs-wide by the deterministic hit-rate policy; the
+    /// payload is the host's wide arm.
+    Adaptive(WideDispatch),
+}
+
+/// The host-validated wide kernel: the portable unrolled one, or its
+/// bit-identical AVX2 twin where detection succeeded. Construction-gated
+/// like [`ResolvedKernel`] (no public constructor), so a vector variant
+/// can never be conjured on a host that failed detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WideDispatch {
     Unrolled4,
     #[cfg(target_arch = "x86_64")]
     Avx2,
 }
 
 impl ResolvedKernel {
-    /// What actually runs, for logs and stats: `"scalar"`, `"unrolled"` or
-    /// `"avx2"`.
+    /// What actually runs, for logs and stats: `"scalar"`, `"unrolled"`,
+    /// `"avx2"`, or the adaptive policy with its resolved wide arm
+    /// (`"adaptive(avx2)"` / `"adaptive(unrolled)"`).
     pub fn name(self) -> &'static str {
         match self.0 {
             Dispatch::Scalar => "scalar",
-            Dispatch::Unrolled4 => "unrolled",
+            Dispatch::Wide(WideDispatch::Unrolled4) => "unrolled",
             #[cfg(target_arch = "x86_64")]
-            Dispatch::Avx2 => "avx2",
+            Dispatch::Wide(WideDispatch::Avx2) => "avx2",
+            Dispatch::Adaptive(WideDispatch::Unrolled4) => "adaptive(unrolled)",
+            #[cfg(target_arch = "x86_64")]
+            Dispatch::Adaptive(WideDispatch::Avx2) => "adaptive(avx2)",
         }
     }
 
-    /// Whether this resolution dispatches to a vector (`std::arch`) path.
+    /// Whether this resolution can dispatch to a vector (`std::arch`)
+    /// path (for `Adaptive`: whether its wide arm is the vector kernel).
     pub fn is_simd(self) -> bool {
         match self.0 {
-            Dispatch::Scalar | Dispatch::Unrolled4 => false,
+            Dispatch::Scalar | Dispatch::Wide(WideDispatch::Unrolled4) => false,
+            Dispatch::Adaptive(WideDispatch::Unrolled4) => false,
             #[cfg(target_arch = "x86_64")]
-            Dispatch::Avx2 => true,
+            Dispatch::Wide(WideDispatch::Avx2) | Dispatch::Adaptive(WideDispatch::Avx2) => true,
         }
+    }
+
+    /// Whether this resolution runs the per-row adaptive policy.
+    pub fn is_adaptive(self) -> bool {
+        matches!(self.0, Dispatch::Adaptive(_))
     }
 }
 
 impl Default for ResolvedKernel {
-    /// The `Auto` resolution for this host.
+    /// The `Adaptive` resolution for this host (the recommended default).
     fn default() -> Self {
-        GatherKernel::Auto.resolve().expect("Auto always resolves")
+        GatherKernel::Adaptive.resolve().expect("Adaptive always resolves")
+    }
+}
+
+/// Build-time per-row statistics the adaptive policy consumes: the row's
+/// stored-entry count and its column span. Derivable from any layout in
+/// `O(1)`, but materialised as a packed table at index-assembly time so
+/// the policy never touches the (DRAM-resident) index arrays just to make
+/// its decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowStat {
+    /// Stored entries of the row.
+    pub nnz: u32,
+    /// Smallest column (0 for an empty row).
+    pub first: u32,
+    /// Largest column (0 for an empty row).
+    pub last: u32,
+}
+
+/// Rows with fewer stored entries than this never pay off the wide
+/// kernels' fixed lane/reduction overhead; the policy keeps them scalar.
+pub const ADAPTIVE_MIN_WIDE_NNZ: u32 = 16;
+
+/// Predicted stamp-hit rate at which the policy hands a row to the wide
+/// kernel. Exactly the miss-dominated boundary: below one-half, most
+/// probes miss and the branchy scalar gather's skipped value loads win;
+/// above it, the hit-side FP latency chain dominates and the four
+/// independent lanes pay off.
+pub const ADAPTIVE_WIDE_HIT_RATE: f64 = 0.5;
+
+/// The adaptive policy: `true` hands the row to the wide kernel. A pure
+/// function of the row's build-time stats and the loaded query column —
+/// fixed constants, no host queries — so the choice is identical on every
+/// machine (pinned by the policy unit tests and the layout/kernel
+/// equivalence suites).
+///
+/// The hit-rate comparison is a cross-multiplied form of
+/// `in/covered ≥ ADAPTIVE_WIDE_HIT_RATE` (one multiply, no division):
+/// the predicate sits on the per-candidate hot path, and a division
+/// there would tax precisely the scalar-bound rows the policy is
+/// protecting.
+#[inline]
+pub fn adaptive_picks_wide(stat: RowStat, column: &ScatteredColumn) -> bool {
+    if stat.nnz < ADAPTIVE_MIN_WIDE_NNZ {
+        return false;
+    }
+    let (in_window, covered) = column.window_density(stat.first, stat.last);
+    covered > 0 && in_window as f64 >= ADAPTIVE_WIDE_HIT_RATE * covered as f64
+}
+
+/// Byte-traffic counters the gather entry points accumulate, the raw
+/// material for `SearchStats::bytes_touched` and the per-kernel row
+/// split. `value_bytes` follows a fixed *accounting model* rather than a
+/// hardware measurement — scalar rows are charged 8 bytes per stamp hit
+/// (the loads the branchy gather executes), wide rows 8 bytes per stored
+/// entry (the unrolled kernel's unconditional touch; the AVX2 twin's
+/// masked gather is charged the same so the counters stay
+/// machine-independent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatherCounters {
+    /// Rows executed by the scalar gather.
+    pub rows_scalar: usize,
+    /// Rows executed by a wide kernel.
+    pub rows_wide: usize,
+    /// Index bytes streamed by the gathers (layout-dependent: 4/nnz flat,
+    /// 2/nnz + 8/run blocked).
+    pub index_bytes: usize,
+    /// Value bytes touched under the accounting model above.
+    pub value_bytes: usize,
+}
+
+impl GatherCounters {
+    /// Zeroes every counter (start of a query).
+    pub fn reset(&mut self) {
+        *self = GatherCounters::default();
+    }
+}
+
+/// Reusable decode scratch for the wide kernels over the blocked layout:
+/// run/delta pairs are expanded into this flat `u32` column buffer, and
+/// the *same* slice kernels as the flat layout then run over it — that
+/// sharing is what makes the layouts bit-identical under every kernel.
+/// Sized to the largest row once, it allocates nothing afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct GatherScratch {
+    pub(crate) cols: Vec<u32>,
+}
+
+impl GatherScratch {
+    /// Scratch with capacity for rows up to `max_row_nnz` entries.
+    pub fn with_capacity(max_row_nnz: usize) -> Self {
+        GatherScratch { cols: Vec::with_capacity(max_row_nnz) }
+    }
+}
+
+/// The one-accumulator reference gather over parallel `(cols, vals)`
+/// slices, also counting the stamp hits (executed value loads). The slice
+/// form is shared by the flat and blocked layouts — whoever produces the
+/// column sequence, the arithmetic is this one function.
+#[inline]
+pub(crate) fn gather_scalar_counting(
+    cols: &[Index],
+    vals: &[f64],
+    buf: &ScatteredColumn,
+) -> (f64, usize) {
+    let (stamps, generation, values) = buf.raw_parts();
+    let mut acc = 0.0;
+    let mut hits = 0usize;
+    for (&c, &v) in cols.iter().zip(vals) {
+        let c = c as usize;
+        if stamps[c] == generation {
+            acc += v * values[c];
+            hits += 1;
+        }
+    }
+    (acc, hits)
+}
+
+/// The portable four-accumulator gather over parallel `(cols, vals)`
+/// slices: lane `j` accumulates the entries at positions `≡ j (mod 4)`;
+/// an unmatched position contributes `value × 0.0` to its lane; the
+/// `len % 4` tail lands in lanes `0..tail`; lanes reduce as
+/// `(acc0 + acc2) + (acc1 + acc3)`.
+///
+/// This exact operation order is the cross-kernel contract: the SIMD
+/// kernel performs the same per-lane multiplies and adds in the same
+/// sequence, so its results are bit-identical to this one on every row
+/// (pinned by the kernel equivalence suite). Shared by both layouts.
+#[inline]
+pub(crate) fn gather_unrolled4(cols: &[Index], vals: &[f64], buf: &ScatteredColumn) -> f64 {
+    let (stamps, generation, values) = buf.raw_parts();
+    #[inline(always)]
+    fn lane(stamps: &[u32], generation: u32, values: &[f64], c: u32, v: f64) -> f64 {
+        let c = c as usize;
+        let x = if stamps[c] == generation { values[c] } else { 0.0 };
+        v * x
+    }
+    // Four named accumulators (not an array) so they live in registers:
+    // the whole point is breaking the FP-add latency chain, which an
+    // in-memory accumulator would silently re-serialise through
+    // store-to-load forwarding.
+    let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut col_chunks = cols.chunks_exact(4);
+    let mut val_chunks = vals.chunks_exact(4);
+    for (cc, vv) in (&mut col_chunks).zip(&mut val_chunks) {
+        acc0 += lane(stamps, generation, values, cc[0], vv[0]);
+        acc1 += lane(stamps, generation, values, cc[1], vv[1]);
+        acc2 += lane(stamps, generation, values, cc[2], vv[2]);
+        acc3 += lane(stamps, generation, values, cc[3], vv[3]);
+    }
+    let mut acc = [acc0, acc1, acc2, acc3];
+    for (j, (&c, &v)) in col_chunks.remainder().iter().zip(val_chunks.remainder()).enumerate() {
+        acc[j] += lane(stamps, generation, values, c, v);
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
+/// The AVX2 gather over parallel `(cols, vals)` slices: four stamps per
+/// `vpgatherdd`, one generation compare per chunk, and a *masked*
+/// `vgatherdpd` so failed lanes never read the value array. Lane
+/// arithmetic (`vmulpd` + `vaddpd`, no FMA) and the tail/reduction mirror
+/// [`gather_unrolled4`] exactly, so the two are bit-identical on every
+/// row.
+///
+/// # Safety
+/// The host CPU must support AVX2, and every entry of `cols` must be a
+/// valid in-bounds index into `buf`'s stamp/value arrays.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gather_avx2(cols: &[Index], vals: &[f64], buf: &ScatteredColumn) -> f64 {
+    use std::arch::x86_64::*;
+    // The gathers sign-extend each 32-bit index lane: a column index
+    // >= 2^31 would wrap negative and read out of bounds. Unreachable
+    // for any matrix this crate can build in practice, but the unsafe
+    // block must not rely on "in practice" — fail loudly instead.
+    assert!(
+        buf.dim() <= i32::MAX as usize,
+        "AVX2 gather kernel limited to dimensions < 2^31"
+    );
+    let (stamps, generation, values) = buf.raw_parts();
+    let split = cols.len() - cols.len() % 4;
+    let generation_v = _mm_set1_epi32(generation as i32);
+    let zero = _mm256_setzero_pd();
+    let mut acc_v = zero;
+    let mut i = 0;
+    while i < split {
+        // SAFETY (for every gather below): the caller guarantees `cols`
+        // holds in-bounds indices for a buffer whose dimension (asserted
+        // above) fits in i32, so the sign-extended index lanes are
+        // non-negative and `stamps[c]` and `values[c]` are in-bounds
+        // reads; the masked value gather touches only lanes whose stamp
+        // matched.
+        let idx = _mm_loadu_si128(cols.as_ptr().add(i) as *const __m128i);
+        let st = _mm_i32gather_epi32::<4>(stamps.as_ptr() as *const i32, idx);
+        let mask =
+            _mm256_castsi256_pd(_mm256_cvtepi32_epi64(_mm_cmpeq_epi32(st, generation_v)));
+        let x = _mm256_mask_i32gather_pd::<8>(zero, values.as_ptr(), idx, mask);
+        let v = _mm256_loadu_pd(vals.as_ptr().add(i));
+        acc_v = _mm256_add_pd(acc_v, _mm256_mul_pd(v, x));
+        i += 4;
+    }
+    let mut acc = [0.0f64; 4];
+    _mm256_storeu_pd(acc.as_mut_ptr(), acc_v);
+    for j in 0..cols.len() - split {
+        let c = cols[split + j] as usize;
+        let x = if stamps[c] == generation { values[c] } else { 0.0 };
+        acc[j] += vals[split + j] * x;
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
+/// Runs the resolved *wide* arm over slices (the shared tail of both
+/// layouts' wide paths).
+#[inline]
+pub(crate) fn gather_wide(
+    wide: WideDispatch,
+    cols: &[Index],
+    vals: &[f64],
+    buf: &ScatteredColumn,
+) -> f64 {
+    match wide {
+        WideDispatch::Unrolled4 => gather_unrolled4(cols, vals, buf),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: a `WideDispatch::Avx2` token only exists if
+        // `GatherKernel::resolve` observed AVX2 on this host, and `cols`
+        // comes from a validated matrix over `buf`'s dimension.
+        WideDispatch::Avx2 => unsafe { gather_avx2(cols, vals, buf) },
+    }
+}
+
+impl ResolvedKernel {
+    /// Splits the resolution for a given row: `None` means the scalar
+    /// gather runs, `Some(wide)` the wide arm. For `Adaptive` this is
+    /// where the per-row policy fires.
+    #[inline]
+    pub(crate) fn arm_for(self, stat: RowStat, buf: &ScatteredColumn) -> Option<WideDispatch> {
+        match self.0 {
+            Dispatch::Scalar => None,
+            Dispatch::Wide(w) => Some(w),
+            Dispatch::Adaptive(w) => adaptive_picks_wide(stat, buf).then_some(w),
+        }
     }
 }
 
 impl CsrMatrix {
     /// [`row_dot_scattered`](Self::row_dot_scattered) through the kernel
     /// `kernel` resolved for this host. The hot-path entry point: one
-    /// enum branch, then straight into the selected kernel.
+    /// enum branch (for `Adaptive`, plus the `O(1)` per-row policy), then
+    /// straight into the selected kernel.
     #[inline]
     pub fn row_dot_scattered_with(
         &self,
@@ -199,63 +504,23 @@ impl CsrMatrix {
         r: Index,
         buf: &ScatteredColumn,
     ) -> f64 {
-        match kernel.0 {
-            Dispatch::Scalar => self.row_dot_scattered(r, buf),
-            Dispatch::Unrolled4 => self.row_dot_unrolled4(r, buf),
-            #[cfg(target_arch = "x86_64")]
-            // SAFETY: a `Dispatch::Avx2` token only exists if
-            // `GatherKernel::resolve` observed AVX2 on this host.
-            Dispatch::Avx2 => unsafe { self.row_dot_avx2_unchecked(r, buf) },
+        debug_assert_eq!(buf.dim(), self.ncols());
+        let (cols, vals) = self.row(r);
+        match kernel.arm_for(row_stat_of(cols), buf) {
+            None => gather_scalar_counting(cols, vals, buf).0,
+            Some(wide) => gather_wide(wide, cols, vals, buf),
         }
     }
 
-    /// The portable four-accumulator gather: lane `j` accumulates the
-    /// row's nonzeros at positions `≡ j (mod 4)`; an unmatched position
-    /// contributes `value × 0.0` to its lane; the `len % 4` tail lands in
-    /// lanes `0..tail`; lanes reduce as `(acc0 + acc2) + (acc1 + acc3)`.
-    ///
-    /// This exact operation order is the cross-kernel contract: the SIMD
-    /// kernels perform the same per-lane multiplies and adds in the same
-    /// sequence, so their results are bit-identical to this one on every
-    /// row (pinned by the kernel equivalence suite).
+    /// The portable four-accumulator gather over row `r` (see
+    /// [`gather_unrolled4`] for the lane/reduction contract).
     pub fn row_dot_unrolled4(&self, r: Index, buf: &ScatteredColumn) -> f64 {
         debug_assert_eq!(buf.dim(), self.ncols());
         let (cols, vals) = self.row(r);
-        let (stamps, generation, values) = buf.raw_parts();
-        #[inline(always)]
-        fn lane(stamps: &[u32], generation: u32, values: &[f64], c: u32, v: f64) -> f64 {
-            let c = c as usize;
-            let x = if stamps[c] == generation { values[c] } else { 0.0 };
-            v * x
-        }
-        // Four named accumulators (not an array) so they live in registers:
-        // the whole point is breaking the FP-add latency chain, which an
-        // in-memory accumulator would silently re-serialise through
-        // store-to-load forwarding.
-        let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        let mut col_chunks = cols.chunks_exact(4);
-        let mut val_chunks = vals.chunks_exact(4);
-        for (cc, vv) in (&mut col_chunks).zip(&mut val_chunks) {
-            acc0 += lane(stamps, generation, values, cc[0], vv[0]);
-            acc1 += lane(stamps, generation, values, cc[1], vv[1]);
-            acc2 += lane(stamps, generation, values, cc[2], vv[2]);
-            acc3 += lane(stamps, generation, values, cc[3], vv[3]);
-        }
-        let mut acc = [acc0, acc1, acc2, acc3];
-        for (j, (&c, &v)) in
-            col_chunks.remainder().iter().zip(val_chunks.remainder()).enumerate()
-        {
-            acc[j] += lane(stamps, generation, values, c, v);
-        }
-        (acc[0] + acc[2]) + (acc[1] + acc[3])
+        gather_unrolled4(cols, vals, buf)
     }
 
-    /// The AVX2 gather: four stamps per `vpgatherdd`, one generation
-    /// compare per chunk, and a *masked* `vgatherdpd` so failed lanes never
-    /// read the value array. Lane arithmetic (`vmulpd` + `vaddpd`, no FMA)
-    /// and the tail/reduction mirror
-    /// [`row_dot_unrolled4`](Self::row_dot_unrolled4) exactly, so the two
-    /// are bit-identical on every row.
+    /// The AVX2 gather over row `r` (see [`gather_avx2`]).
     ///
     /// Panics if the host CPU does not report AVX2; resolve
     /// [`GatherKernel::Simd`] and use
@@ -267,58 +532,21 @@ impl CsrMatrix {
             std::arch::is_x86_feature_detected!("avx2"),
             "row_dot_avx2 called on a host without AVX2"
         );
-        // SAFETY: just checked the required target feature.
-        unsafe { self.row_dot_avx2_unchecked(r, buf) }
-    }
-
-    /// # Safety
-    /// The host CPU must support AVX2.
-    #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx2")]
-    unsafe fn row_dot_avx2_unchecked(&self, r: Index, buf: &ScatteredColumn) -> f64 {
-        use std::arch::x86_64::*;
         debug_assert_eq!(buf.dim(), self.ncols());
-        // The gathers sign-extend each 32-bit index lane: a column index
-        // >= 2^31 would wrap negative and read out of bounds. Unreachable
-        // for any matrix this crate can build in practice, but the unsafe
-        // block must not rely on "in practice" — fail loudly instead.
-        assert!(
-            self.ncols() <= i32::MAX as usize,
-            "AVX2 gather kernel limited to matrices with < 2^31 columns"
-        );
         let (cols, vals) = self.row(r);
-        let (stamps, generation, values) = buf.raw_parts();
-        let split = cols.len() - cols.len() % 4;
-        let generation_v = _mm_set1_epi32(generation as i32);
-        let zero = _mm256_setzero_pd();
-        let mut acc_v = zero;
-        let mut i = 0;
-        while i < split {
-            // SAFETY (for every gather below): `cols` holds validated
-            // in-bounds column indices for a matrix whose column count
-            // equals `buf.dim()` and (asserted above) fits in i32, so the
-            // sign-extended index lanes are non-negative and `stamps[c]`
-            // and `values[c]` are in-bounds reads; the masked value gather
-            // touches only lanes whose stamp matched.
-            let idx = _mm_loadu_si128(cols.as_ptr().add(i) as *const __m128i);
-            let st = _mm_i32gather_epi32::<4>(stamps.as_ptr() as *const i32, idx);
-            let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(_mm_cmpeq_epi32(
-                st,
-                generation_v,
-            )));
-            let x = _mm256_mask_i32gather_pd::<8>(zero, values.as_ptr(), idx, mask);
-            let v = _mm256_loadu_pd(vals.as_ptr().add(i));
-            acc_v = _mm256_add_pd(acc_v, _mm256_mul_pd(v, x));
-            i += 4;
-        }
-        let mut acc = [0.0f64; 4];
-        _mm256_storeu_pd(acc.as_mut_ptr(), acc_v);
-        for j in 0..cols.len() - split {
-            let c = cols[split + j] as usize;
-            let x = if stamps[c] == generation { values[c] } else { 0.0 };
-            acc[j] += vals[split + j] * x;
-        }
-        (acc[0] + acc[2]) + (acc[1] + acc[3])
+        // SAFETY: just checked the required target feature; `cols` holds
+        // validated in-bounds indices for `buf`'s dimension.
+        unsafe { gather_avx2(cols, vals, buf) }
+    }
+}
+
+/// `O(1)` row stats straight from a decoded (sorted) column slice — what
+/// the table-less flat path feeds the policy.
+#[inline]
+pub(crate) fn row_stat_of(cols: &[Index]) -> RowStat {
+    match (cols.first(), cols.last()) {
+        (Some(&first), Some(&last)) => RowStat { nnz: cols.len() as u32, first, last },
+        _ => RowStat::default(),
     }
 }
 
@@ -363,6 +591,7 @@ mod tests {
             kernels.push(simd);
         }
         kernels.push(GatherKernel::Auto.resolve().unwrap());
+        kernels.push(GatherKernel::Adaptive.resolve().unwrap());
         kernels
     }
 
@@ -476,19 +705,81 @@ mod tests {
         assert_eq!(GatherKernel::Scalar.resolve().unwrap().name(), "scalar");
         assert_eq!(GatherKernel::Unrolled4.resolve().unwrap().name(), "unrolled");
         let auto = GatherKernel::Auto.resolve().expect("Auto must resolve on every host");
+        let adaptive =
+            GatherKernel::Adaptive.resolve().expect("Adaptive must resolve on every host");
+        assert!(adaptive.is_adaptive());
         match GatherKernel::Simd.resolve() {
-            // Where SIMD resolves, Auto must have picked it up too.
+            // Where SIMD resolves, Auto and Adaptive's wide arm must have
+            // picked it up too.
             Ok(simd) => {
                 assert!(simd.is_simd());
                 assert_eq!(auto, simd, "Auto must prefer the vector kernel when available");
+                assert_eq!(adaptive.name(), "adaptive(avx2)");
+                assert!(adaptive.is_simd());
             }
-            // Where it does not, the error is typed and Auto fell back.
+            // Where it does not, the error is typed and both fell back.
             Err(SparseError::UnsupportedKernel { requested, reason }) => {
                 assert_eq!(requested, "simd");
                 assert!(!reason.is_empty());
                 assert_eq!(auto.name(), "unrolled");
+                assert_eq!(adaptive.name(), "adaptive(unrolled)");
             }
             Err(other) => panic!("expected UnsupportedKernel, got {other:?}"),
+        }
+    }
+
+    /// The adaptive policy is a pure function of row stats and the loaded
+    /// column: no host feature, cache size or clock is consulted, so these
+    /// fixed inputs must map to these fixed outputs on every machine.
+    #[test]
+    fn adaptive_policy_is_deterministic_and_host_free() {
+        let n = 4096usize;
+        let mut column = ScatteredColumn::new(n);
+        // A dense clump: positions 0..512 all loaded.
+        let idx: Vec<Index> = (0..512).collect();
+        column.load(&idx, &vec![1.0; 512]);
+
+        // A big row confined to the dense clump: hit-dominated → wide.
+        let hot = RowStat { nnz: 256, first: 0, last: 511 };
+        assert!(adaptive_picks_wide(hot, &column));
+        // A big row over a disjoint region: zero predicted hits → scalar.
+        let cold = RowStat { nnz: 256, first: 2048, last: 4095 };
+        assert!(!adaptive_picks_wide(cold, &column));
+        // A tiny row never goes wide, however hot the column.
+        let tiny = RowStat { nnz: ADAPTIVE_MIN_WIDE_NNZ - 1, first: 0, last: 511 };
+        assert!(!adaptive_picks_wide(tiny, &column));
+        // An empty column keeps everything scalar.
+        column.load(&[], &[]);
+        assert!(!adaptive_picks_wide(hot, &column));
+
+        // Repeatability: the same inputs give the same answer every time
+        // (the function closes over nothing mutable).
+        let mut column = ScatteredColumn::new(n);
+        column.load(&idx, &vec![1.0; 512]);
+        for _ in 0..3 {
+            assert!(adaptive_picks_wide(hot, &column));
+            assert!(!adaptive_picks_wide(cold, &column));
+        }
+    }
+
+    /// Adaptive whole-row results equal whichever arm the policy picked —
+    /// never a third arithmetic.
+    #[test]
+    fn adaptive_rows_match_their_selected_arm() {
+        let m = random_csr(30, 64, 0.5, 11);
+        let (idx, val) = random_sparse_vec(64, 0.6, 12);
+        let mut buf = ScatteredColumn::new(64);
+        buf.load(&idx, &val);
+        let adaptive = GatherKernel::Adaptive.resolve().unwrap();
+        for r in 0..30 as Index {
+            let got = m.row_dot_scattered_with(adaptive, r, &buf);
+            let (cols, _) = m.row(r);
+            let expect = if adaptive_picks_wide(row_stat_of(cols), &buf) {
+                m.row_dot_unrolled4(r, &buf) // bit-identical to the AVX2 arm
+            } else {
+                m.row_dot_scattered(r, &buf)
+            };
+            assert_eq!(got.to_bits(), expect.to_bits(), "row {r}");
         }
     }
 }

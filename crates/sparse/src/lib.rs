@@ -22,7 +22,17 @@
 //! * [`kernel`] — runtime-dispatched wide gathers: the portable
 //!   four-accumulator unrolled kernel and its AVX2 twin (bit-identical to
 //!   each other, within `1e-12` of the one-lane reference), selected via
-//!   [`GatherKernel`] and a host-validated [`ResolvedKernel`] token.
+//!   [`GatherKernel`] and a host-validated [`ResolvedKernel`] token;
+//!   [`GatherKernel::Adaptive`] adds a deterministic per-row
+//!   scalar-vs-wide policy driven by build-time [`RowStat`]s and the
+//!   loaded column's density profile,
+//! * [`blocked`] — the bandwidth-lean [`BlockedCsr`] row layout: `u16`
+//!   column deltas against aligned `u32` block anchors, ~half the index
+//!   traffic of flat CSR on fill-dominated inverse rows, bit-identical
+//!   values and results,
+//! * [`store`] — [`ProximityStore`]: the query engine's `U⁻¹` holder,
+//!   uniting both layouts, the per-row policy table, byte-traffic
+//!   counters and software-prefetch hooks behind one gather entry point.
 //!
 //! ## Conventions
 //!
@@ -33,6 +43,7 @@
 //!   `L x = e_j`.
 //! * Column/row index arrays are sorted ascending; values are finite.
 
+pub mod blocked;
 pub mod csc;
 pub mod csr;
 pub mod inverse;
@@ -40,17 +51,23 @@ pub mod kernel;
 pub mod lu;
 pub mod rwr;
 pub mod scatter;
+pub mod store;
 pub mod triangular;
 
+pub use blocked::{BlockedCsr, BLOCK_COLS};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use inverse::{
     invert_lower_unit, invert_lower_unit_with, invert_upper, invert_upper_with, InvertOptions,
 };
-pub use kernel::{GatherKernel, ResolvedKernel};
+pub use kernel::{
+    adaptive_picks_wide, GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, RowStat,
+    ADAPTIVE_MIN_WIDE_NNZ, ADAPTIVE_WIDE_HIT_RATE,
+};
 pub use lu::{sparse_lu, LuFactors};
 pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
-pub use scatter::ScatteredColumn;
+pub use scatter::{ScatteredColumn, DENSITY_BUCKET_COLS};
+pub use store::{ProximityStore, RowLayout};
 pub use triangular::{SolveWorkspace, Triangle};
 
 /// Index type shared with `kdash-graph`.

@@ -6,7 +6,7 @@
 //! ulp across a save/load cycle would break the exactness guarantee the
 //! whole system is named for.
 
-use kdash_core::{IndexOptions, KdashIndex, NodeOrdering};
+use kdash_core::{IndexOptions, KdashIndex, NodeOrdering, RowLayout};
 use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
 use proptest::prelude::*;
 
@@ -95,6 +95,35 @@ proptest! {
         let cut = cut_sel as usize % buf.len();
         prop_assert!(KdashIndex::load(&buf[..cut]).is_err(), "cut at {} must fail", cut);
     }
+
+    /// v1 → v2 compatibility: legacy flat-only files keep loading, come
+    /// back as the blocked layout, and answer every sampled query
+    /// bit-identically — across orderings and both source layouts.
+    #[test]
+    fn v1_files_upgrade_losslessly(
+        (graph, ord_sel) in (graph_strategy(), any::<u32>())
+    ) {
+        let ordering = ORDERINGS[ord_sel as usize % ORDERINGS.len()];
+        let index = KdashIndex::build(
+            &graph,
+            IndexOptions { ordering, ..Default::default() },
+        ).unwrap();
+        let mut v1 = Vec::new();
+        index.save_v1(&mut v1).unwrap();
+        let loaded = KdashIndex::load(v1.as_slice()).unwrap();
+        prop_assert_eq!(loaded.layout(), RowLayout::Blocked, "v1 upgrades to blocked on read");
+        prop_assert_eq!(loaded.stats().nnz_u_inv, index.stats().nnz_u_inv);
+        let n = graph.num_nodes();
+        let k = 5usize.min(n);
+        for q in (0..n as NodeId).step_by((n / 4).max(1)) {
+            let a = index.top_k(q, k).unwrap();
+            let b = loaded.top_k(q, k).unwrap();
+            prop_assert_eq!(a.nodes(), b.nodes(), "query {}", q);
+            for (x, y) in a.items.iter().zip(&b.items) {
+                prop_assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+            }
+        }
+    }
 }
 
 fn sample_index() -> (KdashIndex, Vec<u8>) {
@@ -148,6 +177,82 @@ fn corrupt_restart_probability_is_rejected() {
     // c is the f64 at bytes 12..20; overwrite with NaN (also out of (0,1)).
     buf[12..20].copy_from_slice(&f64::NAN.to_le_bytes());
     assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+/// Byte offsets of the v2-specific sections (layout tag, blocked arrays,
+/// row-stats table) inside a saved buffer, computed from the index's own
+/// counts so the corruption tests stay exact as the format is what
+/// `save` actually wrote.
+fn v2_section_offsets(index: &KdashIndex) -> (usize, usize, usize) {
+    let n = index.num_nodes();
+    let m = index.stats().num_edges;
+    let nnz_l = index.stats().nnz_l_inv;
+    let nnz_u = index.stats().nnz_u_inv;
+    let runs = index.uinv_rows().as_blocked().expect("blocked default").num_runs();
+    let layout_off = HEADER_LEN            // magic..n
+        + 4 * n                            // permutation
+        + 8 * (n + 1) + 8 + 12 * m         // graph
+        + 8 * (n + 1) + 8 + 12 * nnz_l;    // L⁻¹ CSC
+    let deltas_off = layout_off + 1        // layout tag
+        + 8 * (n + 1)                      // blocked row_ptr
+        + 8                                // run count
+        + 8 * (n + 1)                      // run_ptr
+        + 4 * runs + 4 * runs              // run_base + run_end
+        + 8;                               // nnz
+    let stats_off = deltas_off + 2 * nnz_u + 8 * nnz_u; // deltas + values
+    (layout_off, deltas_off, stats_off)
+}
+
+#[test]
+fn unknown_layout_tag_is_rejected() {
+    let (index, mut buf) = sample_index();
+    let (layout_off, _, _) = v2_section_offsets(&index);
+    assert_eq!(buf[layout_off], 1, "sample index persists the blocked tag");
+    buf[layout_off] = 9;
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+#[test]
+fn corrupt_blocked_deltas_are_rejected() {
+    let (index, mut buf) = sample_index();
+    let (_, deltas_off, _) = v2_section_offsets(&index);
+    // Force the first delta to 0xFFFF: column = anchor + 65535, far out of
+    // bounds for a 30-node matrix — structural validation must fire.
+    buf[deltas_off] = 0xFF;
+    buf[deltas_off + 1] = 0xFF;
+    assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+#[test]
+fn inflated_count_fields_error_instead_of_panicking() {
+    // Count fields are untrusted: blowing one up to u64::MAX must come
+    // back as InvalidData, never a capacity panic or an OOM abort.
+    let (index, buf) = sample_index();
+    let (layout_off, deltas_off, _) = v2_section_offsets(&index);
+    let n = index.num_nodes();
+    // The blocked run-count u64 sits right after the blocked row_ptr.
+    let runs_off = layout_off + 1 + 8 * (n + 1);
+    // The blocked nnz u64 sits right before the deltas.
+    let nnz_off = deltas_off - 8;
+    for off in [runs_off, nnz_off] {
+        let mut bad = buf.clone();
+        bad[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(KdashIndex::load(bad.as_slice()).is_err(), "count at {off} must fail");
+    }
+}
+
+#[test]
+fn corrupt_row_stats_section_is_rejected() {
+    let (index, mut buf) = sample_index();
+    let (_, _, stats_off) = v2_section_offsets(&index);
+    // A row-stats table that disagrees with the arrays would silently
+    // mis-steer the adaptive policy; the loader must reject it instead.
+    buf[stats_off] ^= 0x5A;
+    let err = KdashIndex::load(buf.as_slice()).unwrap_err();
+    assert!(
+        err.to_string().contains("row-stats"),
+        "expected the row-stats validation to fire, got: {err}"
+    );
 }
 
 #[test]
