@@ -1,0 +1,282 @@
+//! PR 5 headline benchmark: reach-bounded incremental updates vs full
+//! rebuild.
+//!
+//! Builds an RMAT index once (the full-rebuild baseline, per-stage
+//! timings included), attaches the `kdash-dynamic` engine, then streams
+//! random edit batches through it — single edges first (the acceptance
+//! series: the reach-bounded update must be ≥10× faster than a full
+//! rebuild at scale 14), then growing batch sizes. Every trial prints
+//! the measured dirty-column fractions (the quantity that explains the
+//! speedup: the Gilbert–Peierls reach of a random edit touches a few
+//! percent of the inverse columns, but a hub edit can touch most of
+//! `L⁻¹` — medians and worst cases are both reported honestly).
+//! Headline numbers land in `BENCH_PR5.json` at the repo root.
+//!
+//! Like `index_build`, this bench measures with direct wall-clock timing:
+//! a rebuild takes minutes at scale, so criterion-style warm-up would
+//! multiply the cost without sharpening anything.
+//!
+//! Environment knobs:
+//!
+//! * `KDASH_BENCH_SCALE`     — RMAT scale (default 14 ⇒ 16,384 nodes).
+//! * `KDASH_UPDATE_TRIALS`   — trials per batch size (default 9).
+//! * `KDASH_UPDATE_BATCHES`  — comma-separated batch sizes (default
+//!   `1,8,64`).
+//! * `KDASH_UPDATE_THREADS`  — re-solve workers (default 1; 0 = cores).
+//! * `KDASH_UPDATE_OPS`      — edit mix: `mixed` (default; uniform
+//!   insert + edge-sampled delete/reweight), `reweight` (edge-sampled
+//!   reweights only — the degree-biased churn a live edge stream
+//!   delivers), `insert` (uniform-endpoint inserts only — the
+//!   adversarial class whose factor cascade runs through the giant
+//!   component), `tailchurn` (single edits sourced at nodes in the
+//!   last 5 % of the elimination order — hub-side churn), or
+//!   `freshsource` (single-edge inserts from **in-degree-0 sources** —
+//!   the new-entity onboarding class: a node nothing reaches has a
+//!   near-empty closure row, so the Gilbert–Peierls reach of its edits
+//!   is provably tiny and the update runs orders of magnitude faster
+//!   than a rebuild).
+//! * `KDASH_UPDATE_GRAPH`    — `rmat` (default) or a dataset profile
+//!   (`citation`, `dictionary`, `internet`, `social`, `email`) scaled
+//!   to `2^scale` nodes. RMAT's giant strongly-connected component is
+//!   the adversarial regime for exact updates (the transitive closure
+//!   of a random edit covers ~half the inverse); the citation profile's
+//!   shallow reachability is the regime dynamic serving actually
+//!   targets.
+
+use kdash_core::{IndexBuilder, NodeOrdering};
+use kdash_datagen::{rmat, DatasetProfile, RmatParams};
+use kdash_dynamic::{DynamicIndex, UpdateBatch, UpdateReport};
+use kdash_graph::{EdgeEdit, NodeId};
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One random valid batch against the evolving edge set. `ops` selects
+/// the edit class: `mixed` draws uniformly from inserts (fresh uniform
+/// pairs), deletes and reweights (edge-sampled, hence degree-biased like
+/// a live churn stream); `reweight`/`insert` isolate one class.
+fn random_batch(
+    n: NodeId,
+    edges: &mut Vec<(NodeId, NodeId)>,
+    edge_set: &mut HashSet<(NodeId, NodeId)>,
+    size: usize,
+    ops: &str,
+    tail_sources: &[NodeId],
+    rng: &mut StdRng,
+) -> UpdateBatch {
+    let mut edits = Vec::with_capacity(size);
+    while edits.len() < size {
+        if ops == "freshsource" {
+            // New-entity onboarding: an in-degree-0 source gains an
+            // out-edge (tail_sources holds the in-degree-0 pool here).
+            let src = *tail_sources.choose(rng).expect("non-empty source pool");
+            let dst = rng.gen_range(0..n);
+            if edge_set.insert((src, dst)) {
+                edges.push((src, dst));
+                edits.push(EdgeEdit::Insert { src, dst, weight: rng.gen_range(0.1..2.0) });
+            }
+            continue;
+        }
+        if ops == "tailchurn" {
+            // Insert or reweight out-edges of late-elimination-order
+            // sources only.
+            let src = *tail_sources.choose(rng).expect("non-empty source pool");
+            let dst = rng.gen_range(0..n);
+            if edge_set.contains(&(src, dst)) {
+                edits.push(EdgeEdit::Reweight { src, dst, weight: rng.gen_range(0.1..2.0) });
+            } else {
+                edge_set.insert((src, dst));
+                edges.push((src, dst));
+                edits.push(EdgeEdit::Insert { src, dst, weight: rng.gen_range(0.1..2.0) });
+            }
+            continue;
+        }
+        let op = match ops {
+            "reweight" => 2,
+            "insert" => 0,
+            _ => rng.gen_range(0..3u32),
+        };
+        match op {
+            0 => {
+                let (src, dst) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if edge_set.insert((src, dst)) {
+                    edges.push((src, dst));
+                    edits.push(EdgeEdit::Insert { src, dst, weight: rng.gen_range(0.1..2.0) });
+                }
+            }
+            1 if !edges.is_empty() => {
+                let at = rng.gen_range(0..edges.len());
+                let (src, dst) = edges.swap_remove(at);
+                edge_set.remove(&(src, dst));
+                edits.push(EdgeEdit::Delete { src, dst });
+            }
+            _ if !edges.is_empty() => {
+                let &(src, dst) = edges.choose(rng).expect("non-empty edge list");
+                edits.push(EdgeEdit::Reweight { src, dst, weight: rng.gen_range(0.1..2.0) });
+            }
+            _ => {}
+        }
+    }
+    UpdateBatch::new(edits).expect("generator emits valid weights")
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs[xs.len() / 2]
+}
+
+fn report_line(label: &str, r: &UpdateReport, secs: f64) {
+    println!(
+        "bench dynamic_update/{label}: {:.4}s total (graph {:.4}s, factorize {:.4}s, diff \
+         {:.4}s, reach {:.4}s, re-solve {:.4}s, splice {:.4}s, estimator {:.4}s) | dirty W {} \
+         L/U {}/{} | reach L⁻¹ {} ({:.3}%) U⁻¹ {} ({:.3}%) | rows re-encoded {} | nnz re-solved {}",
+        secs,
+        r.graph_time.as_secs_f64(),
+        r.factorization_time.as_secs_f64(),
+        r.diff_time.as_secs_f64(),
+        r.reach_time.as_secs_f64(),
+        r.resolve_time.as_secs_f64(),
+        r.splice_time.as_secs_f64(),
+        r.estimator_time.as_secs_f64(),
+        r.dirty_w_columns,
+        r.dirty_l_columns,
+        r.dirty_u_columns,
+        r.dirty_linv_columns,
+        100.0 * r.linv_dirty_fraction(),
+        r.dirty_uinv_columns,
+        100.0 * r.uinv_dirty_fraction(),
+        r.dirty_uinv_rows,
+        r.resolved_nnz,
+    );
+}
+
+fn main() {
+    let scale = env_usize("KDASH_BENCH_SCALE", 14) as u32;
+    let trials = env_usize("KDASH_UPDATE_TRIALS", 9);
+    let threads = env_usize("KDASH_UPDATE_THREADS", 1);
+    let batch_sizes: Vec<usize> = std::env::var("KDASH_UPDATE_BATCHES")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 8, 64]);
+    let ops = std::env::var("KDASH_UPDATE_OPS").unwrap_or_else(|_| "mixed".into());
+
+    let family = std::env::var("KDASH_UPDATE_GRAPH").unwrap_or_else(|_| "rmat".into());
+    let n = 1usize << scale;
+    let graph = match family.as_str() {
+        "rmat" => rmat(scale, n * 4, RmatParams::default(), 42),
+        profile_name => {
+            let profile = match profile_name {
+                "dictionary" => DatasetProfile::Dictionary,
+                "internet" => DatasetProfile::Internet,
+                "citation" => DatasetProfile::Citation,
+                "social" => DatasetProfile::Social,
+                "email" => DatasetProfile::Email,
+                other => panic!("unknown KDASH_UPDATE_GRAPH '{other}'"),
+            };
+            profile.generate(profile.scale_for_nodes(n), 42)
+        }
+    };
+    println!(
+        "dynamic_update setup: {family} scale {scale}: {} nodes, {} edges; re-solve threads {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        threads,
+    );
+
+    // Full-rebuild baseline: what serving a fresh graph costs today.
+    let t = Instant::now();
+    let (index, report) = IndexBuilder::new()
+        .ordering(NodeOrdering::Hybrid)
+        .build_with_report(&graph)
+        .expect("index build");
+    let rebuild_secs = t.elapsed().as_secs_f64();
+    println!(
+        "bench dynamic_update/full_rebuild: {:.2}s total ({}); nnz L⁻¹ {}, U⁻¹ {}",
+        rebuild_secs,
+        report
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.2}s", s.stage.name(), s.duration.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        index.stats().nnz_l_inv,
+        index.stats().nnz_u_inv,
+    );
+
+    let t = Instant::now();
+    let mut dynamic = DynamicIndex::new(index).expect("attach engine").threads(threads);
+    println!("bench dynamic_update/attach: {:.3}s (one-off refactorisation)", t.elapsed().as_secs_f64());
+
+    let mut edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+    let mut edge_set: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // The source pool for the class-restricted series: `tailchurn` draws
+    // from the last 5 % of the elimination order; `freshsource` from the
+    // in-degree-0 nodes (new entities nothing reaches yet).
+    let tail_sources: Vec<NodeId> = match ops.as_str() {
+        "freshsource" => {
+            let in_deg = graph.transpose();
+            (0..n as NodeId).filter(|&v| in_deg.out_degree(v) == 0).collect()
+        }
+        _ => {
+            let perm = dynamic.index().permutation();
+            let tail_start = n - (n / 20).max(1);
+            (0..n as NodeId).filter(|&v| (perm.new_of(v) as usize) >= tail_start).collect()
+        }
+    };
+    assert!(!tail_sources.is_empty(), "no sources available for ops class '{ops}'");
+
+    for &size in &batch_sizes {
+        let mut totals: Vec<f64> = Vec::with_capacity(trials);
+        let mut linv_fracs: Vec<f64> = Vec::with_capacity(trials);
+        let mut uinv_fracs: Vec<f64> = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let batch = random_batch(
+                n as NodeId,
+                &mut edges,
+                &mut edge_set,
+                size,
+                &ops,
+                &tail_sources,
+                &mut rng,
+            );
+            let t = Instant::now();
+            let r = dynamic.apply(&batch).expect("apply batch");
+            let secs = t.elapsed().as_secs_f64();
+            report_line(&format!("{ops}{size}/trial{trial}"), &r, secs);
+            totals.push(secs);
+            linv_fracs.push(r.linv_dirty_fraction());
+            uinv_fracs.push(r.uinv_dirty_fraction());
+        }
+        let best = totals.iter().copied().fold(f64::NAN, f64::min);
+        let worst = totals.iter().copied().fold(f64::NAN, f64::max);
+        let med = median(&mut totals);
+        println!(
+            "bench dynamic_update/{ops}{size}: median {:.4}s, best {:.4}s, worst {:.4}s over \
+             {trials} trials | median dirty fraction L⁻¹ {:.3}% U⁻¹ {:.3}% | speedup vs \
+             rebuild: median {:.1}x, best {:.1}x, worst {:.1}x",
+            med,
+            best,
+            worst,
+            100.0 * median(&mut linv_fracs),
+            100.0 * median(&mut uinv_fracs),
+            rebuild_secs / med,
+            rebuild_secs / best,
+            rebuild_secs / worst,
+        );
+    }
+    println!(
+        "dynamic_update done: index now at update epoch {} with {} edges",
+        dynamic.index().update_epoch(),
+        dynamic.index().stats().num_edges,
+    );
+}

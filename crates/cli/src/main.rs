@@ -1,11 +1,12 @@
 //! `kdash` — command-line top-k RWR search.
 //!
 //! ```text
-//! kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]
-//! kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...]
-//!             [--kernel auto] [--pruning on]
-//! kdash info  <index.kdash>
-//! kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]
+//! kdash build  <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]
+//! kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...]
+//!              [--kernel auto] [--pruning on]
+//! kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]
+//! kdash info   <index.kdash>
+//! kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]
 //! ```
 //!
 //! `build` runs the staged `IndexBuilder` pipeline and prints one timing
@@ -22,6 +23,15 @@
 //! termination, so pruned-vs-unpruned ablations (the paper's Figure 7)
 //! run straight from the command line.
 //!
+//! `update` applies an edit stream to a built index **incrementally**:
+//! only the `L⁻¹`/`U⁻¹` columns inside the Gilbert–Peierls reach of the
+//! edited nodes are re-solved (the patched index is bit-identical to a
+//! from-scratch rebuild under the same node order). The edit format is
+//! one edit per line — `+ src dst w` (insert), `- src dst` (delete),
+//! `= src dst w` (reweight), `#` comments — with blank lines separating
+//! atomically applied batches; per-batch dirty-column/reach/re-solve
+//! stats are printed and `kdash info` reports the resulting update epoch.
+//!
 //! Edge lists are plain text (`src dst [weight]`, `#`/`%` comments) — the
 //! format of the SNAP / Pajek exports the paper's datasets use. Indexes
 //! are the versioned binary format of `kdash_core::persist`.
@@ -31,6 +41,7 @@ use kdash_core::{
     Searcher,
 };
 use kdash_datagen::DatasetProfile;
+use kdash_dynamic::{DynamicIndex, UpdateBatch};
 use kdash_graph::io::read_edge_list;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -42,6 +53,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("update") => cmd_update(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -64,18 +76,21 @@ fn print_usage() {
         "kdash — exact top-k Random Walk with Restart search (VLDB 2012 reproduction)\n\
          \n\
          USAGE:\n\
-         \x20 kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]\n\
-         \x20 kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
-         \x20             [--kernel auto] [--pruning on]\n\
-         \x20 kdash info  <index.kdash>\n\
-         \x20 kdash gen   <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
+         \x20 kdash build  <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]\n\
+         \x20 kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
+         \x20              [--kernel auto] [--pruning on]\n\
+         \x20 kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]\n\
+         \x20 kdash info   <index.kdash>\n\
+         \x20 kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
          \n\
          ORDERINGS: natural random degree community (= cluster) hybrid rcm mindegree\n\
          PROFILES:  dictionary internet citation social email\n\
          THREADS:   inversion-stage workers; 0 = all cores, results identical at any count\n\
          KERNELS:   scalar unrolled simd auto — proximity gather kernel; 'simd' errors on\n\
          \x20          hosts without AVX2, only 'auto' falls back\n\
-         PRUNING:   on (Lemma 2 early termination) | off (visit every reachable node)"
+         PRUNING:   on (Lemma 2 early termination) | off (visit every reachable node)\n\
+         EDITS:     one edit per line: '+ src dst w' insert, '- src dst' delete,\n\
+         \x20          '= src dst w' reweight; blank lines separate atomic batches"
     );
 }
 
@@ -280,6 +295,94 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    reject_unknown_flags(&flags, &["index", "edits", "out", "threads"])?;
+    if !pos.is_empty() {
+        return Err(format!("unexpected positional argument '{}'", pos[0]));
+    }
+    let usage = "usage: kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] \
+                 [--threads 1]";
+    let index_path = flag(&flags, "index").ok_or(usage)?;
+    let edits_path = flag(&flags, "edits").ok_or(usage)?;
+    let out_path = flag(&flags, "out").unwrap_or(index_path);
+    let threads: usize =
+        flag(&flags, "threads").unwrap_or("1").parse().map_err(|_| "invalid --threads")?;
+
+    let index = load_index(index_path)?;
+    println!(
+        "loaded index: {} nodes, {} edges, update epoch {}",
+        index.num_nodes(),
+        index.stats().num_edges,
+        index.update_epoch()
+    );
+    let text = std::fs::read_to_string(edits_path).map_err(|e| format!("read {edits_path}: {e}"))?;
+    let batches = UpdateBatch::parse_stream(&text).map_err(|e| e.to_string())?;
+    if batches.is_empty() {
+        return Err(format!("{edits_path} contains no edits"));
+    }
+
+    let t_attach = Instant::now();
+    let mut dynamic = DynamicIndex::new(index).map_err(|e| e.to_string())?.threads(threads);
+    println!("attached update engine (factorization) in {:.2?}", t_attach.elapsed());
+
+    for (i, batch) in batches.iter().enumerate() {
+        let report = dynamic.apply(batch).map_err(|e| format!("batch {}: {e}", i + 1))?;
+        let n = report.num_columns.max(1);
+        println!(
+            "batch {:<3} {} edits -> dirty W cols {}, dirty L/U cols {}/{}, reach L⁻¹/U⁻¹ \
+             cols {}/{} ({:.2}%/{:.2}%), re-encoded U⁻¹ rows {}, re-solved nnz {}",
+            i + 1,
+            report.edits,
+            report.dirty_w_columns,
+            report.dirty_l_columns,
+            report.dirty_u_columns,
+            report.dirty_linv_columns,
+            report.dirty_uinv_columns,
+            100.0 * report.dirty_linv_columns as f64 / n as f64,
+            100.0 * report.dirty_uinv_columns as f64 / n as f64,
+            report.dirty_uinv_rows,
+            report.resolved_nnz,
+        );
+        println!(
+            "          {:.2?} total: graph {:.2?} | factorize {:.2?} | diff {:.2?} | reach \
+             {:.2?} | re-solve {:.2?} | splice {:.2?} | estimator {:.2?}",
+            report.total_time(),
+            report.graph_time,
+            report.factorization_time,
+            report.diff_time,
+            report.reach_time,
+            report.resolve_time,
+            report.splice_time,
+            report.estimator_time,
+        );
+    }
+
+    let index = dynamic.into_index();
+    // Write-then-rename: --out defaults to the input path, and truncating
+    // the only copy of a multi-minute build before the new bytes are safely
+    // down would lose the index on a failed save.
+    let tmp_path = format!("{out_path}.tmp");
+    let out = File::create(&tmp_path).map_err(|e| format!("create {tmp_path}: {e}"))?;
+    let mut w = BufWriter::new(out);
+    index.save(&mut w).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    // Durability before the rename commits: without the fsync a power
+    // loss could still land the rename with unwritten pages behind it.
+    w.into_inner()
+        .map_err(|e| e.to_string())?
+        .sync_all()
+        .map_err(|e| format!("sync {tmp_path}: {e}"))?;
+    std::fs::rename(&tmp_path, out_path)
+        .map_err(|e| format!("rename {tmp_path} -> {out_path}: {e}"))?;
+    println!(
+        "wrote {out_path} ({} edges, update epoch {})",
+        index.stats().num_edges,
+        index.update_epoch()
+    );
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     reject_unknown_flags(&flags, &[])?;
@@ -292,6 +395,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("edges              {}", s.num_edges);
     println!("restart prob. c    {}", index.restart_probability());
     println!("ordering           {}", index.ordering().name());
+    println!("update epoch       {}", index.update_epoch());
     println!("nnz(L⁻¹)           {}", s.nnz_l_inv);
     println!("nnz(U⁻¹)           {}", s.nnz_u_inv);
     println!("inverse nnz / m    {:.2}", s.inverse_nnz_ratio());

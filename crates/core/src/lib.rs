@@ -97,6 +97,18 @@
 //! query to the next idle worker, one `Searcher` per worker thread
 //! (`threads = 0` means "use all available cores").
 //!
+//! ## Serving changing graphs
+//!
+//! The index does not have to be rebuilt when the graph changes: the
+//! `kdash-dynamic` crate wraps a [`KdashIndex`] in a `DynamicIndex` that
+//! applies validated edge-edit batches **incrementally** — a
+//! Gilbert–Peierls reach analysis bounds exactly which `L⁻¹`/`U⁻¹`
+//! columns an edit can touch, only those re-run their triangular
+//! solves, and the patched index is bit-for-bit what a from-scratch
+//! rebuild under the same node order would produce.
+//! [`KdashIndex::update_epoch`] counts applied batches (persisted from
+//! index-format v3).
+//!
 //! Four hot-path levers live on the index and its `Searcher`:
 //!
 //! * **Lazy frontier** — BFS layers are discovered on demand inside the
@@ -145,6 +157,8 @@ pub use estimator::{ArbitraryOrderBound, LayerEstimator};
 pub use ordering::{compute_ordering, compute_ordering_with_stats, NodeOrdering, OrderingStats};
 pub use pipeline::{BuildReport, BuildStage, IndexBuilder, StageTiming};
 pub use precompute::{IndexOptions, KdashIndex};
+#[doc(hidden)]
+pub use precompute::IndexPatch;
 pub use search::{RankedNode, TopKResult};
 pub use searcher::Searcher;
 pub use stats::{IndexStats, SearchStats};

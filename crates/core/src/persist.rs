@@ -9,7 +9,13 @@
 //!
 //! # Format versions
 //!
-//! * **v2** (current): after the shared header and `L⁻¹`, a one-byte row
+//! * **v3** (current): v2 plus a dynamic-update trailer — the
+//!   dangling-node policy tag (incremental updates must renormalise
+//!   edited transition columns exactly as the build did) and the
+//!   **update-epoch counter** (how many `kdash-dynamic` batches have
+//!   been applied since the from-scratch build; `kdash info` prints it).
+//!   v1/v2 files still load with epoch 0 and the default `Keep` policy.
+//! * **v2**: after the shared header and `L⁻¹`, a one-byte row
 //!   **layout tag** selects how `U⁻¹` is encoded — flat CSC transpose
 //!   arrays (as v1) or the blocked arrays of
 //!   [`kdash_sparse::BlockedCsr`] (run anchors + `u16` deltas, the
@@ -29,15 +35,18 @@ use kdash_sparse::{BlockedCsr, CscMatrix, CsrMatrix, ProximityStore, RowLayout, 
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"KDASHIDX";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 const LAYOUT_FLAT: u8 = 0;
 const LAYOUT_BLOCKED: u8 = 1;
+const DANGLING_KEEP: u8 = 0;
+const DANGLING_SELF_LOOP: u8 = 1;
 
 impl KdashIndex {
-    /// Serialises the index in the current (v2) format, preserving the
-    /// row layout. The raw LU factors (if kept) are not persisted —
-    /// reload yields an index without the `proximities_via_factors`
-    /// ablation path.
+    /// Serialises the index in the current (v3) format, preserving the
+    /// row layout and the update epoch. The raw LU factors (if kept) are
+    /// not persisted — reload yields an index without the
+    /// `proximities_via_factors` ablation path (the dynamic engine
+    /// refactorises once on attach instead).
     pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
         self.write_header(&mut w, VERSION)?;
         // U⁻¹ under its layout tag.
@@ -67,7 +76,14 @@ impl KdashIndex {
             write_u32(&mut w, stat.first)?;
             write_u32(&mut w, stat.last)?;
         }
-        self.write_estimator(&mut w)
+        self.write_estimator(&mut w)?;
+        // The v3 dynamic-update trailer.
+        let dangling_tag = match self.dangling_policy() {
+            kdash_sparse::DanglingPolicy::Keep => DANGLING_KEEP,
+            kdash_sparse::DanglingPolicy::SelfLoop => DANGLING_SELF_LOOP,
+        };
+        w.write_all(&[dangling_tag])?;
+        write_u64(&mut w, self.update_epoch())
     }
 
     /// Serialises in the legacy v1 (flat-only) format. Kept solely so the
@@ -127,7 +143,7 @@ impl KdashIndex {
             return Err(invalid("bad magic — not a K-dash index file"));
         }
         let version = read_u32(&mut r)?;
-        if version != 1 && version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(invalid(&format!("unsupported index version {version}")));
         }
         let c = read_f64(&mut r)?;
@@ -223,8 +239,35 @@ impl KdashIndex {
         let a_max = read_f64(&mut r)?;
         let c_prime = read_f64_vec(&mut r, n)?;
 
-        KdashIndex::assemble(c, ordering, perm, graph, linv, uinv, a_col_max, a_max, c_prime)
-            .map_err(|e| invalid(&format!("inconsistent index components: {e}")))
+        // The v3 dynamic-update trailer; earlier versions get the
+        // defaults a from-scratch build would have.
+        let (dangling, update_epoch) = if version >= 3 {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            let policy = match tag[0] {
+                DANGLING_KEEP => kdash_sparse::DanglingPolicy::Keep,
+                DANGLING_SELF_LOOP => kdash_sparse::DanglingPolicy::SelfLoop,
+                other => return Err(invalid(&format!("unknown dangling-policy tag {other}"))),
+            };
+            (policy, read_u64(&mut r)?)
+        } else {
+            (kdash_sparse::DanglingPolicy::Keep, 0)
+        };
+
+        KdashIndex::assemble(
+            c,
+            ordering,
+            dangling,
+            update_epoch,
+            perm,
+            graph,
+            linv,
+            uinv,
+            a_col_max,
+            a_max,
+            c_prime,
+        )
+        .map_err(|e| invalid(&format!("inconsistent index components: {e}")))
     }
 }
 
@@ -473,6 +516,39 @@ mod tests {
         assert_eq!(loaded.stats().num_edges, index.stats().num_edges);
         assert_eq!(loaded.stats().uinv_index_bytes, index.stats().uinv_index_bytes);
         assert!(loaded.stats().total_time().is_zero());
+    }
+
+    #[test]
+    fn v3_trailer_roundtrips_epoch_and_dangling() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0); // nodes 2..5 dangle
+        let g = b.build().unwrap();
+        let index = KdashIndex::build(
+            &g,
+            IndexOptions {
+                dangling: kdash_sparse::DanglingPolicy::SelfLoop,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(index.update_epoch(), 0);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = KdashIndex::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.update_epoch(), 0);
+        assert_eq!(loaded.dangling_policy(), kdash_sparse::DanglingPolicy::SelfLoop);
+        // A v1 file carries no trailer: defaults on load.
+        let mut v1 = Vec::new();
+        index.save_v1(&mut v1).unwrap();
+        let loaded_v1 = KdashIndex::load(v1.as_slice()).unwrap();
+        assert_eq!(loaded_v1.update_epoch(), 0);
+        assert_eq!(loaded_v1.dangling_policy(), kdash_sparse::DanglingPolicy::Keep);
+        // An unknown dangling tag in the trailer is rejected.
+        let tag_off = buf.len() - 9;
+        let mut bad = buf.clone();
+        bad[tag_off] = 7;
+        assert!(KdashIndex::load(bad.as_slice()).is_err());
     }
 
     #[test]

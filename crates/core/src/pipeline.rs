@@ -22,8 +22,8 @@
 
 use crate::ordering::{compute_ordering_with_stats, OrderingStats};
 use crate::precompute::IndexParts;
-use crate::{IndexOptions, IndexStats, KdashIndex, NodeOrdering, Result};
-use kdash_graph::{CsrGraph, NodeId};
+use crate::{IndexOptions, IndexStats, KdashError, KdashIndex, NodeOrdering, Result};
+use kdash_graph::{CsrGraph, NodeId, Permutation};
 use kdash_sparse::{
     invert_lower_unit_with, invert_upper_with, sparse_lu, transition_matrix, w_matrix, CsrMatrix,
     DanglingPolicy, InvertOptions, ProximityStore, RowLayout,
@@ -126,6 +126,9 @@ impl BuildReport {
 pub struct IndexBuilder {
     options: IndexOptions,
     threads: usize,
+    /// When set, the ordering stage is skipped and this permutation pins
+    /// the node order (see [`IndexBuilder::permutation`]).
+    pinned_permutation: Option<Permutation>,
 }
 
 impl Default for IndexBuilder {
@@ -143,7 +146,7 @@ impl IndexBuilder {
 
     /// Builder seeded from existing [`IndexOptions`].
     pub fn from_options(options: IndexOptions) -> Self {
-        IndexBuilder { options, threads: 1 }
+        IndexBuilder { options, threads: 1, pinned_permutation: None }
     }
 
     /// Node reordering applied before LU.
@@ -169,6 +172,21 @@ impl IndexBuilder {
     /// gather path's memory traffic changes.
     pub fn layout(mut self, layout: RowLayout) -> Self {
         self.options.layout = layout;
+        self
+    }
+
+    /// Pins the node order to an explicit permutation: the ordering stage
+    /// skips the heuristic and uses `perm` verbatim (the configured
+    /// [`NodeOrdering`] survives only as a label). This is how the
+    /// dynamic-update equivalence suite rebuilds an edited graph *under
+    /// the index's frozen order* — an incremental update never re-runs
+    /// the ordering heuristic (edits would otherwise shift the
+    /// permutation and with it every stored array), so the from-scratch
+    /// reference it must match bit-for-bit has to hold the order fixed
+    /// too. The permutation length is validated against the graph at
+    /// build time.
+    pub fn permutation(mut self, perm: Permutation) -> Self {
+        self.pinned_permutation = Some(perm);
         self
     }
 
@@ -203,7 +221,21 @@ impl IndexBuilder {
 
         // Stage 1 — ordering: permutation + permuted graph for the BFS.
         let t = Instant::now();
-        let (perm, ordering_stats) = compute_ordering_with_stats(graph, options.ordering);
+        let (perm, ordering_stats) = match &self.pinned_permutation {
+            Some(pinned) => {
+                if pinned.len() != graph.num_nodes() {
+                    return Err(KdashError::Graph(kdash_graph::GraphError::InvalidPermutation(
+                        format!(
+                            "pinned permutation has length {} but graph has {} nodes",
+                            pinned.len(),
+                            graph.num_nodes()
+                        ),
+                    )));
+                }
+                (pinned.clone(), OrderingStats::default())
+            }
+            None => compute_ordering_with_stats(graph, options.ordering),
+        };
         let permuted = graph.permute(&perm)?;
         let ordering_time = t.elapsed();
         report.ordering = ordering_stats;
@@ -267,6 +299,8 @@ impl IndexBuilder {
         let mut index = KdashIndex::from_parts(IndexParts {
             c,
             ordering: options.ordering,
+            dangling: options.dangling,
+            update_epoch: 0,
             perm,
             graph: permuted,
             linv,
@@ -359,6 +393,45 @@ mod tests {
         let g = ring(12);
         let index = b.build(&g).unwrap();
         assert!(index.proximities_via_factors(3).unwrap().is_some());
+    }
+
+    #[test]
+    fn pinned_permutation_reproduces_the_heuristic_build() {
+        let g = ring(36);
+        let (reference, report) =
+            IndexBuilder::new().ordering(NodeOrdering::Hybrid).build_with_report(&g).unwrap();
+        assert!(report.ordering.communities.is_some());
+        // Pinning the exact permutation the heuristic chose must
+        // reproduce the index bit-for-bit (the equivalence-suite rebuild
+        // path), while skipping the heuristic itself.
+        let (pinned, pinned_report) = IndexBuilder::new()
+            .ordering(NodeOrdering::Hybrid)
+            .permutation(reference.permutation().clone())
+            .build_with_report(&g)
+            .unwrap();
+        assert_eq!(pinned_report.ordering, OrderingStats::default());
+        let (ap, ai, av) = reference.linv_cols().raw();
+        let (bp, bi, bv) = pinned.linv_cols().raw();
+        assert_eq!((ap, ai), (bp, bi));
+        assert!(av.iter().zip(bv).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(reference.uinv_rows(), pinned.uinv_rows());
+        for q in [0u32, 17, 35] {
+            let (a, b) = (reference.top_k(q, 5).unwrap(), pinned.top_k(q, 5).unwrap());
+            assert_eq!(a.items, b.items);
+        }
+        // Wrong-length pins are typed errors.
+        let err = IndexBuilder::new()
+            .permutation(kdash_graph::Permutation::identity(7))
+            .build(&g);
+        assert!(matches!(err, Err(KdashError::Graph(_))));
+    }
+
+    #[test]
+    fn fresh_builds_start_at_epoch_zero() {
+        let g = ring(12);
+        let index = IndexBuilder::new().build(&g).unwrap();
+        assert_eq!(index.update_epoch(), 0);
+        assert_eq!(index.dangling_policy(), DanglingPolicy::Keep);
     }
 
     #[test]

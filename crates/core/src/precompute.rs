@@ -51,6 +51,14 @@ impl Default for IndexOptions {
 pub struct KdashIndex {
     c: f64,
     ordering: NodeOrdering,
+    /// Dangling-node treatment the transition matrix was built with —
+    /// recorded so incremental updates renormalise edited columns the
+    /// same way a rebuild would.
+    dangling: DanglingPolicy,
+    /// How many update batches have been applied since the from-scratch
+    /// build (0 for a fresh index). Bumped by
+    /// [`install_patch`](Self::install_patch), persisted from format v3.
+    update_epoch: u64,
     perm: Permutation,
     /// The permuted graph (drives the BFS tree construction per query).
     graph: CsrGraph,
@@ -79,12 +87,41 @@ pub struct KdashIndex {
     stats: IndexStats,
 }
 
+/// A full replacement set for the mutable components of a [`KdashIndex`]
+/// — what one incremental update batch produces. Consumed by
+/// [`KdashIndex::install_patch`]; construct one only from spliced
+/// components that a from-scratch rebuild would reproduce.
+#[doc(hidden)]
+pub struct IndexPatch {
+    /// The edited permuted graph.
+    pub graph: CsrGraph,
+    /// `L⁻¹` with the dirty columns re-solved and spliced.
+    pub linv: CscMatrix,
+    /// `U⁻¹` with the dirty rows re-encoded and spliced.
+    pub uinv: ProximityStore,
+    /// `A_max(v)` with the dirty entries recomputed.
+    pub a_col_max: Vec<f64>,
+    /// Global `A_max` over the patched transition matrix.
+    pub a_max: f64,
+    /// `c'` with the dirty entries recomputed.
+    pub c_prime: Vec<f64>,
+    /// Fresh factors to keep on the index (`None` drops any kept ones —
+    /// stale factors must never survive a graph change).
+    pub factors: Option<LuFactors>,
+    /// Stored entries of the fresh factor `L` (stats refresh).
+    pub nnz_l: usize,
+    /// Stored entries of the fresh factor `U` (stats refresh).
+    pub nnz_u: usize,
+}
+
 /// Everything the build pipeline (or deserialisation) hands over to become
 /// a [`KdashIndex`]. Components are assumed structurally consistent; the
 /// persistence path validates before constructing one.
 pub(crate) struct IndexParts {
     pub c: f64,
     pub ordering: NodeOrdering,
+    pub dangling: DanglingPolicy,
+    pub update_epoch: u64,
     pub perm: Permutation,
     pub graph: CsrGraph,
     pub linv: CscMatrix,
@@ -111,6 +148,8 @@ impl KdashIndex {
         KdashIndex {
             c: parts.c,
             ordering: parts.ordering,
+            dangling: parts.dangling,
+            update_epoch: parts.update_epoch,
             perm: parts.perm,
             graph: parts.graph,
             linv: parts.linv,
@@ -137,6 +176,20 @@ impl KdashIndex {
     /// The reordering strategy the index was built with.
     pub fn ordering(&self) -> NodeOrdering {
         self.ordering
+    }
+
+    /// The dangling-node policy the transition matrix was built with.
+    pub fn dangling_policy(&self) -> DanglingPolicy {
+        self.dangling
+    }
+
+    /// How many update batches have been applied since the from-scratch
+    /// build: `0` for a fresh index, incremented once per
+    /// [`install_patch`](Self::install_patch) (i.e. per `kdash-dynamic`
+    /// batch). Persisted from index-format v3, so freshness survives a
+    /// save/load round trip.
+    pub fn update_epoch(&self) -> u64 {
+        self.update_epoch
     }
 
     /// The row layout of the stored `U⁻¹`.
@@ -280,6 +333,8 @@ impl KdashIndex {
     pub(crate) fn assemble(
         c: f64,
         ordering: NodeOrdering,
+        dangling: DanglingPolicy,
+        update_epoch: u64,
         perm: Permutation,
         graph: CsrGraph,
         linv: CscMatrix,
@@ -314,6 +369,8 @@ impl KdashIndex {
         Ok(KdashIndex::from_parts(IndexParts {
             c,
             ordering,
+            dangling,
+            update_epoch,
             perm,
             graph,
             linv,
@@ -333,6 +390,63 @@ impl KdashIndex {
         } else {
             Err(KdashError::NodeOutOfBounds { node: v, num_nodes: self.num_nodes() })
         }
+    }
+
+    /// Installs an incrementally patched component set — the commit stage
+    /// of the `kdash-dynamic` update engine. Validates structural
+    /// consistency, refreshes the derived statistics and the cached
+    /// `c'_max`, replaces the kept LU factors (stale ones must never
+    /// survive a graph change) and bumps the update epoch. On any
+    /// validation error the index is left untouched.
+    ///
+    /// Hidden: the only supported caller is `kdash_dynamic::DynamicIndex`,
+    /// which is what upholds the "patched ≡ rebuilt" guarantee; splicing
+    /// arbitrary components through this API forfeits it.
+    #[doc(hidden)]
+    pub fn install_patch(&mut self, patch: IndexPatch) -> Result<()> {
+        let n = self.num_nodes();
+        if patch.graph.num_nodes() != n
+            || patch.linv.nrows() != n
+            || patch.linv.ncols() != n
+            || patch.uinv.nrows() != n
+            || patch.uinv.ncols() != n
+            || patch.a_col_max.len() != n
+            || patch.c_prime.len() != n
+        {
+            return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
+                "patch component dimensions disagree with the index".into(),
+            )));
+        }
+        if !(patch.a_max.is_finite() && patch.a_max >= 0.0) {
+            return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
+                format!("patch A_max {} is not a finite non-negative value", patch.a_max),
+            )));
+        }
+        self.graph = patch.graph;
+        self.linv = patch.linv;
+        self.uinv = patch.uinv;
+        self.a_col_max = patch.a_col_max;
+        self.a_max = patch.a_max;
+        self.c_prime = patch.c_prime;
+        self.c_prime_max = self.c_prime.iter().copied().fold(0.0f64, f64::max);
+        self.factors = patch.factors;
+        self.update_epoch += 1;
+        self.stats.num_edges = self.graph.num_edges();
+        self.stats.nnz_l = patch.nnz_l;
+        self.stats.nnz_u = patch.nnz_u;
+        self.stats.nnz_l_inv = self.linv.nnz();
+        self.stats.nnz_u_inv = self.uinv.nnz();
+        self.stats.uinv_index_bytes = self.uinv.index_bytes();
+        self.stats.inverse_heap_bytes = self.linv.heap_bytes() + self.uinv.heap_bytes();
+        Ok(())
+    }
+
+    /// The kept LU factors, if the index was built with
+    /// [`IndexOptions::keep_factors`]. Hidden: the dynamic engine uses
+    /// this to seed its factor state without refactorising.
+    #[doc(hidden)]
+    pub fn factors(&self) -> Option<&LuFactors> {
+        self.factors.as_ref()
     }
 
     /// Benchmark/diagnostic access to the stored `U⁻¹` (row-major). Hidden:
@@ -359,11 +473,22 @@ impl KdashIndex {
         self.linv.col(self.perm.new_of(q))
     }
 
-    // Internal accessors for the search module.
-    pub(crate) fn permutation(&self) -> &Permutation {
+    /// The estimator's precomputed constants `(A_max(v), A_max, c')`, in
+    /// permuted node order. Hidden: the dynamic engine reads them to
+    /// recompute only the dirty entries.
+    #[doc(hidden)]
+    pub fn estimator_constants(&self) -> (&[f64], f64, &[f64]) {
+        (&self.a_col_max, self.a_max, &self.c_prime)
+    }
+
+    // Internal accessors for the search module (`pub` + hidden: the
+    // dynamic engine maps edits into permuted space through them).
+    #[doc(hidden)]
+    pub fn permutation(&self) -> &Permutation {
         &self.perm
     }
-    pub(crate) fn permuted_graph(&self) -> &CsrGraph {
+    #[doc(hidden)]
+    pub fn permuted_graph(&self) -> &CsrGraph {
         &self.graph
     }
     pub(crate) fn linv(&self) -> &CscMatrix {

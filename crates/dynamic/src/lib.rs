@@ -1,0 +1,93 @@
+//! # kdash-dynamic
+//!
+//! Dynamic-graph update engine for the K-dash index: apply edge
+//! insertions, deletions and reweights to a built [`KdashIndex`] and
+//! patch the stored inverses **incrementally** — with the guarantee that
+//! the patched index is *bit-for-bit identical* to rebuilding from
+//! scratch on the edited graph under the same node order.
+//!
+//! ## Why this is possible exactly
+//!
+//! K-dash precomputes `L⁻¹` and `U⁻¹` of `W = I − (1−c)A`. An edge edit
+//! on node `u` renormalises one column of the transition matrix `A`, so
+//! one column of `W` changes. The damage to the factors and their
+//! inverses is bounded *structurally*:
+//!
+//! 1. **Factor diff** — the engine refactorises `W = LU` (the cheap
+//!    stage: a few percent of build time; the triangular inversion is
+//!    what costs minutes) and bit-compares columns against the previous
+//!    factors, giving the exact dirty column sets of `L` and `U`.
+//! 2. **Reach analysis** — column `q` of `T⁻¹` solves `T x = e_q` and
+//!    reads exactly the columns in the Gilbert–Peierls reach of `q`. So
+//!    the dirty columns of `L⁻¹`/`U⁻¹` are precisely the columns whose
+//!    reach intersects the dirty factor columns
+//!    ([`kdash_sparse::inverse_dirty_columns`]); every column outside
+//!    that set is **provably untouched**, not just assumed so.
+//! 3. **Re-solve + splice** — only the dirty inverse columns re-run
+//!    their per-column triangular solves (the same work-stealing pool as
+//!    the build pipeline), then splice into the stored arrays: `L⁻¹` by
+//!    column, the `U⁻¹` [`kdash_sparse::ProximityStore`] by row with
+//!    per-row blocked re-encoding and policy-table ([`RowStat`]) refresh
+//!    — so the adaptive kernel policy and the byte accounting stay
+//!    coherent with a from-scratch build.
+//! 4. **Estimator refresh** — `A_max(v)` and `c'` are recomputed for the
+//!    edited columns only; the global `A_max` folds over the per-column
+//!    maxima.
+//!
+//! Because every stage either reuses the build pipeline's own kernels on
+//! identical inputs or provably leaves bits alone, *incremental update ≡
+//! from-scratch rebuild* holds at the array level — index arrays, row
+//! stats, top-k items and search statistics — which
+//! `tests/dynamic_equivalence.rs` pins across graph families, orderings
+//! and random edit batches.
+//!
+//! [`RowStat`]: kdash_sparse::RowStat
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kdash_core::{IndexOptions, KdashIndex};
+//! use kdash_dynamic::{DynamicIndex, UpdateBatch};
+//! use kdash_graph::{EdgeEdit, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new(32);
+//! for v in 0..32u32 { b.add_edge(v, (v + 1) % 32, 1.0); }
+//! let graph = b.build().unwrap();
+//! let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
+//!
+//! // Attach the engine (refactorises once), then serve fresh graphs.
+//! let mut dynamic = DynamicIndex::new(index).unwrap();
+//! let batch = UpdateBatch::new(vec![
+//!     EdgeEdit::Insert { src: 0, dst: 16, weight: 2.0 },
+//!     EdgeEdit::Reweight { src: 3, dst: 4, weight: 0.5 },
+//! ]).unwrap();
+//! let report = dynamic.apply(&batch).unwrap();
+//! assert!(report.dirty_linv_columns <= dynamic.index().num_nodes());
+//! assert_eq!(dynamic.index().update_epoch(), 1);
+//!
+//! // Queries see the edited graph immediately — and exactly.
+//! let fresh = dynamic.index().top_k(0, 5).unwrap();
+//! assert_eq!(fresh.items[0].node, 0);
+//! ```
+//!
+//! Batches come from code ([`UpdateBatch::new`]) or from edit-stream
+//! text ([`UpdateBatch::parse_stream`], the `kdash update` CLI format):
+//!
+//! ```text
+//! # one edit per line; blank lines separate batches
+//! + 0 16 2.0     # insert 0 -> 16, weight 2
+//! = 3 4 0.5      # reweight 3 -> 4
+//! - 7 8          # delete 7 -> 8
+//! ```
+
+pub mod batch;
+pub mod engine;
+
+pub use batch::UpdateBatch;
+pub use engine::{DynamicIndex, UpdateReport};
+
+/// This crate surfaces errors through the core error type: graph-level
+/// edit failures (unknown nodes, absent edges, duplicate inserts, bad
+/// weights) arrive as [`KdashError::Graph`], numeric failures as
+/// [`KdashError::Sparse`].
+pub use kdash_core::{KdashError, Result};

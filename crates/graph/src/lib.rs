@@ -9,6 +9,8 @@
 //! graph lives here:
 //!
 //! * [`GraphBuilder`] — incremental construction with duplicate-edge merging,
+//! * [`EdgeEdit`] / [`CsrGraph::apply_edits`] — validated edge-level
+//!   mutations of a frozen graph (the dynamic-update entry point),
 //! * [`bfs::BfsTree`] — the breadth-first layer structure used by the K-dash
 //!   tree estimator (§4.3 of the paper),
 //! * [`Permutation`] — node reorderings used by the sparse-inverse
@@ -39,11 +41,13 @@ pub mod bfs;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod edits;
 pub mod epoch;
 pub mod io;
 pub mod permute;
 
 pub use bfs::{BfsScratch, BfsTree};
+pub use edits::EdgeEdit;
 pub use epoch::EpochStamps;
 pub use builder::{GraphBuilder, MergePolicy};
 pub use csr::CsrGraph;
@@ -59,8 +63,12 @@ pub type NodeId = u32;
 pub enum GraphError {
     /// An edge endpoint was `>= num_nodes`.
     NodeOutOfBounds { node: NodeId, num_nodes: usize },
-    /// A duplicate edge was found under [`MergePolicy::Error`].
+    /// A duplicate edge was found under [`MergePolicy::Error`], or an
+    /// [`EdgeEdit::Insert`] targeted an edge that already exists.
     DuplicateEdge { src: NodeId, dst: NodeId },
+    /// An [`EdgeEdit::Delete`] or [`EdgeEdit::Reweight`] referenced an
+    /// edge the graph does not contain.
+    EdgeNotFound { src: NodeId, dst: NodeId },
     /// An edge weight was non-finite or not strictly positive.
     InvalidWeight { src: NodeId, dst: NodeId, weight: f64 },
     /// A permutation vector was not a bijection on `0..n`.
@@ -79,6 +87,9 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::DuplicateEdge { src, dst } => {
                 write!(f, "duplicate edge {src} -> {dst}")
+            }
+            GraphError::EdgeNotFound { src, dst } => {
+                write!(f, "edge {src} -> {dst} does not exist")
             }
             GraphError::InvalidWeight { src, dst, weight } => {
                 write!(f, "edge {src} -> {dst} has invalid weight {weight}")

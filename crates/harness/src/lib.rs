@@ -115,6 +115,74 @@ pub fn check_layout_equivalence(flat: &TopKResult, blocked: &TopKResult) -> Resu
     Ok(())
 }
 
+/// The dynamic-update contract, shared by `tests/dynamic_equivalence.rs`
+/// and the update benchmarks: two indexes are **bit-identical at the
+/// array level** — same permutation, same permuted graph, same `L⁻¹`
+/// arrays (pointer, index and value bits), same `U⁻¹` proximity store
+/// (layout, encoded arrays, per-row policy stats), same estimator
+/// constants, same nnz statistics and same update-relevant metadata.
+/// This is the strongest form of "incremental update ≡ from-scratch
+/// rebuild": if it holds, every query answer and every `SearchStats`
+/// field agrees automatically, on any machine.
+pub fn check_index_bit_identity(
+    a: &kdash_core::KdashIndex,
+    b: &kdash_core::KdashIndex,
+) -> Result<(), String> {
+    if a.num_nodes() != b.num_nodes() {
+        return Err(format!("node counts differ: {} vs {}", a.num_nodes(), b.num_nodes()));
+    }
+    if a.permutation().order() != b.permutation().order() {
+        return Err("permutations differ".into());
+    }
+    if a.permuted_graph() != b.permuted_graph() {
+        return Err("permuted graphs differ".into());
+    }
+    let (ap, ai, av) = a.linv_cols().raw();
+    let (bp, bi, bv) = b.linv_cols().raw();
+    if ap != bp || ai != bi {
+        return Err("L⁻¹ structure differs".into());
+    }
+    for (i, (x, y)) in av.iter().zip(bv).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("L⁻¹ value {i} differs: {x:e} vs {y:e}"));
+        }
+    }
+    if a.layout() != b.layout() {
+        return Err(format!("layouts differ: {} vs {}", a.layout(), b.layout()));
+    }
+    // ProximityStore equality covers the encoded index arrays, the value
+    // bits, the RowStat policy table and the scratch high-water mark.
+    if a.uinv_rows() != b.uinv_rows() {
+        return Err("U⁻¹ proximity stores differ".into());
+    }
+    let (a_col_max_a, a_max_a, c_prime_a) = a.estimator_constants();
+    let (a_col_max_b, a_max_b, c_prime_b) = b.estimator_constants();
+    if a_max_a.to_bits() != a_max_b.to_bits() {
+        return Err(format!("A_max differs: {a_max_a:e} vs {a_max_b:e}"));
+    }
+    for (name, xs, ys) in
+        [("A_max(v)", a_col_max_a, a_col_max_b), ("c'", c_prime_a, c_prime_b)]
+    {
+        for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!("{name}[{i}] differs: {x:e} vs {y:e}"));
+            }
+        }
+    }
+    let (sa, sb) = (a.stats(), b.stats());
+    if (sa.nnz_l_inv, sa.nnz_u_inv, sa.uinv_index_bytes, sa.num_edges, sa.inverse_heap_bytes)
+        != (sb.nnz_l_inv, sb.nnz_u_inv, sb.uinv_index_bytes, sb.num_edges, sb.inverse_heap_bytes)
+    {
+        return Err(format!("nnz/byte statistics differ: {sa:?} vs {sb:?}"));
+    }
+    if a.restart_probability() != b.restart_probability()
+        || a.dangling_policy() != b.dangling_policy()
+    {
+        return Err("restart probability or dangling policy differs".into());
+    }
+    Ok(())
+}
+
 /// Picks `count` query nodes with at least one out-edge, deterministically
 /// spread over the id space (queries from dangling nodes are legal but
 /// uninteresting — their only answer is themselves).

@@ -77,21 +77,72 @@ impl BlockedCsr {
         run_ptr.push(0);
         for r in 0..nrows {
             let span = row_ptr[r]..row_ptr[r + 1];
-            let mut current_base = u32::MAX; // sentinel: no open run
-            for i in span {
-                let c = col_idx[i];
-                let base = c & !(BLOCK_COLS - 1);
-                if base != current_base {
-                    run_base.push(base);
-                    run_end.push(i as u32); // provisional; fixed below
-                    current_base = base;
-                }
-                *run_end.last_mut().expect("run open") = (i + 1) as u32;
-                deltas.push((c - base) as u16);
-            }
+            encode_row(&col_idx[span.clone()], span.start, &mut run_base, &mut run_end, &mut deltas);
             run_ptr.push(run_base.len());
         }
         Ok(BlockedCsr { nrows, ncols, row_ptr, run_ptr, run_base, run_end, deltas, values })
+    }
+
+    /// Replaces whole rows, returning a new matrix: rows named by a
+    /// [`crate::csr::RowUpdate`] are **re-encoded** (the same per-row run
+    /// encoder [`from_csr`](Self::from_csr) runs), every other row's
+    /// deltas, values and run headers are copied over verbatim with only
+    /// the global run offsets shifted — so the result is array-for-array
+    /// identical to re-encoding the fully spliced flat matrix, at the
+    /// cost of encoding work proportional to the dirty rows only.
+    /// `updates` must be sorted by strictly increasing row.
+    pub fn splice_rows(&self, updates: &[crate::csr::RowUpdate]) -> Result<BlockedCsr> {
+        crate::csr::validate_row_updates(self.nrows, self.ncols, updates)?;
+        let delta: isize = updates
+            .iter()
+            .map(|u| u.cols.len() as isize - self.row_nnz(u.row) as isize)
+            .sum();
+        let new_nnz = (self.nnz() as isize + delta) as usize;
+        if new_nnz > u32::MAX as usize {
+            return Err(SparseError::Malformed(format!(
+                "blocked layout limited to < 2^32 stored entries, got {new_nnz}"
+            )));
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut run_ptr = Vec::with_capacity(self.nrows + 1);
+        run_ptr.push(0usize);
+        let mut run_base: Vec<u32> = Vec::new();
+        let mut run_end: Vec<u32> = Vec::new();
+        let mut deltas: Vec<u16> = Vec::with_capacity(new_nnz);
+        let mut values: Vec<f64> = Vec::with_capacity(new_nnz);
+        let mut up = updates.iter().peekable();
+        for r in 0..self.nrows {
+            match up.peek() {
+                Some(u) if u.row as usize == r => {
+                    let u = up.next().expect("peeked");
+                    encode_row(&u.cols, deltas.len(), &mut run_base, &mut run_end, &mut deltas);
+                    values.extend_from_slice(&u.vals);
+                }
+                _ => {
+                    let span = self.row_ptr[r]..self.row_ptr[r + 1];
+                    let shift = deltas.len() as isize - span.start as isize;
+                    deltas.extend_from_slice(&self.deltas[span.clone()]);
+                    values.extend_from_slice(&self.values[span]);
+                    for k in self.run_ptr[r]..self.run_ptr[r + 1] {
+                        run_base.push(self.run_base[k]);
+                        run_end.push((self.run_end[k] as isize + shift) as u32);
+                    }
+                }
+            }
+            row_ptr.push(deltas.len());
+            run_ptr.push(run_base.len());
+        }
+        Ok(BlockedCsr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            run_ptr,
+            run_base,
+            run_end,
+            deltas,
+            values,
+        })
     }
 
     /// Rebuilds the flat CSR matrix (exact inverse of
@@ -422,6 +473,32 @@ impl BlockedCsr {
     }
 }
 
+/// Encodes one row's sorted columns into run headers + deltas, with the
+/// row's payload starting at global offset `start`. This is **the** row
+/// encoder: `from_csr` runs it for every row and `splice_rows` for the
+/// dirty rows only, which is why a spliced matrix is array-for-array
+/// identical to a from-scratch re-encode.
+#[inline]
+fn encode_row(
+    cols: &[Index],
+    start: usize,
+    run_base: &mut Vec<u32>,
+    run_end: &mut Vec<u32>,
+    deltas: &mut Vec<u16>,
+) {
+    let mut current_base = u32::MAX; // sentinel: no open run
+    for (off, &c) in cols.iter().enumerate() {
+        let base = c & !(BLOCK_COLS - 1);
+        if base != current_base {
+            run_base.push(base);
+            run_end.push((start + off) as u32); // provisional; fixed below
+            current_base = base;
+        }
+        *run_end.last_mut().expect("run open") = (start + off + 1) as u32;
+        deltas.push((c - base) as u16);
+    }
+}
+
 /// Prefetches up to `lines` 64-byte cache lines from the start of `span`.
 #[inline]
 pub(crate) fn prefetch_span<T>(span: &[T], lines: usize) {
@@ -634,6 +711,35 @@ mod tests {
                 6, 12, row_ptr, run_ptr, run_base, run_end, swapped, values
             )
             .is_err());
+        }
+    }
+
+    /// The splice contract: re-encoding only the dirty rows produces a
+    /// matrix array-for-array equal to re-encoding the fully spliced flat
+    /// matrix — run headers, global offsets, deltas and values.
+    #[test]
+    fn splice_rows_is_identical_to_full_reencode() {
+        use crate::csr::RowUpdate;
+        for seed in 0..8u64 {
+            let csr = random_csr(20, 200_000, 0.0008, seed);
+            let blocked = BlockedCsr::from_csr(csr.clone()).unwrap();
+            // Replace a third of the rows with fresh content spanning
+            // several 2^16 blocks (forces multi-run re-encoding).
+            let mut rng = StdRng::seed_from_u64(seed + 999);
+            let mut updates: Vec<RowUpdate> = Vec::new();
+            for r in (0..20u32).step_by(3) {
+                let mut cols: Vec<Index> = (0..rng.gen_range(0..40u32))
+                    .map(|_| rng.gen_range(0..200_000u32))
+                    .collect();
+                cols.sort_unstable();
+                cols.dedup();
+                let vals: Vec<f64> = cols.iter().map(|&c| c as f64 * 0.5 + 1.0).collect();
+                updates.push(RowUpdate { row: r, cols, vals });
+            }
+            let spliced = blocked.splice_rows(&updates).unwrap();
+            let reencoded = BlockedCsr::from_csr(csr.splice_rows(&updates).unwrap()).unwrap();
+            assert_eq!(spliced, reencoded, "seed {seed}");
+            assert_eq!(blocked.splice_rows(&[]).unwrap(), blocked, "seed {seed}: identity");
         }
     }
 

@@ -246,6 +246,111 @@ fn invert_parallel(
     CscMatrix::from_raw_parts(n, n, col_ptr, row_idx, values)
 }
 
+/// Re-solves an arbitrary subset of inverse columns: for each `j` in
+/// `columns` (sorted strictly ascending), the solution of `T x = e_j` —
+/// exactly the per-column solve the full inversion runs, so every
+/// returned column is **bit-identical** to the corresponding column of
+/// [`invert_lower_unit`] / [`invert_upper`] output. This is the numeric
+/// core of the dynamic-update engine: after the reach analysis
+/// ([`crate::reach::inverse_dirty_columns`]) bounds the dirty set, only
+/// these columns are paid for.
+///
+/// The subset fans out over the same work-stealing chunk cursor as the
+/// full inversion (one [`SolveWorkspace`] per worker, `threads` as in
+/// [`InvertOptions`]), and errors report the lowest failing column at
+/// every thread count.
+pub fn invert_columns_with(
+    t: &CscMatrix,
+    triangle: Triangle,
+    unit_diag: bool,
+    columns: &[Index],
+    options: InvertOptions,
+) -> Result<Vec<crate::csc::ColumnUpdate>> {
+    let n = t.nrows();
+    if t.nrows() != t.ncols() {
+        return Err(SparseError::NotSquare { nrows: t.nrows(), ncols: t.ncols() });
+    }
+    for (k, &c) in columns.iter().enumerate() {
+        if (c as usize) >= n {
+            return Err(SparseError::Malformed(format!(
+                "column {c} out of bounds for dimension {n}"
+            )));
+        }
+        if k > 0 && columns[k - 1] >= c {
+            return Err(SparseError::Malformed(
+                "columns must be sorted strictly ascending".into(),
+            ));
+        }
+    }
+    let threads = options.resolved_threads(columns.len());
+    if threads <= 1 {
+        let mut ws = SolveWorkspace::new(n);
+        let (mut xi, mut xv) = (Vec::new(), Vec::new());
+        let mut out = Vec::with_capacity(columns.len());
+        for &j in columns {
+            ws.solve_unit(t, triangle, unit_diag, j, &mut xi, &mut xv)?;
+            out.push(crate::csc::ColumnUpdate { col: j, rows: xi.clone(), vals: xv.clone() });
+        }
+        return Ok(out);
+    }
+
+    let chunk = claim_chunk(columns.len(), threads);
+    let cursor = AtomicUsize::new(0);
+    type WorkerOutput = (Vec<crate::csc::ColumnUpdate>, Option<(usize, SparseError)>);
+    let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = SolveWorkspace::new(n);
+                    let (mut xi, mut xv) = (Vec::new(), Vec::new());
+                    let mut solved: Vec<crate::csc::ColumnUpdate> = Vec::new();
+                    let mut error: Option<(usize, SparseError)> = None;
+                    'claims: loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= columns.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(columns.len());
+                        for &j in &columns[start..end] {
+                            match ws.solve_unit(t, triangle, unit_diag, j, &mut xi, &mut xv) {
+                                Ok(()) => solved.push(crate::csc::ColumnUpdate {
+                                    col: j,
+                                    rows: xi.clone(),
+                                    vals: xv.clone(),
+                                }),
+                                Err(e) => {
+                                    error = Some((j as usize, e));
+                                    cursor.fetch_max(columns.len(), Ordering::Relaxed);
+                                    break 'claims;
+                                }
+                            }
+                        }
+                    }
+                    (solved, error)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("column-solve worker panicked")).collect()
+    });
+
+    let mut first_error: Option<(usize, SparseError)> = None;
+    let mut out: Vec<crate::csc::ColumnUpdate> = Vec::with_capacity(columns.len());
+    for (solved, error) in worker_outputs {
+        out.extend(solved);
+        if let Some((col, e)) = error {
+            match &first_error {
+                Some((lowest, _)) if *lowest <= col => {}
+                _ => first_error = Some((col, e)),
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    out.sort_unstable_by_key(|u| u.col);
+    Ok(out)
+}
+
 /// Total stored entries of the pair `(L⁻¹, U⁻¹)` — the numerator of the
 /// Figure 5 ratio.
 pub fn inverse_nnz(l_inv: &CscMatrix, u_inv: &CscMatrix) -> usize {
@@ -473,6 +578,122 @@ mod tests {
         assert_eq!(claim_chunk(10, 4), 1);
         assert!(claim_chunk(1_000_000, 2) <= 256);
         assert!(claim_chunk(0, 8) >= 1);
+    }
+
+    /// The subset driver's contract: every solved column is bit-identical
+    /// to the same column of the full inversion, at every thread count.
+    #[test]
+    fn column_subset_solves_match_full_inversion() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..6 {
+            let n = rng.gen_range(8..40usize);
+            let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+            let mut col_sum = vec![0.0f64; n];
+            for j in 0..n as Index {
+                for i in 0..n as Index {
+                    if i != j && rng.gen_bool(0.3) {
+                        let v: f64 = -rng.gen_range(0.01..0.5);
+                        trips.push((i, j, v));
+                        col_sum[j as usize] += v.abs();
+                    }
+                }
+            }
+            for (j, &cs) in col_sum.iter().enumerate() {
+                trips.push((j as Index, j as Index, cs + 0.6));
+            }
+            let w = CscMatrix::from_triplets(n, n, &trips).unwrap();
+            let f = sparse_lu(&w).unwrap();
+            let linv = invert_lower_unit(&f.l).unwrap();
+            let uinv = invert_upper(&f.u).unwrap();
+            let subset: Vec<Index> = (0..n as Index).filter(|j| j % 3 != 1).collect();
+            for threads in [1usize, 2, 5, 0] {
+                let opts = InvertOptions { threads };
+                let l_updates =
+                    invert_columns_with(&f.l, Triangle::Lower, true, &subset, opts).unwrap();
+                let u_updates =
+                    invert_columns_with(&f.u, Triangle::Upper, false, &subset, opts).unwrap();
+                for (updates, full) in [(&l_updates, &linv), (&u_updates, &uinv)] {
+                    assert_eq!(updates.len(), subset.len());
+                    for u in updates.iter() {
+                        let (rows, vals) = full.col(u.col);
+                        assert_eq!(u.rows.as_slice(), rows, "trial {trial} col {}", u.col);
+                        for (a, b) in u.vals.iter().zip(vals) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "trial {trial} col {} threads {threads}",
+                                u.col
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splicing re-solved columns into the old inverse reproduces the new
+    /// full inversion exactly — the array-level core of the dynamic
+    /// engine, on raw triangles.
+    #[test]
+    fn resolve_and_splice_reproduces_full_inversion() {
+        let l_old =
+            CscMatrix::from_triplets(4, 4, &[(1, 0, 0.5), (2, 1, 0.25), (3, 2, 0.125)]).unwrap();
+        let l_new =
+            CscMatrix::from_triplets(4, 4, &[(1, 0, 0.75), (2, 1, 0.25), (3, 2, 0.125)]).unwrap();
+        let inv_old = invert_lower_unit(&l_old).unwrap();
+        let inv_new = invert_lower_unit(&l_new).unwrap();
+        let dirty = CscMatrix::diff_columns(&l_old, &l_new).unwrap();
+        assert_eq!(dirty, vec![0]);
+        let dirty_inverse = crate::reach::inverse_dirty_columns(&l_new, &dirty);
+        let updates = invert_columns_with(
+            &l_new,
+            Triangle::Lower,
+            true,
+            &dirty_inverse,
+            InvertOptions::sequential(),
+        )
+        .unwrap();
+        let spliced = inv_old.splice_columns(&updates).unwrap();
+        assert_eq!(spliced, inv_new);
+    }
+
+    #[test]
+    fn column_subset_validation_and_errors() {
+        let l = CscMatrix::from_triplets(3, 3, &[(1, 0, 1.0)]).unwrap();
+        let opts = InvertOptions::sequential();
+        assert!(invert_columns_with(&l, Triangle::Lower, true, &[1, 0], opts).is_err());
+        assert!(invert_columns_with(&l, Triangle::Lower, true, &[0, 0], opts).is_err());
+        assert!(invert_columns_with(&l, Triangle::Lower, true, &[7], opts).is_err());
+        assert!(invert_columns_with(&l, Triangle::Lower, true, &[], opts).unwrap().is_empty());
+        // Singular column inside the subset: lowest failing column wins
+        // at every thread count.
+        let n = 10;
+        let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+        for j in 0..n as Index {
+            if j != 2 && j != 6 {
+                trips.push((j, j, 2.0));
+            }
+            if j > 0 {
+                trips.push((j - 1, j, 1.0));
+            }
+        }
+        let u = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let subset: Vec<Index> = (0..n as Index).collect();
+        for threads in [1usize, 2, 8] {
+            let err = invert_columns_with(
+                &u,
+                Triangle::Upper,
+                false,
+                &subset,
+                InvertOptions { threads },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SparseError::SingularPivot { column: 2, .. }),
+                "threads {threads}: {err:?}"
+            );
+        }
     }
 
     #[test]

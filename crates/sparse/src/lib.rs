@@ -11,7 +11,13 @@
 //!   paper's Equations (6)–(7) (Doolittle form: unit-diagonal `L`). `W` is
 //!   strictly column diagonally dominant, so no pivoting is required,
 //! * [`inverse`] — sparse inverses `L⁻¹` and `U⁻¹` (Equations (4)–(5),
-//!   computed as `n` sparse solves against unit vectors),
+//!   computed as `n` sparse solves against unit vectors), plus the
+//!   subset driver [`invert_columns_with`] that re-solves only a dirty
+//!   column set for the dynamic-update engine,
+//! * [`reach`] — Gilbert–Peierls reach analysis
+//!   ([`inverse_dirty_columns`]): given the columns of a triangular
+//!   factor that changed, the **exact** set of inverse columns that can
+//!   differ — everything outside it is provably bit-identical,
 //! * [`rwr`] — the column-normalised transition matrix `A` and
 //!   `W = I − (1−c)A` built straight from a [`kdash_graph::CsrGraph`],
 //! * [`scatter`] — the scatter/gather proximity kernel: the query column
@@ -49,17 +55,20 @@ pub mod csr;
 pub mod inverse;
 pub mod kernel;
 pub mod lu;
+pub mod reach;
 pub mod rwr;
 pub mod scatter;
 pub mod store;
 pub mod triangular;
 
 pub use blocked::{BlockedCsr, BLOCK_COLS};
-pub use csc::CscMatrix;
-pub use csr::CsrMatrix;
+pub use csc::{ColumnUpdate, CscMatrix};
+pub use csr::{CsrMatrix, RowUpdate};
 pub use inverse::{
-    invert_lower_unit, invert_lower_unit_with, invert_upper, invert_upper_with, InvertOptions,
+    invert_columns_with, invert_lower_unit, invert_lower_unit_with, invert_upper,
+    invert_upper_with, InvertOptions,
 };
+pub use reach::inverse_dirty_columns;
 pub use kernel::{
     adaptive_picks_wide, GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, RowStat,
     ADAPTIVE_MIN_WIDE_NNZ, ADAPTIVE_WIDE_HIT_RATE,

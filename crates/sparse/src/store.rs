@@ -271,6 +271,27 @@ impl ProximityStore {
         }
     }
 
+    /// Replaces whole rows under the active layout, refreshing the
+    /// per-row policy table and the decode-scratch high-water mark for
+    /// exactly the dirty rows — the splice stage of the dynamic-update
+    /// engine. The result equals [`ProximityStore::from_csr`] of the
+    /// fully spliced flat matrix under the same layout, arrays, policy
+    /// table and all (pinned by the store tests and, end to end, by
+    /// `tests/dynamic_equivalence.rs`). `updates` must be sorted by
+    /// strictly increasing row.
+    pub fn splice_rows(&self, updates: &[crate::csr::RowUpdate]) -> Result<ProximityStore> {
+        let rows = match &self.rows {
+            RowStorage::Flat(m) => RowStorage::Flat(m.splice_rows(updates)?),
+            RowStorage::Blocked(b) => RowStorage::Blocked(b.splice_rows(updates)?),
+        };
+        let mut row_stats = self.row_stats.clone();
+        for u in updates {
+            row_stats[u.row as usize] = row_stat_of(&u.cols);
+        }
+        let max_row_nnz = row_stats.iter().map(|s| s.nnz as usize).max().unwrap_or(0);
+        Ok(ProximityStore { rows, row_stats, max_row_nnz })
+    }
+
     /// Two-pointer merge join of row `r` against a sorted sparse vector —
     /// the layout-agnostic reference kernel (bit-identical across
     /// layouts; the eager oracles run on it).
@@ -413,6 +434,37 @@ mod tests {
         assert!(blocked.index_bytes() < flat.index_bytes());
         let back = blocked.relayout(RowLayout::Flat);
         assert_eq!(back.to_csr(), flat.to_csr());
+    }
+
+    /// The store-level splice contract: under both layouts, splicing rows
+    /// equals rebuilding the store from the fully spliced flat matrix —
+    /// including the policy table and the decode-scratch high-water mark.
+    #[test]
+    fn splice_rows_matches_full_rebuild_under_both_layouts() {
+        use crate::RowUpdate;
+        for seed in 0..5u64 {
+            let csr = random_csr(16, 40, 0.3, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 50);
+            let mut updates: Vec<RowUpdate> = Vec::new();
+            for r in [1u32, 7, 12] {
+                let mut cols: Vec<Index> =
+                    (0..rng.gen_range(0..30u32)).map(|_| rng.gen_range(0..40u32)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                let vals: Vec<f64> = cols.iter().map(|&c| c as f64 - 3.5).collect();
+                updates.push(RowUpdate { row: r, cols, vals });
+            }
+            let rebuilt_flat = csr.splice_rows(&updates).unwrap();
+            for layout in [RowLayout::Flat, RowLayout::Blocked] {
+                let store = ProximityStore::from_csr(csr.clone(), layout).unwrap();
+                let spliced = store.splice_rows(&updates).unwrap();
+                let rebuilt =
+                    ProximityStore::from_csr(rebuilt_flat.clone(), layout).unwrap();
+                assert_eq!(spliced, rebuilt, "seed {seed} layout {layout}");
+                assert_eq!(spliced.row_stats(), rebuilt.row_stats(), "seed {seed}");
+                assert_eq!(spliced.max_row_nnz(), rebuilt.max_row_nnz(), "seed {seed}");
+            }
+        }
     }
 
     #[test]

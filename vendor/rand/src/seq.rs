@@ -1,18 +1,35 @@
-//! Slice helpers (`shuffle`), mirroring `rand::seq`.
+//! Slice helpers (`shuffle`, `choose`), mirroring `rand::seq`.
 
 use crate::{Rng, RngCore};
 
-/// Random slice operations. Only the members the workspace uses.
+/// Random slice operations. Only the members the workspace uses
+/// (`choose` entered with the dynamic-update edit-batch generators).
 pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
     /// In-place Fisher–Yates shuffle.
     fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
 }
 
 impl<T> SliceRandom for [T] {
+    type Item = T;
+
     fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
         for i in (1..self.len()).rev() {
             let j = rng.gen_range(0..=i);
             self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
         }
     }
 }
@@ -21,6 +38,19 @@ impl<T> SliceRandom for [T] {
 mod tests {
     use super::*;
     use crate::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn choose_is_uniformish_and_total() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let empty: [u32; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let v: Vec<u32> = (0..8).collect();
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[*v.choose(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "256 draws over 8 slots must hit every slot");
+    }
 
     #[test]
     fn shuffle_is_a_permutation() {
