@@ -5,6 +5,7 @@
 //! kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...]
 //!              [--kernel auto] [--pruning on]
 //! kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]
+//! kdash verify <index.kdash>
 //! kdash info   <index.kdash>
 //! kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]
 //! ```
@@ -32,13 +33,24 @@
 //! atomically applied batches; per-batch dirty-column/reach/re-solve
 //! stats are printed and `kdash info` reports the resulting update epoch.
 //!
+//! `verify` is the operational fsck: it loads the index (which already
+//! validates every per-section checksum of the v4 format) and then runs
+//! the deep structural audit of `kdash_core::audit` — triangularity of
+//! the stored inverses, permutation bijectivity, blocked-encoding decode
+//! contract, policy-table and estimator coherence — printing one timing
+//! line per section, every finding, and a machine-readable JSON summary.
+//! Exit status is non-zero when any invariant is violated.
+//!
 //! Edge lists are plain text (`src dst [weight]`, `#`/`%` comments) — the
 //! format of the SNAP / Pajek exports the paper's datasets use. Indexes
-//! are the versioned binary format of `kdash_core::persist`.
+//! are the versioned binary format of `kdash_core::persist`; every
+//! index-writing path goes through `kdash_core::save_atomic` (temp file →
+//! fsync → rename), so a crash mid-write can never destroy the previous
+//! copy.
 
 use kdash_core::{
-    BuildStage, GatherKernel, IndexBuilder, IndexOptions, KdashIndex, NodeOrdering, RowLayout,
-    Searcher,
+    save_atomic, BuildStage, GatherKernel, IndexAudit, IndexBuilder, IndexOptions, KdashIndex,
+    NodeOrdering, RowLayout, Searcher,
 };
 use kdash_datagen::DatasetProfile;
 use kdash_dynamic::{DynamicIndex, UpdateBatch};
@@ -54,6 +66,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("update") => cmd_update(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -80,6 +93,7 @@ fn print_usage() {
          \x20 kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
          \x20              [--kernel auto] [--pruning on]\n\
          \x20 kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]\n\
+         \x20 kdash verify <index.kdash>\n\
          \x20 kdash info   <index.kdash>\n\
          \x20 kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
          \n\
@@ -204,10 +218,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         index.stats().uinv_index_bytes as f64 / index.stats().nnz_u_inv.max(1) as f64,
     );
 
-    let out = File::create(index_path).map_err(|e| format!("create {index_path}: {e}"))?;
-    let mut w = BufWriter::new(out);
-    index.save(&mut w).map_err(|e| e.to_string())?;
-    w.flush().map_err(|e| e.to_string())?;
+    save_atomic(&index, index_path).map_err(|e| format!("write {index_path}: {e}"))?;
     println!("wrote {index_path}");
     Ok(())
 }
@@ -359,28 +370,95 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     }
 
     let index = dynamic.into_index();
-    // Write-then-rename: --out defaults to the input path, and truncating
-    // the only copy of a multi-minute build before the new bytes are safely
-    // down would lose the index on a failed save.
-    let tmp_path = format!("{out_path}.tmp");
-    let out = File::create(&tmp_path).map_err(|e| format!("create {tmp_path}: {e}"))?;
-    let mut w = BufWriter::new(out);
-    index.save(&mut w).map_err(|e| e.to_string())?;
-    w.flush().map_err(|e| e.to_string())?;
-    // Durability before the rename commits: without the fsync a power
-    // loss could still land the rename with unwritten pages behind it.
-    w.into_inner()
-        .map_err(|e| e.to_string())?
-        .sync_all()
-        .map_err(|e| format!("sync {tmp_path}: {e}"))?;
-    std::fs::rename(&tmp_path, out_path)
-        .map_err(|e| format!("rename {tmp_path} -> {out_path}: {e}"))?;
+    // --out defaults to the input path: truncating the only copy of a
+    // multi-minute build before the new bytes are safely down would lose
+    // the index on a failed save, so the write must be atomic + durable.
+    save_atomic(&index, out_path).map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
         "wrote {out_path} ({} edges, update epoch {})",
         index.stats().num_edges,
         index.update_epoch()
     );
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    reject_unknown_flags(&flags, &[])?;
+    let [index_path] = pos.as_slice() else {
+        return Err("usage: kdash verify <index.kdash>".into());
+    };
+
+    // Stage 1 — load. The v4 loader verifies every per-section CRC32 and
+    // the whole-file footer while parsing, plus all structural
+    // cross-checks; any damage surfaces here as a typed PersistError
+    // naming the section and byte offset.
+    let t = Instant::now();
+    let file = File::open(index_path).map_err(|e| format!("open {index_path}: {e}"))?;
+    let (index, info) =
+        KdashIndex::load_with_info(BufReader::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {index_path} in {:.2?}: format v{}, {} ({} nodes, {} edges, update epoch {})",
+        t.elapsed(),
+        info.version,
+        if info.checksummed {
+            "checksums verified"
+        } else {
+            "UNCHECKSUMMED legacy format — re-save to add integrity checksums"
+        },
+        index.num_nodes(),
+        index.stats().num_edges,
+        index.update_epoch(),
+    );
+
+    // Stage 2 — deep structural audit.
+    let audit = IndexAudit::run(&index);
+    for section in &audit.sections {
+        let findings = audit.findings.iter().filter(|f| f.section == section.name).count();
+        println!(
+            "section {:<12} {:>8} checks {:>12.2?}  {}",
+            section.name,
+            section.checks,
+            section.duration,
+            if findings == 0 { "ok".to_string() } else { format!("{findings} FINDING(S)") },
+        );
+    }
+    for finding in &audit.findings {
+        println!("FINDING [{}] {}", finding.section, finding.detail);
+    }
+    if audit.suppressed > 0 {
+        println!("… and {} further finding(s) suppressed", audit.suppressed);
+    }
+
+    // Machine-readable summary (one line, stable keys) for scripting.
+    let sections_json: Vec<String> = audit
+        .sections
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"name":"{}","checks":{},"micros":{}}}"#,
+                s.name,
+                s.checks,
+                s.duration.as_micros()
+            )
+        })
+        .collect();
+    println!(
+        r#"{{"index":"{}","version":{},"checksummed":{},"clean":{},"findings":{},"sections":[{}]}}"#,
+        index_path,
+        info.version,
+        info.checksummed,
+        audit.is_clean(),
+        audit.total_findings(),
+        sections_json.join(","),
+    );
+
+    if audit.is_clean() {
+        println!("verify: clean");
+        Ok(())
+    } else {
+        Err(format!("index audit failed with {} finding(s)", audit.total_findings()))
+    }
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {

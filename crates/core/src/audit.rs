@@ -1,0 +1,567 @@
+//! Deep structural auditing of a built (or loaded, or patched) index.
+//!
+//! The persistence layer checks what can be checked *while streaming* —
+//! counts, checksums, and the component validators' invariants. This
+//! module is the fsck counterpart: given a fully assembled
+//! [`KdashIndex`], [`IndexAudit::run`] re-derives every invariant the
+//! query path silently relies on and reports violations as findings
+//! instead of panicking or, worse, returning wrong proximities:
+//!
+//! * the permutation is a bijection;
+//! * the permuted graph's CSR arrays are monotone, sorted, in bounds,
+//!   with finite positive weights;
+//! * `L⁻¹` is genuinely lower triangular with an exact unit diagonal
+//!   leading every column (the scatter path assumes `x_q = 1`);
+//! * `U⁻¹` is genuinely upper triangular with a nonzero diagonal leading
+//!   every row, and — in the blocked layout — the run encoding obeys the
+//!   decode contract (aligned anchors, full coverage, strictly ascending
+//!   decoded columns);
+//! * the per-row policy stats and `max_row_nnz` agree with the rows they
+//!   summarise (a wrong table mis-steers the adaptive kernel);
+//! * the estimator constants are **bit-identical** to a recomputation
+//!   from the stored graph — the Lemma 1/2 bounds are only sound for the
+//!   matrix actually indexed;
+//! * the header scalars (restart probability, cached `c'_max`) are
+//!   coherent.
+//!
+//! The audit never panics and allocates only small per-section scratch.
+//! It is exposed three ways: `kdash verify <index>` (the operational
+//! fsck), `DynamicIndex::verify_after_apply` (opt-in post-update check),
+//! and directly through this API.
+
+use crate::KdashIndex;
+use kdash_sparse::{transition_matrix, RowLayout, BLOCK_COLS};
+use std::time::{Duration, Instant};
+
+/// Cap on stored findings: a corrupted index tends to violate one
+/// invariant thousands of times; the first handful identify the damage
+/// and the rest are noise. The total count is still reported.
+const MAX_FINDINGS: usize = 64;
+
+/// One audited section: what was checked, how many elementary checks ran,
+/// and how long it took (the `kdash verify` per-section report lines).
+#[derive(Debug, Clone)]
+pub struct AuditSection {
+    /// Section name, aligned with the on-disk section names of
+    /// [`crate::persist::Section`] where the two overlap.
+    pub name: &'static str,
+    /// Elementary invariant checks evaluated.
+    pub checks: usize,
+    /// Wall-clock the section took.
+    pub duration: Duration,
+}
+
+/// One violated invariant.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    /// The section the violation was found in.
+    pub section: &'static str,
+    /// What exactly is wrong, with the offending row/column/node.
+    pub detail: String,
+}
+
+/// The result of a full structural audit: per-section accounting plus
+/// every finding (violations), capped at [`MAX_FINDINGS`] stored entries.
+#[derive(Debug, Clone)]
+pub struct IndexAudit {
+    /// Per-section accounting, in execution order.
+    pub sections: Vec<AuditSection>,
+    /// The violations found (first [`MAX_FINDINGS`]; see `suppressed`).
+    pub findings: Vec<AuditFinding>,
+    /// Findings beyond the storage cap (count only).
+    pub suppressed: usize,
+}
+
+/// Collects findings during a run, enforcing the storage cap.
+struct Collector {
+    findings: Vec<AuditFinding>,
+    suppressed: usize,
+    checks: usize,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector { findings: Vec::new(), suppressed: 0, checks: 0 }
+    }
+
+    fn check(&mut self, section: &'static str, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            if self.findings.len() < MAX_FINDINGS {
+                self.findings.push(AuditFinding { section, detail: detail() });
+            } else {
+                self.suppressed += 1;
+            }
+        }
+    }
+}
+
+impl IndexAudit {
+    /// Runs the full audit. Never panics; violations become findings.
+    pub fn run(index: &KdashIndex) -> IndexAudit {
+        let mut col = Collector::new();
+        let mut sections = Vec::with_capacity(7);
+        let steps: [(&'static str, fn(&KdashIndex, &mut Collector)); 7] = [
+            ("header", audit_header),
+            ("permutation", audit_permutation),
+            ("graph", audit_graph),
+            ("linv", audit_linv),
+            ("uinv", audit_uinv),
+            ("row-stats", audit_row_stats),
+            ("estimator", audit_estimator),
+        ];
+        for (name, step) in steps {
+            let before = col.checks;
+            let t = Instant::now();
+            step(index, &mut col);
+            sections.push(AuditSection {
+                name,
+                checks: col.checks - before,
+                duration: t.elapsed(),
+            });
+        }
+        IndexAudit { sections, findings: col.findings, suppressed: col.suppressed }
+    }
+
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.suppressed == 0
+    }
+
+    /// Total findings including the ones beyond the storage cap.
+    pub fn total_findings(&self) -> usize {
+        self.findings.len() + self.suppressed
+    }
+
+    /// Converts a dirty audit into [`crate::KdashError::AuditFailed`]
+    /// carrying the `"section: detail"` strings (clean audits pass).
+    pub fn into_result(self) -> crate::Result<()> {
+        if self.is_clean() {
+            return Ok(());
+        }
+        let mut findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| format!("{}: {}", f.section, f.detail))
+            .collect();
+        if self.suppressed > 0 {
+            findings.push(format!("… and {} further finding(s) suppressed", self.suppressed));
+        }
+        Err(crate::KdashError::AuditFailed { findings })
+    }
+}
+
+/// Header scalars: restart probability in range, cached `c'_max` coherent
+/// with the per-node array, component dimensions agreeing.
+fn audit_header(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "header";
+    let n = index.num_nodes();
+    let c = index.restart_probability();
+    col.check(S, c.is_finite() && 0.0 < c && c < 1.0, || {
+        format!("restart probability {c} outside (0, 1)")
+    });
+    col.check(S, index.permutation().len() == n, || {
+        format!("permutation covers {} nodes, graph has {n}", index.permutation().len())
+    });
+    let linv = index.linv();
+    col.check(S, linv.nrows() == n && linv.ncols() == n, || {
+        format!("L⁻¹ is {}×{}, expected {n}×{n}", linv.nrows(), linv.ncols())
+    });
+    let uinv = index.uinv();
+    col.check(S, uinv.nrows() == n && uinv.ncols() == n, || {
+        format!("U⁻¹ is {}×{}, expected {n}×{n}", uinv.nrows(), uinv.ncols())
+    });
+    col.check(S, index.a_col_max().len() == n, || {
+        format!("A_max(v) has {} entries, expected {n}", index.a_col_max().len())
+    });
+    col.check(S, index.c_prime().len() == n, || {
+        format!("c' has {} entries, expected {n}", index.c_prime().len())
+    });
+    let expect_max = index.c_prime().iter().copied().fold(0.0f64, f64::max);
+    col.check(S, index.c_prime_max().to_bits() == expect_max.to_bits(), || {
+        format!(
+            "cached c'_max {} disagrees with max over c' entries {}",
+            index.c_prime_max(),
+            expect_max
+        )
+    });
+}
+
+/// The permutation must be a bijection on `0..n` — a repeated or
+/// out-of-range id silently aliases two nodes' proximities.
+fn audit_permutation(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "permutation";
+    let n = index.num_nodes();
+    let order = index.permutation().order();
+    let mut seen = vec![false; n];
+    for (new, &old) in order.iter().enumerate() {
+        let ok = (old as usize) < n && !seen[(old as usize).min(n.saturating_sub(1))];
+        if (old as usize) < n {
+            seen[old as usize] = true;
+        }
+        col.check(S, ok, || format!("position {new} maps to invalid or repeated node {old}"));
+    }
+}
+
+/// The permuted graph's CSR arrays: monotone covering row pointers,
+/// strictly ascending in-bounds targets, finite positive weights — the
+/// invariants [`kdash_graph::CsrGraph::from_raw_parts`] enforces,
+/// re-proved on the live arrays.
+fn audit_graph(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "graph";
+    let g = index.permuted_graph();
+    let n = g.num_nodes();
+    let (row_ptr, col_idx, weights) = g.raw();
+    col.check(S, row_ptr.len() == n + 1, || {
+        format!("row pointer array has {} entries, expected {}", row_ptr.len(), n + 1)
+    });
+    col.check(
+        S,
+        row_ptr.first() == Some(&0) && row_ptr.last() == Some(&col_idx.len()),
+        || "row pointers do not cover the edge arrays".to_string(),
+    );
+    col.check(S, col_idx.len() == weights.len(), || {
+        format!("{} targets but {} weights", col_idx.len(), weights.len())
+    });
+    for v in 0..n {
+        let (lo, hi) = (row_ptr[v.min(row_ptr.len() - 1)], row_ptr[(v + 1).min(row_ptr.len() - 1)]);
+        col.check(S, lo <= hi && hi <= col_idx.len(), || {
+            format!("row {v}: pointer range {lo}..{hi} invalid")
+        });
+        if lo > hi || hi > col_idx.len() {
+            continue;
+        }
+        let mut prev: Option<u32> = None;
+        for i in lo..hi {
+            let (t, w) = (col_idx[i], weights[i]);
+            col.check(S, (t as usize) < n, || format!("row {v}: target {t} out of bounds"));
+            col.check(S, w.is_finite() && w > 0.0, || {
+                format!("row {v}: weight {w} not finite-positive")
+            });
+            col.check(S, prev.is_none_or(|p| p < t), || {
+                format!("row {v}: targets not strictly ascending at {t}")
+            });
+            prev = Some(t);
+        }
+    }
+}
+
+/// `L⁻¹` must be lower triangular with an exact unit diagonal *leading*
+/// each column: the query scatter assumes column `q` starts with
+/// `(q, 1.0)` (forward substitution on a unit-lower factor never scales
+/// the seed entry, so equality is exact, not approximate).
+fn audit_linv(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "linv";
+    let linv = index.linv();
+    let n = linv.ncols();
+    let (col_ptr, row_idx, values) = linv.raw();
+    col.check(
+        S,
+        col_ptr.len() == n + 1
+            && col_ptr.first() == Some(&0)
+            && col_ptr.last() == Some(&row_idx.len())
+            && row_idx.len() == values.len(),
+        || "column pointers do not cover the entry arrays".to_string(),
+    );
+    for j in 0..n {
+        let (lo, hi) = (col_ptr[j.min(col_ptr.len() - 1)], col_ptr[(j + 1).min(col_ptr.len() - 1)]);
+        if lo > hi || hi > row_idx.len() {
+            col.check(S, false, || format!("column {j}: pointer range {lo}..{hi} invalid"));
+            continue;
+        }
+        col.check(S, lo < hi, || format!("column {j}: empty (diagonal entry missing)"));
+        let mut prev: Option<u32> = None;
+        for i in lo..hi {
+            let (r, v) = (row_idx[i], values[i]);
+            col.check(S, (r as usize) < n, || format!("column {j}: row {r} out of bounds"));
+            col.check(S, (r as usize) >= j, || {
+                format!("column {j}: entry at row {r} above the diagonal")
+            });
+            col.check(S, v.is_finite(), || format!("column {j}: non-finite value at row {r}"));
+            col.check(S, prev.is_none_or(|p| p < r), || {
+                format!("column {j}: rows not strictly ascending at {r}")
+            });
+            prev = Some(r);
+        }
+        if lo < hi {
+            col.check(S, row_idx[lo] as usize == j && values[lo].to_bits() == 1.0f64.to_bits(), || {
+                format!(
+                    "column {j}: leading entry ({}, {}) is not the exact unit diagonal",
+                    row_idx[lo], values[lo]
+                )
+            });
+        }
+    }
+}
+
+/// `U⁻¹` must be upper triangular with a nonzero diagonal leading every
+/// row; in the blocked layout the run encoding must additionally obey the
+/// decode contract (aligned anchors, runs covering exactly the row's
+/// span, strictly ascending decoded columns in bounds).
+fn audit_uinv(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "uinv";
+    let store = index.uinv();
+    let n = store.nrows();
+    match store.layout() {
+        RowLayout::Flat => {
+            let Some(csr) = store.as_flat() else {
+                col.check(S, false, || "layout says flat but no flat matrix is stored".into());
+                return;
+            };
+            for r in 0..n as u32 {
+                let (cols, vals) = csr.row(r);
+                audit_uinv_row(S, col, n, r, cols.iter().copied(), vals);
+            }
+        }
+        RowLayout::Blocked => {
+            let Some(blocked) = store.as_blocked() else {
+                col.check(S, false, || {
+                    "layout says blocked but no blocked matrix is stored".into()
+                });
+                return;
+            };
+            let (row_ptr, run_ptr, run_base, run_end, deltas, values) = blocked.raw();
+            col.check(
+                S,
+                row_ptr.len() == n + 1
+                    && run_ptr.len() == n + 1
+                    && run_base.len() == run_end.len()
+                    && deltas.len() == values.len()
+                    && row_ptr.last() == Some(&deltas.len())
+                    && run_ptr.last() == Some(&run_base.len()),
+                || "blocked arrays do not cover each other".to_string(),
+            );
+            let mut decoded: Vec<u32> = Vec::new();
+            for r in 0..n {
+                let (lo, hi) =
+                    (row_ptr[r.min(row_ptr.len() - 1)], row_ptr[(r + 1).min(row_ptr.len() - 1)]);
+                let (rlo, rhi) =
+                    (run_ptr[r.min(run_ptr.len() - 1)], run_ptr[(r + 1).min(run_ptr.len() - 1)]);
+                if lo > hi || hi > deltas.len() || rlo > rhi || rhi > run_base.len() {
+                    col.check(S, false, || format!("row {r}: invalid pointer ranges"));
+                    continue;
+                }
+                col.check(S, (lo < hi) == (rlo < rhi), || {
+                    format!("row {r}: runs and nonzeros disagree")
+                });
+                decoded.clear();
+                let mut start = lo;
+                let mut runs_ok = true;
+                for k in rlo..rhi {
+                    let (base, end) = (run_base[k], run_end[k] as usize);
+                    col.check(S, base % BLOCK_COLS == 0, || {
+                        format!("row {r}: unaligned run anchor {base}")
+                    });
+                    if end <= start || end > hi {
+                        col.check(S, false, || format!("row {r}: run end {end} outside row"));
+                        runs_ok = false;
+                        break;
+                    }
+                    for i in start..end {
+                        decoded.push(base + deltas[i] as u32);
+                    }
+                    start = end;
+                }
+                if !runs_ok {
+                    continue;
+                }
+                col.check(S, start == hi, || format!("row {r}: runs do not cover the row"));
+                audit_uinv_row(S, col, n, r as u32, decoded.iter().copied(), &values[lo..hi]);
+            }
+        }
+    }
+}
+
+/// Shared per-row triangularity check for both `U⁻¹` layouts.
+fn audit_uinv_row(
+    section: &'static str,
+    col: &mut Collector,
+    n: usize,
+    r: u32,
+    cols: impl Iterator<Item = u32>,
+    vals: &[f64],
+) {
+    let mut prev: Option<u32> = None;
+    let mut count = 0usize;
+    for (i, c) in cols.enumerate() {
+        col.check(section, (c as usize) < n, || format!("row {r}: column {c} out of bounds"));
+        col.check(section, c >= r, || format!("row {r}: entry in column {c} below the diagonal"));
+        col.check(section, prev.is_none_or(|p| p < c), || {
+            format!("row {r}: columns not strictly ascending at {c}")
+        });
+        if i == 0 {
+            col.check(section, c == r, || {
+                format!("row {r}: leading column is {c}, not the diagonal")
+            });
+        }
+        prev = Some(c);
+        count += 1;
+    }
+    col.check(section, count > 0, || format!("row {r}: empty (diagonal entry missing)"));
+    col.check(section, vals.len() == count, || {
+        format!("row {r}: {} values for {count} columns", vals.len())
+    });
+    for (i, v) in vals.iter().enumerate() {
+        col.check(section, v.is_finite(), || format!("row {r}: non-finite value at entry {i}"));
+    }
+    if let Some(first) = vals.first() {
+        col.check(section, *first != 0.0, || format!("row {r}: zero diagonal value"));
+    }
+}
+
+/// The stored per-row policy table (and the cached `max_row_nnz`) must
+/// describe the rows actually stored — a skewed table silently steers the
+/// adaptive kernel into the wrong gather strategy.
+fn audit_row_stats(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "row-stats";
+    let store = index.uinv();
+    let n = store.nrows();
+    let stats = store.row_stats();
+    col.check(S, stats.len() == n, || {
+        format!("stats table has {} rows, store has {n}", stats.len())
+    });
+    let mut max_nnz = 0usize;
+    for r in 0..n.min(stats.len()) {
+        let stat = stats[r];
+        max_nnz = max_nnz.max(stat.nnz as usize);
+        let (nnz, first, last) = match store.layout() {
+            RowLayout::Flat => match store.as_flat() {
+                Some(csr) => {
+                    let (cols, _) = csr.row(r as u32);
+                    (cols.len(), cols.first().copied(), cols.last().copied())
+                }
+                None => continue,
+            },
+            RowLayout::Blocked => match store.as_blocked() {
+                Some(b) => {
+                    let r = r as u32;
+                    (b.row_nnz(r), b.row_first_col(r), b.row_last_col(r))
+                }
+                None => continue,
+            },
+        };
+        col.check(S, stat.nnz as usize == nnz, || {
+            format!("row {r}: stat nnz {} but {nnz} stored entries", stat.nnz)
+        });
+        if nnz > 0 {
+            col.check(
+                S,
+                first == Some(stat.first) && last == Some(stat.last),
+                || {
+                    format!(
+                        "row {r}: stat span [{}, {}] but stored span [{:?}, {:?}]",
+                        stat.first, stat.last, first, last
+                    )
+                },
+            );
+        }
+    }
+    col.check(S, store.max_row_nnz() == max_nnz, || {
+        format!("cached max_row_nnz {} but widest row has {max_nnz}", store.max_row_nnz())
+    });
+}
+
+/// The estimator constants must be **bit-identical** to a recomputation
+/// from the stored permuted graph under the recorded dangling policy —
+/// the same derivation the build pipeline runs. Anything else means the
+/// Lemma 1/2 bounds describe a different matrix than the one indexed,
+/// and "exact top-k" is no longer a theorem.
+fn audit_estimator(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "estimator";
+    let n = index.num_nodes();
+    let a = transition_matrix(index.permuted_graph(), index.dangling_policy());
+    let expect_col_max = a.col_max();
+    let expect_a_max = a.global_max();
+    let c = index.restart_probability();
+    col.check(S, index.a_max().to_bits() == expect_a_max.to_bits(), || {
+        format!("A_max {} disagrees with recomputed {}", index.a_max(), expect_a_max)
+    });
+    let stored = index.a_col_max();
+    for v in 0..n.min(stored.len()).min(expect_col_max.len()) {
+        col.check(S, stored[v].to_bits() == expect_col_max[v].to_bits(), || {
+            format!("A_max(v) at node {v}: stored {} recomputed {}", stored[v], expect_col_max[v])
+        });
+    }
+    let c_prime = index.c_prime();
+    for v in 0..n.min(c_prime.len()) {
+        let a_vv = a.get(v as u32, v as u32).unwrap_or(0.0);
+        let expect = (1.0 - c) / (1.0 - a_vv + c * a_vv);
+        col.check(S, c_prime[v].to_bits() == expect.to_bits(), || {
+            format!("c' at node {v}: stored {} recomputed {}", c_prime[v], expect)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexOptions, KdashError};
+    use kdash_graph::GraphBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sample_index() -> KdashIndex {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut b = GraphBuilder::new(50);
+        for v in 0..50u32 {
+            for _ in 0..4 {
+                let t = rng.gen_range(0..50);
+                if t != v {
+                    b.add_edge(v, t, rng.gen_range(0.5..2.0));
+                }
+            }
+        }
+        KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fresh_index_audits_clean() {
+        let audit = IndexAudit::run(&sample_index());
+        assert!(audit.is_clean(), "findings: {:?}", audit.findings);
+        assert_eq!(audit.sections.len(), 7);
+        assert!(audit.sections.iter().all(|s| s.checks > 0));
+        assert!(audit.clone().into_result().is_ok());
+    }
+
+    #[test]
+    fn both_layouts_audit_clean() {
+        let index = sample_index();
+        for layout in [RowLayout::Flat, RowLayout::Blocked] {
+            let audit = IndexAudit::run(&index.with_layout(layout));
+            assert!(audit.is_clean(), "{layout:?}: {:?}", audit.findings);
+        }
+    }
+
+    #[test]
+    fn reloaded_index_audits_clean() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = KdashIndex::load(buf.as_slice()).unwrap();
+        assert!(IndexAudit::run(&loaded).is_clean());
+        // The v1 upgrade path too.
+        let mut v1 = Vec::new();
+        index.save_v1(&mut v1).unwrap();
+        let upgraded = KdashIndex::load(v1.as_slice()).unwrap();
+        assert!(IndexAudit::run(&upgraded).is_clean());
+    }
+
+    #[test]
+    fn dirty_audit_becomes_typed_error() {
+        let audit = IndexAudit {
+            sections: Vec::new(),
+            findings: vec![AuditFinding { section: "linv", detail: "zero diagonal".into() }],
+            suppressed: 2,
+        };
+        assert!(!audit.is_clean());
+        assert_eq!(audit.total_findings(), 3);
+        let err = audit.into_result().unwrap_err();
+        match err {
+            KdashError::AuditFailed { findings } => {
+                assert_eq!(findings.len(), 2, "one finding + the suppression note");
+                assert!(findings[0].contains("linv: zero diagonal"));
+                assert!(findings[1].contains("2 further"));
+            }
+            other => panic!("expected AuditFailed, got {other:?}"),
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Parallel batch queries.
+//! Parallel batch queries with per-query failure isolation.
 //!
 //! A built [`KdashIndex`] is immutable, hence `Sync`: independent queries
 //! can run on separate threads with zero coordination. Queries are handed
@@ -12,15 +12,85 @@
 //! Each worker owns one [`Searcher`], so the per-query `O(n)` BFS and
 //! scatter buffers are allocated `threads` times per *batch*, not once per
 //! *query*.
+//!
+//! Two failure models are offered:
+//!
+//! * [`batch_top_k`] / [`batch_top_k_with_kernel`] — fail-fast: the first
+//!   error (by lowest query index, deterministically) aborts the batch.
+//! * [`batch_top_k_outcomes`] — isolated: every query reports its own
+//!   [`BatchOutcome`]; one poisoned query (even one that *panics* inside
+//!   the search) costs exactly that query, the other N−1 results are
+//!   bit-identical to running them alone. Each query additionally runs
+//!   wrapped in `catch_unwind`, and a worker whose query panicked
+//!   discards its [`Searcher`] (the panic may have left its scratch
+//!   buffers mid-update) and rebuilds a fresh one for the next claim.
 
-use crate::{GatherKernel, KdashIndex, Result, Searcher, TopKResult};
+use crate::{GatherKernel, KdashError, KdashIndex, QueryBudget, Result, Searcher, TopKResult};
 use kdash_graph::NodeId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Batch execution options: worker count, gather kernel, per-query
+/// budget. The default is "auto threads, adaptive kernel, unlimited
+/// budget" — the fail-fast [`batch_top_k`] semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available hardware thread. Any
+    /// requested count is capped at the batch size, and a single worker
+    /// runs inline on the calling thread.
+    pub threads: usize,
+    /// Gather-kernel selection for every worker, resolved against the
+    /// host once up front (an unsupported request fails typed before any
+    /// thread spawns).
+    pub kernel: GatherKernel,
+    /// Per-query work budget, applied to every query in the batch. A
+    /// query that exceeds it fails with [`KdashError::BudgetExceeded`] —
+    /// under [`batch_top_k_outcomes`] that is one failed outcome, not a
+    /// lost batch.
+    pub budget: QueryBudget,
+}
+
+/// How one query of an isolated batch ended.
+#[derive(Debug, Clone)]
+pub enum BatchOutcome {
+    /// The query completed; the result is bit-identical to running it
+    /// alone with the same kernel and budget.
+    Ok(TopKResult),
+    /// The query failed — invalid input, exceeded budget, or a panic
+    /// inside the search ([`KdashError::QueryPanicked`]). Other queries
+    /// in the batch are unaffected.
+    Failed(KdashError),
+}
+
+impl BatchOutcome {
+    /// True when the query completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BatchOutcome::Ok(_))
+    }
+
+    /// The result, if the query completed.
+    pub fn ok(self) -> Option<TopKResult> {
+        match self {
+            BatchOutcome::Ok(r) => Some(r),
+            BatchOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The error, if the query failed.
+    pub fn err(&self) -> Option<&KdashError> {
+        match self {
+            BatchOutcome::Ok(_) => None,
+            BatchOutcome::Failed(e) => Some(e),
+        }
+    }
+}
 
 /// Runs `top_k` for every query, fanning out over at most `threads`
 /// worker threads with the default ([`GatherKernel::Adaptive`]) gather
 /// kernel. Results are returned in query order; the first error (e.g. an
-/// out-of-bounds query, by lowest query index) aborts the batch.
+/// out-of-bounds query, by lowest query index) aborts the batch. A panic
+/// inside any query surfaces as [`KdashError::QueryPanicked`] instead of
+/// tearing down the caller.
 ///
 /// `threads == 0` means "auto": one worker per available hardware thread
 /// (`std::thread::available_parallelism`). Any requested count is capped
@@ -46,36 +116,166 @@ pub fn batch_top_k_with_kernel(
     threads: usize,
     kernel: GatherKernel,
 ) -> Result<Vec<TopKResult>> {
-    kernel.resolve().map_err(crate::KdashError::from)?;
-    let threads = resolve_threads(threads, queries.len());
+    let options = BatchOptions { threads, kernel, budget: QueryBudget::default() };
+    let slots = run_batch(index, queries, k, &options, true, &|_, _| {})?;
+    // Stitch back into query order. Indices are claimed in increasing
+    // cursor order, so if any query failed, every lower index was claimed
+    // too — scanning in order yields the lowest-index error
+    // deterministically, and reaches it before any index left unclaimed
+    // by the poisoned cursor or by workers stopping on errors.
+    let mut out = Vec::with_capacity(queries.len());
+    for slot in slots {
+        match slot {
+            Some(BatchOutcome::Ok(result)) => out.push(result),
+            Some(BatchOutcome::Failed(e)) => return Err(e),
+            None => {
+                // Unreachable under fail-fast stitching (an unclaimed
+                // index implies an error at a lower index), but a typed
+                // error is the robust answer if the invariant ever broke.
+                return Err(KdashError::QueryPanicked {
+                    message: "worker terminated before reporting a result".into(),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `top_k` for every query with **per-query failure isolation**: the
+/// returned vector has one [`BatchOutcome`] per query, in query order. A
+/// query that fails — invalid input, exceeded [`BatchOptions::budget`],
+/// or a panic inside the search — yields [`BatchOutcome::Failed`] while
+/// every other query still completes, bit-identical to running it alone.
+pub fn batch_top_k_outcomes(
+    index: &KdashIndex,
+    queries: &[NodeId],
+    k: usize,
+    options: &BatchOptions,
+) -> Result<Vec<BatchOutcome>> {
+    batch_top_k_outcomes_with_hook(index, queries, k, options, &|_, _| {})
+}
+
+/// [`batch_top_k_outcomes`] with a pre-query hook `(query index, query
+/// node)` invoked on the worker thread *inside* the panic isolation
+/// boundary. Hidden: exists so the failure-injection tests can make a
+/// chosen query panic without needing a corrupt index.
+#[doc(hidden)]
+pub fn batch_top_k_outcomes_with_hook(
+    index: &KdashIndex,
+    queries: &[NodeId],
+    k: usize,
+    options: &BatchOptions,
+    hook: &(dyn Fn(usize, NodeId) + Sync),
+) -> Result<Vec<BatchOutcome>> {
+    let slots = run_batch(index, queries, k, options, false, hook)?;
+    let mut out = Vec::with_capacity(queries.len());
+    for slot in slots {
+        out.push(slot.unwrap_or_else(|| BatchOutcome::Failed(KdashError::QueryPanicked {
+            message: "worker terminated before reporting a result".into(),
+        })));
+    }
+    Ok(out)
+}
+
+/// Runs one claimed query inside the panic isolation boundary. On a
+/// panic the worker's searcher is discarded (`None`) — the unwound stack
+/// may have left its scratch buffers mid-update — and rebuilt on the
+/// next claim, so one poisoned query cannot contaminate the next.
+fn run_one<'a>(
+    index: &'a KdashIndex,
+    searcher: &mut Option<Searcher<'a>>,
+    options: &BatchOptions,
+    q: NodeId,
+    i: usize,
+    k: usize,
+    hook: &(dyn Fn(usize, NodeId) + Sync),
+) -> BatchOutcome {
+    if searcher.is_none() {
+        match Searcher::with_kernel(index, options.kernel) {
+            Ok(mut s) => {
+                s.set_budget(options.budget);
+                *searcher = Some(s);
+            }
+            Err(e) => return BatchOutcome::Failed(KdashError::from(e)),
+        }
+    }
+    let Some(s) = searcher.as_mut() else {
+        return BatchOutcome::Failed(KdashError::QueryPanicked {
+            message: "searcher unavailable".into(),
+        });
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        hook(i, q);
+        s.top_k(q, k)
+    }));
+    match attempt {
+        Ok(Ok(result)) => BatchOutcome::Ok(result),
+        Ok(Err(e)) => BatchOutcome::Failed(e),
+        Err(payload) => {
+            *searcher = None;
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            BatchOutcome::Failed(KdashError::QueryPanicked { message })
+        }
+    }
+}
+
+/// The shared execution engine: claims queries off the stealing cursor,
+/// runs each through [`run_one`], and returns per-index outcome slots.
+/// With `abort_on_error` the cursor is poisoned on the first failure so
+/// the other workers stop claiming (the batch is doomed; computing the
+/// tail would be wasted work) — unclaimed tail slots stay `None`.
+fn run_batch(
+    index: &KdashIndex,
+    queries: &[NodeId],
+    k: usize,
+    options: &BatchOptions,
+    abort_on_error: bool,
+    hook: &(dyn Fn(usize, NodeId) + Sync),
+) -> Result<Vec<Option<BatchOutcome>>> {
+    options.kernel.resolve().map_err(KdashError::from)?;
+    let threads = resolve_threads(options.threads, queries.len());
     if threads <= 1 {
-        let mut searcher = Searcher::with_kernel(index, kernel).expect("validated above");
-        return queries.iter().map(|&q| searcher.top_k(q, k)).collect();
+        let mut searcher: Option<Searcher<'_>> = None;
+        let mut slots: Vec<Option<BatchOutcome>> = (0..queries.len()).map(|_| None).collect();
+        for (i, &q) in queries.iter().enumerate() {
+            let outcome = run_one(index, &mut searcher, options, q, i, k, hook);
+            let failed = !outcome.is_ok();
+            slots[i] = Some(outcome);
+            if failed && abort_on_error {
+                break;
+            }
+        }
+        return Ok(slots);
     }
 
     // The work-stealing queue is just a claim cursor: fetch_add hands every
     // index to exactly one worker, in order.
     let cursor = AtomicUsize::new(0);
-    let worker_outputs: Vec<Vec<(usize, Result<TopKResult>)>> = std::thread::scope(|scope| {
+    let worker_outputs: Vec<Vec<(usize, BatchOutcome)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut searcher =
-                        Searcher::with_kernel(index, kernel).expect("validated above");
+                    let mut searcher: Option<Searcher<'_>> = None;
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= queries.len() {
                             break;
                         }
-                        let result = searcher.top_k(queries[i], k);
-                        let failed = result.is_err();
-                        produced.push((i, result));
-                        if failed {
+                        let outcome =
+                            run_one(index, &mut searcher, options, queries[i], i, k, hook);
+                        let failed = !outcome.is_ok();
+                        produced.push((i, outcome));
+                        if failed && abort_on_error {
                             // Poison the cursor so the other workers stop
-                            // claiming: the batch is doomed, computing the
-                            // tail would be wasted work. Indices below the
-                            // error were already handed out (the cursor is
+                            // claiming. Indices below the error were
+                            // already handed out (the cursor is
                             // sequential), so the lowest-index error is
                             // still recorded deterministically.
                             cursor.fetch_max(queries.len(), Ordering::Relaxed);
@@ -86,28 +286,18 @@ pub fn batch_top_k_with_kernel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+        // Workers never unwind — run_one catches query panics — so a
+        // failed join can only mean a panic in the claim loop itself;
+        // treat its claims as lost rather than tearing down the caller.
+        handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
     });
 
-    // Stitch back into query order. Indices are claimed in increasing
-    // cursor order, so if any query failed, every lower index was claimed
-    // too — scanning in order yields the lowest-index error
-    // deterministically, and reaches it before any index left unclaimed
-    // by the poisoned cursor or by workers stopping on errors.
-    let mut slots: Vec<Option<Result<TopKResult>>> = (0..queries.len()).map(|_| None).collect();
-    for (i, result) in worker_outputs.into_iter().flatten() {
+    let mut slots: Vec<Option<BatchOutcome>> = (0..queries.len()).map(|_| None).collect();
+    for (i, outcome) in worker_outputs.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "query {i} claimed twice");
-        slots[i] = Some(result);
+        slots[i] = Some(outcome);
     }
-    let mut out = Vec::with_capacity(queries.len());
-    for slot in slots {
-        match slot {
-            Some(Ok(result)) => out.push(result),
-            Some(Err(e)) => return Err(e),
-            None => unreachable!("an unclaimed index implies an error at a lower index"),
-        }
-    }
-    Ok(out)
+    Ok(slots)
 }
 
 /// Resolves the requested worker count: `0` = auto-detect, always at least
@@ -248,5 +438,104 @@ mod tests {
         assert_eq!(resolve_threads(5, 2), 2);
         assert_eq!(resolve_threads(5, 100), 5);
         assert_eq!(resolve_threads(1, 0), 1);
+    }
+
+    #[test]
+    fn outcomes_isolate_bad_queries() {
+        let g = graph(30, 9);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries = vec![0, 99, 5, 200, 11]; // two out of bounds
+        for threads in [1, 3] {
+            let options = BatchOptions { threads, ..Default::default() };
+            let outcomes = batch_top_k_outcomes(&index, &queries, 4, &options).unwrap();
+            assert_eq!(outcomes.len(), queries.len());
+            assert!(outcomes[0].is_ok() && outcomes[2].is_ok() && outcomes[4].is_ok());
+            assert!(matches!(
+                outcomes[1].err(),
+                Some(KdashError::NodeOutOfBounds { node: 99, .. })
+            ));
+            assert!(matches!(
+                outcomes[3].err(),
+                Some(KdashError::NodeOutOfBounds { node: 200, .. })
+            ));
+            // The good outcomes are bit-identical to solo runs.
+            let solo = batch_top_k(&index, &[0, 5, 11], 4, 1).unwrap();
+            let good: Vec<TopKResult> = outcomes
+                .into_iter()
+                .filter_map(|o| o.ok())
+                .collect();
+            assert_same_results(&good, &solo);
+        }
+    }
+
+    #[test]
+    fn outcomes_apply_the_budget_per_query() {
+        let g = graph(60, 12);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let options = BatchOptions {
+            threads: 1,
+            budget: QueryBudget { max_frontier_nodes: Some(1), ..Default::default() },
+            ..Default::default()
+        };
+        let outcomes = batch_top_k_outcomes(&index, &[0, 1], 5, &options).unwrap();
+        for o in &outcomes {
+            assert!(matches!(o.err(), Some(KdashError::BudgetExceeded { .. })), "{o:?}");
+        }
+    }
+
+    #[test]
+    fn panicking_query_costs_only_itself() {
+        let g = graph(40, 13);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let queries: Vec<NodeId> = (0..10).collect();
+        for threads in [1, 4] {
+            let options = BatchOptions { threads, ..Default::default() };
+            let outcomes = batch_top_k_outcomes_with_hook(
+                &index,
+                &queries,
+                3,
+                &options,
+                &|i, _q| {
+                    if i == 4 {
+                        panic!("injected failure for query 4");
+                    }
+                },
+            )
+            .unwrap();
+            for (i, o) in outcomes.iter().enumerate() {
+                if i == 4 {
+                    match o.err() {
+                        Some(KdashError::QueryPanicked { message }) => {
+                            assert!(message.contains("injected failure"), "{message}");
+                        }
+                        other => panic!("expected QueryPanicked, got {other:?}"),
+                    }
+                } else {
+                    assert!(o.is_ok(), "query {i} must survive the poisoned neighbour");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_batch_reports_panic_as_typed_error() {
+        // The fail-fast API must also survive a panicking query: the
+        // whole batch errors, but with a typed error, not an unwind.
+        let g = graph(20, 14);
+        let index = KdashIndex::build(&g, IndexOptions::default()).unwrap();
+        let options = BatchOptions { threads: 2, ..Default::default() };
+        let slots = run_batch(&index, &[0, 1, 2, 3], 3, &options, true, &|i, _| {
+            if i == 1 {
+                panic!("boom");
+            }
+        })
+        .unwrap();
+        let failed: Vec<_> =
+            slots.iter().flatten().filter(|o| !o.is_ok()).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(matches!(
+            failed[0].err(),
+            Some(KdashError::QueryPanicked { .. })
+        ));
     }
 }

@@ -141,7 +141,41 @@
 //!   next block of candidate rows' index/value spans while the current
 //!   row gathers, restoring memory-level parallelism on DRAM-resident
 //!   indexes.
+//!
+//! ## Operational guarantees
+//!
+//! Exactness is the brand, so the failure modes are engineered to be
+//! *loud* rather than approximate:
+//!
+//! * **Crash-safe writes** — [`persist::save_atomic`] writes a temp file,
+//!   fsyncs it, and renames it over the destination (then fsyncs the
+//!   directory), so an interrupted save leaves the previous index intact.
+//!   `kdash build` and `kdash update --out` both go through it.
+//! * **Corruption detection** — the v4 on-disk format checksums every
+//!   section (graph, `L⁻¹`, `U⁻¹`, row stats, estimator, trailer) with
+//!   CRC32 plus a whole-file footer; [`KdashIndex::load`] reports a typed
+//!   [`persist::PersistError`] naming the failing section and byte
+//!   offset. Older (v1–v3) files still load, flagged unchecksummed in
+//!   [`persist::LoadInfo`].
+//! * **Deep auditing** — [`audit::IndexAudit::run`] re-verifies every
+//!   structural invariant of a loaded or patched index (triangularity,
+//!   permutation bijectivity, blocked-layout encoding, row stats,
+//!   estimator constants recomputed bit-for-bit). Exposed as
+//!   `kdash verify <index>` and as an opt-in post-update check on the
+//!   dynamic engine (`DynamicIndex::verify_after_apply`).
+//! * **Batch failure isolation** — [`batch_top_k_outcomes`] wraps every
+//!   query in `catch_unwind`: one poisoned query yields one
+//!   [`BatchOutcome::Failed`] while the other queries complete with
+//!   bit-identical results. ([`batch_top_k`] keeps fail-fast semantics,
+//!   returning the lowest-index error — now including panics as typed
+//!   [`KdashError::QueryPanicked`] instead of propagating the unwind.)
+//! * **Query budgets** — a [`QueryBudget`] on a [`Searcher`] (or
+//!   [`batch::BatchOptions`]) bounds frontier visits, gathered `U⁻¹`
+//!   entries, and wall clock per query; a query that would exceed a
+//!   ceiling aborts with a typed [`KdashError::BudgetExceeded`] carrying
+//!   its [`SearchStats`] — never a silently truncated "exact" answer.
 
+pub mod audit;
 pub mod batch;
 pub mod estimator;
 pub mod ordering;
@@ -152,15 +186,19 @@ pub mod search;
 pub mod searcher;
 pub mod stats;
 
-pub use batch::{batch_top_k, batch_top_k_with_kernel};
+pub use audit::{AuditFinding, AuditSection, IndexAudit};
+pub use batch::{
+    batch_top_k, batch_top_k_outcomes, batch_top_k_with_kernel, BatchOptions, BatchOutcome,
+};
 pub use estimator::{ArbitraryOrderBound, LayerEstimator};
 pub use ordering::{compute_ordering, compute_ordering_with_stats, NodeOrdering, OrderingStats};
+pub use persist::{save_atomic, LoadInfo, PersistError};
 pub use pipeline::{BuildReport, BuildStage, IndexBuilder, StageTiming};
 pub use precompute::{IndexOptions, KdashIndex};
 #[doc(hidden)]
 pub use precompute::IndexPatch;
 pub use search::{RankedNode, TopKResult};
-pub use searcher::Searcher;
+pub use searcher::{BudgetLimit, QueryBudget, Searcher};
 pub use stats::{IndexStats, SearchStats};
 
 /// The gather-kernel selector and the `U⁻¹` row-layout selector,
@@ -187,6 +225,17 @@ pub enum KdashError {
     Graph(kdash_graph::GraphError),
     /// Propagated sparse-kernel error.
     Sparse(kdash_sparse::SparseError),
+    /// A query exceeded its [`QueryBudget`]: `limit` names the ceiling
+    /// that fired and `stats` carries the work accumulated up to the
+    /// abort. The query has no answer — budgets abort, never truncate.
+    BudgetExceeded { limit: BudgetLimit, stats: Box<SearchStats> },
+    /// A query panicked inside a batch worker and was isolated by
+    /// `catch_unwind`; `message` is the panic payload when it was a
+    /// string. The rest of the batch is unaffected.
+    QueryPanicked { message: String },
+    /// A deep structural audit ([`IndexAudit::run`]) found invariant
+    /// violations; each entry is `"<section>: <detail>"`.
+    AuditFailed { findings: Vec<String> },
 }
 
 impl std::fmt::Display for KdashError {
@@ -206,6 +255,24 @@ impl std::fmt::Display for KdashError {
             }
             KdashError::Graph(e) => write!(f, "graph error: {e}"),
             KdashError::Sparse(e) => write!(f, "sparse error: {e}"),
+            KdashError::BudgetExceeded { limit, stats } => {
+                write!(
+                    f,
+                    "query aborted: {limit} exceeded after visiting {} nodes \
+                     ({} stored entries gathered)",
+                    stats.visited, stats.nnz_gathered
+                )
+            }
+            KdashError::QueryPanicked { message } => {
+                write!(f, "query panicked: {message}")
+            }
+            KdashError::AuditFailed { findings } => {
+                write!(f, "index audit failed with {} finding(s)", findings.len())?;
+                if let Some(first) = findings.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -57,6 +57,7 @@ use crate::{
 use kdash_graph::{BfsScratch, NodeId};
 use kdash_sparse::{GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, ScatteredColumn};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Candidate rows per prefetch block: when the visit cursor enters a new
 /// block, the whole block's `U⁻¹` row spans are software-prefetched before
@@ -65,6 +66,98 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// serialising behind it. Small enough that a Lemma 2 termination wastes
 /// at most a handful of speculative prefetches.
 const PREFETCH_BLOCK: usize = 8;
+
+/// The resource ceiling a runaway query hit first — carried inside
+/// [`KdashError::BudgetExceeded`] so callers can tell *which* knob fired
+/// without parsing a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetLimit {
+    /// [`QueryBudget::max_frontier_nodes`] was reached.
+    FrontierNodes(usize),
+    /// [`QueryBudget::max_gather_nnz`] was reached.
+    GatherNnz(usize),
+    /// [`QueryBudget::deadline`] elapsed.
+    Deadline(Duration),
+}
+
+impl std::fmt::Display for BudgetLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetLimit::FrontierNodes(n) => write!(f, "frontier budget of {n} visited nodes"),
+            BudgetLimit::GatherNnz(n) => write!(f, "gather budget of {n} stored entries"),
+            BudgetLimit::Deadline(d) => write!(f, "wall-clock deadline of {d:?}"),
+        }
+    }
+}
+
+/// Per-query resource ceilings for serving tiers that cannot let one
+/// pathological query monopolise a worker. The default is unlimited —
+/// exactly the pre-budget behaviour, bit for bit.
+///
+/// Budgets never truncate: a query that would exceed a ceiling is
+/// *aborted* with [`KdashError::BudgetExceeded`] (carrying the
+/// [`SearchStats`] accumulated so far), never answered with a silently
+/// incomplete "exact" result. The two work meters are deterministic and
+/// execution-strategy-independent — `max_frontier_nodes` counts visited
+/// candidates and `max_gather_nnz` counts stored `U⁻¹` entries of
+/// gathered rows, both identical across kernels, layouts and thread
+/// counts — so the same budget admits exactly the same queries
+/// everywhere. Only `deadline` is inherently wall-clock (and therefore
+/// machine-dependent); use it as the outermost safety net.
+///
+/// Checks run once per candidate visit, *before* the candidate's work,
+/// so a budget of `N` admits at most `N` whole units — a partial visit
+/// is never half-charged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Abort once this many candidates have been visited (frontier work).
+    pub max_frontier_nodes: Option<usize>,
+    /// Abort once the gathered rows' stored entries reach this total
+    /// (proximity work — the dominant cost on dense hub rows).
+    pub max_gather_nnz: Option<usize>,
+    /// Abort once this much wall clock has elapsed since the query began.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryBudget {
+    /// No limits — the default, bit-identical to pre-budget behaviour.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// The clock anchor for [`deadline`](Self::deadline); `None` when no
+    /// deadline is set so unbudgeted queries never touch the clock.
+    #[inline]
+    fn start(&self) -> Option<Instant> {
+        self.deadline.map(|_| Instant::now())
+    }
+
+    /// The first ceiling the running totals have reached, if any.
+    #[inline]
+    fn exceeded(
+        &self,
+        visited: usize,
+        gathered_nnz: usize,
+        started: Option<Instant>,
+    ) -> Option<BudgetLimit> {
+        if let Some(max) = self.max_frontier_nodes {
+            if visited >= max {
+                return Some(BudgetLimit::FrontierNodes(max));
+            }
+        }
+        if let Some(max) = self.max_gather_nnz {
+            if gathered_nnz >= max {
+                return Some(BudgetLimit::GatherNnz(max));
+            }
+        }
+        if let (Some(deadline), Some(started)) = (self.deadline, started) {
+            if started.elapsed() >= deadline {
+                return Some(BudgetLimit::Deadline(deadline));
+            }
+        }
+        None
+    }
+}
 
 /// Fixed-capacity min-heap keeping the K largest `(proximity, node)` pairs.
 /// θ (the K-th best proximity so far) is the root once the heap is full.
@@ -193,6 +286,8 @@ pub struct Searcher<'a> {
     counters: GatherCounters,
     /// Visit position up to which candidate rows have been prefetched.
     prefetched_until: usize,
+    /// Per-query resource ceilings (default: unlimited).
+    budget: QueryBudget,
 }
 
 impl<'a> Searcher<'a> {
@@ -212,6 +307,7 @@ impl<'a> Searcher<'a> {
             scratch: GatherScratch::with_capacity(index.uinv_rows().max_row_nnz()),
             counters: GatherCounters::default(),
             prefetched_until: 0,
+            budget: QueryBudget::default(),
         }
     }
 
@@ -242,6 +338,27 @@ impl<'a> Searcher<'a> {
     /// The index this workspace serves.
     pub fn index(&self) -> &'a KdashIndex {
         self.index
+    }
+
+    /// Installs per-query resource ceilings for every subsequent query on
+    /// this workspace. `QueryBudget::default()` removes them again.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// The active per-query budget.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
+    }
+
+    /// The typed abort for a query that hit a budget ceiling: folds the
+    /// traversal and gather progress made so far into the carried stats so
+    /// the caller can see exactly how far the runaway got. The workspace
+    /// itself stays fully reusable — every entry point re-seeds its state.
+    #[cold]
+    fn budget_abort(&self, limit: BudgetLimit, mut stats: SearchStats) -> KdashError {
+        self.record_traversal(&mut stats);
+        KdashError::BudgetExceeded { limit, stats: Box::new(stats) }
     }
 
     /// Shared single-root query prologue: validates `q`, seeds the lazy
@@ -319,6 +436,7 @@ impl<'a> Searcher<'a> {
         stats.value_bytes_touched = self.counters.value_bytes;
         stats.rows_scalar = self.counters.rows_scalar;
         stats.rows_wide = self.counters.rows_wide;
+        stats.nnz_gathered = self.counters.nnz;
         stats.kernel = self.kernel.name();
     }
 
@@ -376,6 +494,7 @@ impl<'a> Searcher<'a> {
             while self.bfs.expand_next_layer(index.permuted_graph()) > 0 {}
         }
         let c = index.restart_probability();
+        let started = self.budget.start();
 
         self.heap.reset(k);
         let mut estimator = LayerEstimator::new(index.a_max());
@@ -388,6 +507,9 @@ impl<'a> Searcher<'a> {
         // the complete order.)
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats));
+            }
             self.prefetch_block(pos);
             stats.visited += 1;
             let layer = self.bfs.layer(u);
@@ -434,11 +556,15 @@ impl<'a> Searcher<'a> {
         }
         self.prepare_query(q)?;
         let c = index.restart_probability();
+        let started = self.budget.start();
 
         self.heap.reset(k);
         let mut stats = SearchStats::default();
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats));
+            }
             self.prefetch_block(pos);
             stats.visited += 1;
             let p = c * self.gather(u);
@@ -470,12 +596,16 @@ impl<'a> Searcher<'a> {
         }
         self.prepare_query(q)?;
         let c = index.restart_probability();
+        let started = self.budget.start();
 
         self.hits.clear();
         let mut estimator = LayerEstimator::new(index.a_max());
         let mut stats = SearchStats::default();
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats));
+            }
             self.prefetch_block(pos);
             stats.visited += 1;
             let layer = self.bfs.layer(u);
@@ -533,6 +663,7 @@ impl<'a> Searcher<'a> {
         self.bfs.begin_multi(index.permuted_graph(), &roots);
         self.sources_p = roots;
         let c = index.restart_probability();
+        let started = self.budget.start();
 
         self.heap.reset(k);
         let mut estimator = LayerEstimator::new(index.a_max());
@@ -540,6 +671,9 @@ impl<'a> Searcher<'a> {
 
         let mut pos = 0;
         while let Some(u) = self.next_visit(pos) {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats));
+            }
             self.prefetch_block(pos);
             stats.visited += 1;
             let layer = self.bfs.layer(u);
@@ -604,6 +738,7 @@ impl<'a> Searcher<'a> {
         self.column.load(col_idx, col_val);
         self.counters.reset();
         let c = index.restart_probability();
+        let started = self.budget.start();
 
         self.heap.reset(k);
         let mut bound_state = ArbitraryOrderBound::new(index.a_max());
@@ -617,6 +752,9 @@ impl<'a> Searcher<'a> {
         let uinv = index.uinv();
         let order = self.bfs.order();
         for (i, &u) in order.iter().enumerate() {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats));
+            }
             if i % PREFETCH_BLOCK == 0 {
                 for &v in &order[i..(i + PREFETCH_BLOCK).min(order.len())] {
                     uinv.prefetch_row(v);
@@ -638,6 +776,9 @@ impl<'a> Searcher<'a> {
         }
         let n = index.num_nodes() as NodeId;
         for v in 0..n {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats));
+            }
             // Same candidate batching for the unreached tail (which can be
             // most of the graph when the root's component is small):
             // prefetch the block's unreached rows before gathering them.
@@ -900,5 +1041,106 @@ mod tests {
         }
         // The workspace stays usable after a rejected query.
         assert!(s.nodes_above(0, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn frontier_budget_aborts_with_typed_error_and_stats() {
+        let index = tiny_index();
+        let mut s = index.searcher();
+        s.set_budget(QueryBudget {
+            max_frontier_nodes: Some(2),
+            ..QueryBudget::default()
+        });
+        match s.top_k(0, 6) {
+            Err(KdashError::BudgetExceeded { limit, stats }) => {
+                assert_eq!(limit, BudgetLimit::FrontierNodes(2));
+                assert_eq!(stats.visited, 2, "the budget admits exactly 2 visits");
+                assert!(stats.proximity_computations <= 2);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // The same workspace answers exactly once the budget is lifted.
+        s.set_budget(QueryBudget::unlimited());
+        let a = s.top_k(0, 6).unwrap();
+        let b = index.searcher().top_k(0, 6).unwrap();
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_budget_meters_stored_entries() {
+        let index = tiny_index();
+        let mut s = index.searcher();
+        s.set_budget(QueryBudget { max_gather_nnz: Some(1), ..QueryBudget::default() });
+        match s.top_k(0, 6) {
+            Err(KdashError::BudgetExceeded { limit, stats }) => {
+                assert_eq!(limit, BudgetLimit::GatherNnz(1));
+                assert!(stats.nnz_gathered >= 1, "the abort carries the running total");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgets_cover_every_entry_point() {
+        let index = tiny_index();
+        let mut s = index.searcher();
+        s.set_budget(QueryBudget {
+            max_frontier_nodes: Some(1),
+            ..QueryBudget::default()
+        });
+        assert!(matches!(s.top_k(0, 6), Err(KdashError::BudgetExceeded { .. })));
+        assert!(matches!(s.top_k_unpruned(0, 6), Err(KdashError::BudgetExceeded { .. })));
+        assert!(matches!(s.nodes_above(0, 1e-6), Err(KdashError::BudgetExceeded { .. })));
+        assert!(matches!(
+            s.top_k_from_set(&[0, 3], 6),
+            Err(KdashError::BudgetExceeded { .. })
+        ));
+        assert!(matches!(
+            s.top_k_from_root(0, 6, 2),
+            Err(KdashError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_work() {
+        let index = tiny_index();
+        let mut s = index.searcher();
+        s.set_budget(QueryBudget {
+            deadline: Some(Duration::ZERO),
+            ..QueryBudget::default()
+        });
+        match s.top_k(0, 3) {
+            Err(KdashError::BudgetExceeded { limit, stats }) => {
+                assert_eq!(limit, BudgetLimit::Deadline(Duration::ZERO));
+                assert_eq!(stats.visited, 0);
+                assert_eq!(stats.proximity_computations, 0);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_no_budget() {
+        let index = tiny_index();
+        let mut budgeted = index.searcher();
+        budgeted.set_budget(QueryBudget {
+            max_frontier_nodes: Some(usize::MAX),
+            max_gather_nnz: Some(usize::MAX),
+            deadline: Some(Duration::from_secs(3600)),
+            ..QueryBudget::default()
+        });
+        let mut plain = index.searcher();
+        for q in 0..6u32 {
+            let a = budgeted.top_k(q, 4).unwrap();
+            let b = plain.top_k(q, 4).unwrap();
+            assert_eq!(a.stats, b.stats, "budget checks must not perturb the search");
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+            }
+        }
     }
 }

@@ -104,6 +104,13 @@ pub struct SearchStats {
     pub rows_scalar: usize,
     /// Candidate rows dispatched to a wide (unrolled/AVX2) kernel.
     pub rows_wide: usize,
+    /// Stored `U⁻¹` entries of every gathered row — the work metric
+    /// [`QueryBudget::max_gather_nnz`](crate::QueryBudget) meters.
+    /// Layout- and kernel-independent by construction (it counts stored
+    /// entries, not executed loads), so the same budget admits the same
+    /// queries under every execution strategy. Zero on paths that never
+    /// run the gather kernel.
+    pub nnz_gathered: usize,
     /// The resolved gather kernel that produced this query's proximities
     /// (e.g. `"scalar"`, `"avx2"`, `"adaptive(avx2)"`), recorded so
     /// `auto`/`adaptive` resolutions are reproducible from logs. Empty on
@@ -123,6 +130,7 @@ impl SearchStats {
             value_bytes_touched: 0,
             rows_scalar: 0,
             rows_wide: 0,
+            nnz_gathered: 0,
             kernel: "",
             ..self.clone()
         }

@@ -107,6 +107,8 @@ pub struct DynamicIndex {
     factors: Option<LuFactors>,
     /// Worker threads for the dirty-column re-solves (`0` = all cores).
     threads: usize,
+    /// Run the full structural audit after every committed batch.
+    verify_after_apply: bool,
 }
 
 impl DynamicIndex {
@@ -137,7 +139,7 @@ impl DynamicIndex {
                 Some(sparse_lu(&w)?)
             }
         };
-        let engine = DynamicIndex { index, factors, threads: 1 };
+        let engine = DynamicIndex { index, factors, threads: 1, verify_after_apply: false };
         engine.probe_consistency()?;
         Ok(engine)
     }
@@ -213,6 +215,20 @@ impl DynamicIndex {
     /// build pipeline's inversion stage).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Opt into running the full structural audit
+    /// ([`kdash_core::IndexAudit`]) after every committed batch:
+    /// triangularity of the spliced inverses, blocked-encoding decode
+    /// contract, policy-table and estimator coherence. The audit runs
+    /// *after* the patch is installed — a finding means the committed
+    /// state is damaged and [`apply`](Self::apply) returns
+    /// [`kdash_core::KdashError::AuditFailed`]; treat the index as
+    /// suspect and rebuild or reload it. Costs one full pass over the
+    /// stored arrays per batch (off by default).
+    pub fn verify_after_apply(mut self, verify: bool) -> Self {
+        self.verify_after_apply = verify;
         self
     }
 
@@ -338,6 +354,9 @@ impl DynamicIndex {
         self.index.install_patch(patch)?;
         self.factors = engine_factors;
         report.estimator_time = t.elapsed();
+        if self.verify_after_apply {
+            kdash_core::IndexAudit::run(&self.index).into_result()?;
+        }
         Ok(report)
     }
 

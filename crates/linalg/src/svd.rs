@@ -79,13 +79,15 @@ impl Svd {
     }
 
     /// Reconstruction `U diag(S) Vᵀ x` — used by tests and by baselines
-    /// that need the approximated operator.
-    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let mut tmp = self.vt.matvec(x).expect("svd dims");
+    /// that need the approximated operator. Fails typed
+    /// ([`LinalgError::DimensionMismatch`]) when `x` does not match the
+    /// decomposition's column count.
+    pub fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut tmp = self.vt.matvec(x)?;
         for (t, s) in tmp.iter_mut().zip(&self.s) {
             *t *= s;
         }
-        self.u.matvec(&tmp).expect("svd dims")
+        self.u.matvec(&tmp)
     }
 
     /// Dense reconstruction, `O(m · n · rank)` — test helper.
@@ -267,11 +269,13 @@ mod tests {
         let a = DenseMatrix::from_fn(7, 5, |_, _| rng.gen_range(-1.0..1.0));
         let svd = randomized_svd(&a, 5, SvdOptions::default()).unwrap();
         let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let via_apply = svd.apply(&x);
+        let via_apply = svd.apply(&x).unwrap();
         let via_dense = svd.to_dense().matvec(&x).unwrap();
         for (p, q) in via_apply.iter().zip(&via_dense) {
             assert!((p - q).abs() < 1e-10);
         }
+        // A mismatched input is a typed error, not a panic.
+        assert!(svd.apply(&[1.0]).is_err());
     }
 
     #[test]

@@ -317,6 +317,12 @@ pub struct GatherCounters {
     pub index_bytes: usize,
     /// Value bytes touched under the accounting model above.
     pub value_bytes: usize,
+    /// Stored entries of every gathered row, independent of layout and
+    /// kernel arm — the query-budget currency (`QueryBudget`'s
+    /// `max_gather_nnz` meters this), deliberately identical across
+    /// execution strategies so a budget cannot change *which* queries
+    /// complete under a different kernel.
+    pub nnz: usize,
 }
 
 impl GatherCounters {

@@ -242,6 +242,7 @@ impl ProximityStore {
         let stat = self.row_stats[r as usize];
         let arm = kernel.arm_for(stat, buf);
         counters.index_bytes += self.row_index_bytes(r);
+        counters.nnz += stat.nnz as usize;
         match (&self.rows, arm) {
             (RowStorage::Flat(m), None) => {
                 let (cols, vals) = m.row(r);

@@ -1,8 +1,12 @@
 //! Failure injection: every crate's error surface behaves — invalid
 //! inputs are rejected with typed errors, never panics or wrong answers.
 
-use kdash_core::{IndexOptions, KdashError, KdashIndex};
-use kdash_graph::{io::read_edge_list, GraphBuilder, GraphError, MergePolicy, Permutation};
+use kdash_core::batch::batch_top_k_outcomes_with_hook;
+use kdash_core::{
+    batch_top_k_outcomes, BatchOptions, BudgetLimit, IndexOptions, KdashError, KdashIndex,
+    QueryBudget,
+};
+use kdash_graph::{io::read_edge_list, GraphBuilder, GraphError, MergePolicy, NodeId, Permutation};
 use kdash_linalg::{invert_dense, DenseMatrix, LinalgError};
 use kdash_sparse::{sparse_lu, CscMatrix, SparseError};
 
@@ -130,6 +134,121 @@ fn degenerate_graphs_still_work() {
     let p = index.full_proximities(0).unwrap();
     assert!((p[0] - 1.0).abs() < 1e-9, "walk can never leave node 0: {}", p[0]);
     assert_eq!(p[1], 0.0);
+}
+
+fn ring_index() -> KdashIndex {
+    let mut b = GraphBuilder::new(30);
+    for v in 0..30u32 {
+        b.add_edge(v, (v + 1) % 30, 1.0);
+        b.add_edge(v, (v + 11) % 30, 0.5);
+    }
+    KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap()
+}
+
+/// One poisoned query in a batch must cost exactly that query: the other
+/// N−1 results come back bit-identical to an uncontaminated batch, and
+/// the poisoned slot carries a typed [`KdashError::QueryPanicked`] — the
+/// panic never reaches the caller and never tears down a worker pool.
+#[test]
+fn batch_isolates_a_panicking_query() {
+    let index = ring_index();
+    let queries: Vec<NodeId> = (0..12).collect();
+    let k = 8;
+    const BAD: usize = 5;
+
+    for threads in [1, 4] {
+        let options = BatchOptions { threads, ..Default::default() };
+        let clean = batch_top_k_outcomes(&index, &queries, k, &options).unwrap();
+        let poisoned = batch_top_k_outcomes_with_hook(
+            &index,
+            &queries,
+            k,
+            &options,
+            &|i, q| {
+                if i == BAD {
+                    panic!("injected fault at query {q}")
+                }
+            },
+        )
+        .unwrap();
+
+        assert_eq!(poisoned.len(), queries.len());
+        for (i, (a, b)) in clean.iter().zip(&poisoned).enumerate() {
+            if i == BAD {
+                match b.err() {
+                    Some(KdashError::QueryPanicked { message }) => {
+                        assert!(
+                            message.contains("injected fault"),
+                            "panic payload must be preserved: {message}"
+                        );
+                    }
+                    other => panic!("query {BAD} should be QueryPanicked, got {other:?}"),
+                }
+                continue;
+            }
+            let (a, b) = (a.clone().ok().unwrap(), b.clone().ok().unwrap());
+            assert_eq!(a.nodes(), b.nodes(), "query {i} ({threads} threads)");
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert_eq!(
+                    x.proximity.to_bits(),
+                    y.proximity.to_bits(),
+                    "query {i} node {} must be bit-identical to the clean batch",
+                    x.node
+                );
+            }
+        }
+    }
+}
+
+/// A starved per-query budget fails every query with a typed
+/// [`KdashError::BudgetExceeded`] that names the limit and carries the
+/// search counters at the abort point; a generous budget changes nothing.
+#[test]
+fn batch_budget_exhaustion_is_typed_and_carries_stats() {
+    let index = ring_index();
+    let queries: Vec<NodeId> = (0..6).collect();
+    let k = 10;
+
+    let starved = BatchOptions {
+        budget: QueryBudget { max_gather_nnz: Some(1), ..Default::default() },
+        ..Default::default()
+    };
+    for (i, outcome) in batch_top_k_outcomes(&index, &queries, k, &starved)
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        match outcome.err() {
+            Some(KdashError::BudgetExceeded { limit, stats }) => {
+                assert!(
+                    matches!(limit, BudgetLimit::GatherNnz(1)),
+                    "query {i}: wrong limit {limit:?}"
+                );
+                assert!(stats.nnz_gathered >= 1, "abort must carry the running total");
+                assert!(stats.visited >= 1, "at least the root was visited");
+            }
+            other => panic!("query {i} should exceed its budget, got {other:?}"),
+        }
+    }
+
+    // A budget generous enough to never fire must not perturb results.
+    let generous = BatchOptions {
+        budget: QueryBudget {
+            max_frontier_nodes: Some(1_000_000),
+            max_gather_nnz: Some(1_000_000),
+            deadline: Some(std::time::Duration::from_secs(3600)),
+        },
+        ..Default::default()
+    };
+    let unbudgeted = batch_top_k_outcomes(&index, &queries, k, &BatchOptions::default()).unwrap();
+    let budgeted = batch_top_k_outcomes(&index, &queries, k, &generous).unwrap();
+    for (a, b) in unbudgeted.into_iter().zip(budgeted) {
+        let (a, b) = (a.ok().unwrap(), b.ok().unwrap());
+        assert_eq!(a.nodes(), b.nodes());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.proximity.to_bits(), y.proximity.to_bits());
+        }
+    }
 }
 
 #[test]

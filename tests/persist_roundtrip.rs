@@ -6,7 +6,7 @@
 //! ulp across a save/load cycle would break the exactness guarantee the
 //! whole system is named for.
 
-use kdash_core::{IndexOptions, KdashIndex, NodeOrdering, RowLayout};
+use kdash_core::{IndexAudit, IndexOptions, KdashIndex, NodeOrdering, PersistError, RowLayout};
 use kdash_graph::{CsrGraph, GraphBuilder, NodeId};
 use proptest::prelude::*;
 
@@ -139,8 +139,8 @@ fn sample_index() -> (KdashIndex, Vec<u8>) {
 }
 
 // Header layout: magic(8) + version(4) + c(8) + ordering tag(1) +
-// seed(8) + n(8) = 37 bytes.
-const HEADER_LEN: usize = 37;
+// seed(8) + n(8) = 37 bytes, followed by the 4-byte header CRC.
+const HEADER_LEN: usize = 41;
 
 #[test]
 fn every_header_truncation_is_rejected() {
@@ -179,27 +179,44 @@ fn corrupt_restart_probability_is_rejected() {
     assert!(KdashIndex::load(buf.as_slice()).is_err());
 }
 
-/// Byte offsets of the v2-specific sections (layout tag, blocked arrays,
-/// row-stats table) inside a saved buffer, computed from the index's own
-/// counts so the corruption tests stay exact as the format is what
-/// `save` actually wrote.
+/// Section boundaries of a saved buffer, straight from the writer's own
+/// bookkeeping (`save_with_section_offsets`): `(name, end offset)` where
+/// the offset is one past that section's 4-byte CRC field, and the
+/// `"footer"` entry equals the file length.
+fn section_marks(index: &KdashIndex) -> Vec<(&'static str, usize)> {
+    let mut sink = Vec::new();
+    index
+        .save_with_section_offsets(&mut sink)
+        .unwrap()
+        .into_iter()
+        .map(|(name, off)| (name, off as usize))
+        .collect()
+}
+
+fn mark(marks: &[(&'static str, usize)], name: &str) -> usize {
+    marks
+        .iter()
+        .find(|(s, _)| *s == name)
+        .unwrap_or_else(|| panic!("no section mark named {name}"))
+        .1
+}
+
+/// Byte offsets of the blocked-U⁻¹ internals (layout tag, blocked
+/// arrays, row-stats table), anchored on the writer's section marks and
+/// walked forward with the index's own counts so the corruption tests
+/// stay exact against what `save` actually wrote.
 fn v2_section_offsets(index: &KdashIndex) -> (usize, usize, usize) {
     let n = index.num_nodes();
-    let m = index.stats().num_edges;
-    let nnz_l = index.stats().nnz_l_inv;
-    let nnz_u = index.stats().nnz_u_inv;
     let runs = index.uinv_rows().as_blocked().expect("blocked default").num_runs();
-    let layout_off = HEADER_LEN            // magic..n
-        + 4 * n                            // permutation
-        + 8 * (n + 1) + 8 + 12 * m         // graph
-        + 8 * (n + 1) + 8 + 12 * nnz_l;    // L⁻¹ CSC
+    let marks = section_marks(index);
+    let layout_off = mark(&marks, "linv"); // U⁻¹ starts where L⁻¹'s CRC ends
     let deltas_off = layout_off + 1        // layout tag
         + 8 * (n + 1)                      // blocked row_ptr
         + 8                                // run count
         + 8 * (n + 1)                      // run_ptr
         + 4 * runs + 4 * runs              // run_base + run_end
         + 8;                               // nnz
-    let stats_off = deltas_off + 2 * nnz_u + 8 * nnz_u; // deltas + values
+    let stats_off = mark(&marks, "uinv"); // row-stats start where U⁻¹'s CRC ends
     (layout_off, deltas_off, stats_off)
 }
 
@@ -263,4 +280,95 @@ fn inflated_node_count_is_rejected() {
     // EOF or fail the bijection validation — both must surface as errors.
     buf[29..37].copy_from_slice(&1_000_000u64.to_le_bytes());
     assert!(KdashIndex::load(buf.as_slice()).is_err());
+}
+
+/// The full corruption sweep the v4 checksums exist for: flip a byte at
+/// every section boundary (last payload byte, each CRC byte, first byte
+/// of the next section) and at sampled interior offsets covering every
+/// section — every single mutation must come back as a typed
+/// [`PersistError`], never a panic, never a silently-wrong index.
+#[test]
+fn every_flipped_byte_is_detected() {
+    let (index, buf) = sample_index();
+    let marks = section_marks(&index);
+    assert_eq!(mark(&marks, "footer"), buf.len(), "footer mark is the file length");
+
+    let mut offsets = vec![0usize];
+    for &(_, end) in &marks {
+        // Around each boundary: the CRC field (4 bytes before `end`), its
+        // last byte, and the first byte of the following section.
+        for off in end.saturating_sub(4)..(end + 1).min(buf.len()) {
+            offsets.push(off);
+        }
+    }
+    // Sampled interiors: a prime stride so every section gets hits at
+    // assorted alignments within u16/u32/u64/f64 fields.
+    offsets.extend((0..buf.len()).step_by(97));
+
+    for off in offsets {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = buf.clone();
+            bad[off] ^= bit;
+            let err = KdashIndex::load(bad.as_slice())
+                .expect_err(&format!("flip of bit {bit:#04x} at byte {off} must be detected"));
+            // Every detection is a typed PersistError; exercising Display
+            // here also guards against panics while formatting.
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}
+
+/// Truncation probed exactly at section boundaries (the proptest above
+/// samples random cuts; this nails the off-by-one-prone edges).
+#[test]
+fn every_section_boundary_truncation_is_rejected() {
+    let (index, buf) = sample_index();
+    for (name, end) in section_marks(&index) {
+        for cut in [end.saturating_sub(1), end.min(buf.len() - 1)] {
+            assert!(
+                KdashIndex::load(&buf[..cut]).is_err(),
+                "cut at {cut} (section {name}) must fail"
+            );
+        }
+    }
+}
+
+/// A clean save → load round trip reports the checksummed v4 format and
+/// passes the deep structural audit; a v1 file still loads but is
+/// flagged unchecksummed.
+#[test]
+fn clean_roundtrip_is_checksummed_and_audits_clean() {
+    let (index, buf) = sample_index();
+    let (loaded, info) = KdashIndex::load_with_info(buf.as_slice()).unwrap();
+    assert_eq!(info.version, 4);
+    assert!(info.checksummed);
+    let audit = IndexAudit::run(&loaded);
+    assert!(audit.is_clean(), "findings: {:?}", audit.findings);
+
+    let mut v1 = Vec::new();
+    index.save_v1(&mut v1).unwrap();
+    let (upgraded, info) = KdashIndex::load_with_info(v1.as_slice()).unwrap();
+    assert_eq!(info.version, 1);
+    assert!(!info.checksummed, "legacy files must be flagged unchecksummed");
+    assert!(IndexAudit::run(&upgraded).is_clean());
+}
+
+/// Checksum failures carry the section name and the byte offset of the
+/// CRC field, so operators can see *where* a file went bad.
+#[test]
+fn checksum_errors_name_the_failing_section() {
+    let (index, buf) = sample_index();
+    let marks = section_marks(&index);
+    for (name, end) in &marks[..marks.len() - 1] {
+        let mut bad = buf.clone();
+        bad[end - 1] ^= 0x01; // last CRC byte of this section
+        match KdashIndex::load(bad.as_slice()).unwrap_err() {
+            PersistError::ChecksumMismatch { section, offset, stored, computed } => {
+                assert_eq!(section.name(), *name);
+                assert_eq!(offset as usize, end - 4);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("flipping {name}'s CRC should mismatch, got: {other}"),
+        }
+    }
 }
