@@ -1,5 +1,6 @@
-//! PR 5 headline benchmark: reach-bounded incremental updates vs full
-//! rebuild.
+//! Headline benchmark for dynamic updates: reach-bounded incremental
+//! updates vs full rebuild (PR 5), now with the incremental-LU series
+//! (PR 7).
 //!
 //! Builds an RMAT index once (the full-rebuild baseline, per-stage
 //! timings included), attaches the `kdash-dynamic` engine, then streams
@@ -10,7 +11,26 @@
 //! speedup: the Gilbert–Peierls reach of a random edit touches a few
 //! percent of the inverse columns, but a hub edit can touch most of
 //! `L⁻¹` — medians and worst cases are both reported honestly).
-//! Headline numbers land in `BENCH_PR5.json` at the repo root.
+//!
+//! Two series were added for the incremental refactorisation work:
+//!
+//! * **incremental vs full LU** — every trial now reports the
+//!   refactor/splice subdivision of the factorisation stage and the
+//!   fraction of factor columns actually re-eliminated. Each series
+//!   summary reconstructs what the same update cost on the *previous*
+//!   engine (which re-ran a full `sparse_lu` per apply) by swapping the
+//!   measured incremental stage for the full-LU stage time of the
+//!   baseline build: `pr6_estimate = total − factorize_incremental +
+//!   factorize_full`. Both inputs are direct measurements on this run's
+//!   machine, not recorded constants.
+//! * **coalesced queues** — for each size in `KDASH_UPDATE_COALESCE`, a
+//!   queue of that many single-edit batches goes through
+//!   `apply_coalesced` (one refactorisation, one reach analysis, one
+//!   re-solve for the whole queue) and the per-edit amortised cost is
+//!   compared against the sequential single-edit median.
+//!
+//! Headline numbers land in `BENCH_PR5.json` / `BENCH_PR7.json` at the
+//! repo root.
 //!
 //! Like `index_build`, this bench measures with direct wall-clock timing:
 //! a rebuild takes minutes at scale, so criterion-style warm-up would
@@ -35,6 +55,11 @@
 //!   near-empty closure row, so the Gilbert–Peierls reach of its edits
 //!   is provably tiny and the update runs orders of magnitude faster
 //!   than a rebuild).
+//! * `KDASH_UPDATE_COALESCE` — comma-separated coalesced queue lengths
+//!   (default `1,4,16,64`; empty string or `0` disables the series).
+//!   Each queue holds that many single-edit batches of the same `ops`
+//!   class and is applied with `apply_coalesced`. Coalesced trials are
+//!   capped at 5 per length to keep default runtime bounded.
 //! * `KDASH_UPDATE_GRAPH`    — `rmat` (default) or a dataset profile
 //!   (`citation`, `dictionary`, `internet`, `social`, `email`) scaled
 //!   to `2^scale` nodes. RMAT's giant strongly-connected component is
@@ -134,18 +159,22 @@ fn median(xs: &mut [f64]) -> f64 {
 
 fn report_line(label: &str, r: &UpdateReport, secs: f64) {
     println!(
-        "bench dynamic_update/{label}: {:.4}s total (graph {:.4}s, factorize {:.4}s, diff \
-         {:.4}s, reach {:.4}s, re-solve {:.4}s, splice {:.4}s, estimator {:.4}s) | dirty W {} \
-         L/U {}/{} | reach L⁻¹ {} ({:.3}%) U⁻¹ {} ({:.3}%) | rows re-encoded {} | nnz re-solved {}",
+        "bench dynamic_update/{label}: {:.4}s total (graph {:.4}s, factorize {:.4}s [refactor \
+         {:.4}s, splice {:.4}s], reach {:.4}s, re-solve {:.4}s, splice {:.4}s, estimator \
+         {:.4}s) | dirty W {} | recomputed factor cols {} ({:.3}%) → changed L/U {}/{} | reach \
+         L⁻¹ {} ({:.3}%) U⁻¹ {} ({:.3}%) | rows re-encoded {} | nnz re-solved {}",
         secs,
         r.graph_time.as_secs_f64(),
         r.factorization_time.as_secs_f64(),
-        r.diff_time.as_secs_f64(),
+        r.refactor_time.as_secs_f64(),
+        r.factor_splice_time.as_secs_f64(),
         r.reach_time.as_secs_f64(),
         r.resolve_time.as_secs_f64(),
         r.splice_time.as_secs_f64(),
         r.estimator_time.as_secs_f64(),
         r.dirty_w_columns,
+        r.dirty_factor_columns_recomputed,
+        100.0 * r.factor_recompute_fraction(),
         r.dirty_l_columns,
         r.dirty_u_columns,
         r.dirty_linv_columns,
@@ -166,6 +195,11 @@ fn main() {
         .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .filter(|v: &Vec<usize>| !v.is_empty())
         .unwrap_or_else(|| vec![1, 8, 64]);
+    let coalesce_sizes: Vec<usize> = std::env::var("KDASH_UPDATE_COALESCE")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 4, 16, 64]);
+    let coalesce_sizes: Vec<usize> = coalesce_sizes.into_iter().filter(|&k| k > 0).collect();
     let ops = std::env::var("KDASH_UPDATE_OPS").unwrap_or_else(|_| "mixed".into());
 
     let family = std::env::var("KDASH_UPDATE_GRAPH").unwrap_or_else(|_| "rmat".into());
@@ -211,6 +245,17 @@ fn main() {
         index.stats().nnz_u_inv,
     );
 
+    // The full-LU stage of the baseline build is exactly what the
+    // previous engine re-ran on every apply; keeping it lets each series
+    // reconstruct the pre-incremental ("PR 6 path") update cost from
+    // measurements taken on this same machine and graph.
+    let full_factor_stage_secs = report
+        .stages
+        .iter()
+        .find(|s| s.stage.name() == "factorization")
+        .map(|s| s.duration.as_secs_f64())
+        .unwrap_or(f64::NAN);
+
     let t = Instant::now();
     let mut dynamic = DynamicIndex::new(index).expect("attach engine").threads(threads);
     println!("bench dynamic_update/attach: {:.3}s (one-off refactorisation)", t.elapsed().as_secs_f64());
@@ -235,8 +280,11 @@ fn main() {
     };
     assert!(!tail_sources.is_empty(), "no sources available for ops class '{ops}'");
 
+    let mut single_edit_median = f64::NAN;
     for &size in &batch_sizes {
         let mut totals: Vec<f64> = Vec::with_capacity(trials);
+        let mut pr6_totals: Vec<f64> = Vec::with_capacity(trials);
+        let mut factor_fracs: Vec<f64> = Vec::with_capacity(trials);
         let mut linv_fracs: Vec<f64> = Vec::with_capacity(trials);
         let mut uinv_fracs: Vec<f64> = Vec::with_capacity(trials);
         for trial in 0..trials {
@@ -254,24 +302,75 @@ fn main() {
             let secs = t.elapsed().as_secs_f64();
             report_line(&format!("{ops}{size}/trial{trial}"), &r, secs);
             totals.push(secs);
+            pr6_totals.push(secs - r.factorization_time.as_secs_f64() + full_factor_stage_secs);
+            factor_fracs.push(r.factor_recompute_fraction());
             linv_fracs.push(r.linv_dirty_fraction());
             uinv_fracs.push(r.uinv_dirty_fraction());
         }
         let best = totals.iter().copied().fold(f64::NAN, f64::min);
         let worst = totals.iter().copied().fold(f64::NAN, f64::max);
         let med = median(&mut totals);
+        let pr6_med = median(&mut pr6_totals);
+        if size == 1 {
+            single_edit_median = med;
+        }
         println!(
             "bench dynamic_update/{ops}{size}: median {:.4}s, best {:.4}s, worst {:.4}s over \
-             {trials} trials | median dirty fraction L⁻¹ {:.3}% U⁻¹ {:.3}% | speedup vs \
-             rebuild: median {:.1}x, best {:.1}x, worst {:.1}x",
+             {trials} trials | median recomputed factor cols {:.3}% | median dirty fraction \
+             L⁻¹ {:.3}% U⁻¹ {:.3}% | speedup vs rebuild: median {:.1}x, best {:.1}x, worst \
+             {:.1}x | full-LU path estimate {:.4}s → incremental-LU speedup {:.2}x",
             med,
             best,
             worst,
+            100.0 * median(&mut factor_fracs),
             100.0 * median(&mut linv_fracs),
             100.0 * median(&mut uinv_fracs),
             rebuild_secs / med,
             rebuild_secs / best,
             rebuild_secs / worst,
+            pr6_med,
+            pr6_med / med,
+        );
+    }
+
+    // Coalesced-queue series: k single-edit batches merged into one
+    // incremental pass. The sequential reference is the measured
+    // single-edit median times k (NaN if the size-1 series did not run).
+    for &k in &coalesce_sizes {
+        let ctrials = trials.min(5).max(1);
+        let mut totals: Vec<f64> = Vec::with_capacity(ctrials);
+        let mut factor_fracs: Vec<f64> = Vec::with_capacity(ctrials);
+        for trial in 0..ctrials {
+            let queue: Vec<UpdateBatch> = (0..k)
+                .map(|_| {
+                    random_batch(
+                        n as NodeId,
+                        &mut edges,
+                        &mut edge_set,
+                        1,
+                        &ops,
+                        &tail_sources,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            let t = Instant::now();
+            let r = dynamic.apply_coalesced(&queue).expect("apply coalesced queue");
+            let secs = t.elapsed().as_secs_f64();
+            report_line(&format!("{ops}-coalesce{k}/trial{trial}"), &r, secs);
+            totals.push(secs);
+            factor_fracs.push(r.factor_recompute_fraction());
+        }
+        let med = median(&mut totals);
+        println!(
+            "bench dynamic_update/{ops}-coalesce{k}: median {:.4}s for the queue ({:.4}s per \
+             edit) over {ctrials} trials | median recomputed factor cols {:.3}% | sequential \
+             estimate {:.4}s → coalescing gain {:.2}x",
+            med,
+            med / k as f64,
+            100.0 * median(&mut factor_fracs),
+            single_edit_median * k as f64,
+            single_edit_median * k as f64 / med,
         );
     }
     println!(

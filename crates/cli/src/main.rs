@@ -5,7 +5,8 @@
 //! kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...]
 //!              [--kernel auto] [--pruning on]
 //! kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]
-//! kdash verify <index.kdash>
+//!              [--coalesce] [--dry-run]
+//! kdash verify <index.kdash> [--factors]
 //! kdash info   <index.kdash>
 //! kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]
 //! ```
@@ -32,6 +33,12 @@
 //! `= src dst w` (reweight), `#` comments — with blank lines separating
 //! atomically applied batches; per-batch dirty-column/reach/re-solve
 //! stats are printed and `kdash info` reports the resulting update epoch.
+//! `--coalesce` merges the whole stream into **one** pass (one
+//! incremental refactorisation, one reach analysis, one re-solve) —
+//! bit-identical to batch-by-batch application, with the epoch still
+//! advancing per batch. `--dry-run` prints the predicted dirty-W /
+//! scheduled-factor / inverse-reach fractions of that coalesced pass and
+//! exits without modifying or writing anything.
 //!
 //! `verify` is the operational fsck: it loads the index (which already
 //! validates every per-section checksum of the v4 format) and then runs
@@ -39,6 +46,10 @@
 //! the stored inverses, permutation bijectivity, blocked-encoding decode
 //! contract, policy-table and estimator coherence — printing one timing
 //! line per section, every finding, and a machine-readable JSON summary.
+//! `--factors` appends the factor-consistency section: kept LU factors
+//! are checked for triangularity and the diag-last column layout, and
+//! `W = L·U` is spot-recomputed on sampled columns (skipped with a note
+//! when the index holds no factors — persisted indexes never do).
 //! Exit status is non-zero when any invariant is violated.
 //!
 //! Edge lists are plain text (`src dst [weight]`, `#`/`%` comments) — the
@@ -93,7 +104,8 @@ fn print_usage() {
          \x20 kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
          \x20              [--kernel auto] [--pruning on]\n\
          \x20 kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]\n\
-         \x20 kdash verify <index.kdash>\n\
+         \x20              [--coalesce] [--dry-run]\n\
+         \x20 kdash verify <index.kdash> [--factors]\n\
          \x20 kdash info   <index.kdash>\n\
          \x20 kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
          \n\
@@ -104,23 +116,34 @@ fn print_usage() {
          \x20          hosts without AVX2, only 'auto' falls back\n\
          PRUNING:   on (Lemma 2 early termination) | off (visit every reachable node)\n\
          EDITS:     one edit per line: '+ src dst w' insert, '- src dst' delete,\n\
-         \x20          '= src dst w' reweight; blank lines separate atomic batches"
+         \x20          '= src dst w' reweight; blank lines separate atomic batches;\n\
+         \x20          --coalesce merges all batches into one pass (bit-identical),\n\
+         \x20          --dry-run prints the predicted footprint without mutating"
     );
 }
 
 /// Pulls `--flag value` out of an argument list; remaining positionals are
-/// returned in order.
-fn parse_flags(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), String> {
+/// returned in order. Flags named in `bools` are presence-only switches —
+/// they consume no value and report `"true"`.
+fn parse_flags<'a>(
+    args: &'a [String],
+    bools: &[&str],
+) -> Result<(Vec<&'a str>, Vec<(&'a str, &'a str)>), String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} expects a value"))?;
-            flags.push((name, value.as_str()));
-            i += 2;
+            if bools.contains(&name) {
+                flags.push((name, "true"));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                flags.push((name, value.as_str()));
+                i += 2;
+            }
         } else {
             positional.push(args[i].as_str());
             i += 1;
@@ -167,7 +190,7 @@ fn parse_ordering(text: &str) -> Result<NodeOrdering, String> {
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args, &[])?;
     reject_unknown_flags(&flags, &["c", "ordering", "threads", "layout"])?;
     let [edges_path, index_path] = pos.as_slice() else {
         return Err("usage: kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] \
@@ -229,7 +252,7 @@ fn load_index(path: &str) -> Result<KdashIndex, String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args, &[])?;
     reject_unknown_flags(&flags, &["k", "set", "theta", "kernel", "pruning"])?;
     let [index_path, node_text] = pos.as_slice() else {
         return Err("usage: kdash query <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T] \
@@ -307,18 +330,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_update(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args)?;
-    reject_unknown_flags(&flags, &["index", "edits", "out", "threads"])?;
+    let (pos, flags) = parse_flags(args, &["coalesce", "dry-run"])?;
+    reject_unknown_flags(&flags, &["index", "edits", "out", "threads", "coalesce", "dry-run"])?;
     if !pos.is_empty() {
         return Err(format!("unexpected positional argument '{}'", pos[0]));
     }
     let usage = "usage: kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] \
-                 [--threads 1]";
+                 [--threads 1] [--coalesce] [--dry-run]";
     let index_path = flag(&flags, "index").ok_or(usage)?;
     let edits_path = flag(&flags, "edits").ok_or(usage)?;
     let out_path = flag(&flags, "out").unwrap_or(index_path);
     let threads: usize =
         flag(&flags, "threads").unwrap_or("1").parse().map_err(|_| "invalid --threads")?;
+    let coalesce = flag(&flags, "coalesce").is_some();
+    let dry_run = flag(&flags, "dry-run").is_some();
 
     let index = load_index(index_path)?;
     println!(
@@ -337,15 +362,49 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     let mut dynamic = DynamicIndex::new(index).map_err(|e| e.to_string())?.threads(threads);
     println!("attached update engine (factorization) in {:.2?}", t_attach.elapsed());
 
-    for (i, batch) in batches.iter().enumerate() {
-        let report = dynamic.apply(batch).map_err(|e| format!("batch {}: {e}", i + 1))?;
+    if dry_run {
+        // Predict the footprint of the whole stream as one coalesced
+        // pass — no mutation, no save.
+        let p = dynamic.predict(&batches).map_err(|e| e.to_string())?;
+        println!(
+            "dry run: {} edits in {} batch(es) -> dirty W cols {} ({:.2}%), scheduled factor \
+             cols {} ({:.2}%), predicted reach L⁻¹/U⁻¹ cols {}/{} ({:.2}%/{:.2}%)",
+            p.edits,
+            p.batches,
+            p.dirty_w_columns,
+            100.0 * p.w_fraction(),
+            p.candidate_factor_columns,
+            100.0 * p.factor_fraction(),
+            p.predicted_linv_columns,
+            p.predicted_uinv_columns,
+            100.0 * p.linv_fraction(),
+            100.0 * p.uinv_fraction(),
+        );
+        println!("dry run: index not modified, nothing written");
+        return Ok(());
+    }
+
+    let reports = if coalesce {
+        let report = dynamic.apply_coalesced(&batches).map_err(|e| e.to_string())?;
+        println!("coalesced {} batch(es) into one pass", report.batches);
+        vec![report]
+    } else {
+        let mut reports = Vec::with_capacity(batches.len());
+        for (i, batch) in batches.iter().enumerate() {
+            reports.push(dynamic.apply(batch).map_err(|e| format!("batch {}: {e}", i + 1))?);
+        }
+        reports
+    };
+    for (i, report) in reports.iter().enumerate() {
         let n = report.num_columns.max(1);
         println!(
-            "batch {:<3} {} edits -> dirty W cols {}, dirty L/U cols {}/{}, reach L⁻¹/U⁻¹ \
-             cols {}/{} ({:.2}%/{:.2}%), re-encoded U⁻¹ rows {}, re-solved nnz {}",
+            "batch {:<3} {} edits -> dirty W cols {}, recomputed factor cols {}, dirty L/U \
+             cols {}/{}, reach L⁻¹/U⁻¹ cols {}/{} ({:.2}%/{:.2}%), re-encoded U⁻¹ rows {}, \
+             re-solved nnz {}",
             i + 1,
             report.edits,
             report.dirty_w_columns,
+            report.dirty_factor_columns_recomputed,
             report.dirty_l_columns,
             report.dirty_u_columns,
             report.dirty_linv_columns,
@@ -356,12 +415,13 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
             report.resolved_nnz,
         );
         println!(
-            "          {:.2?} total: graph {:.2?} | factorize {:.2?} | diff {:.2?} | reach \
-             {:.2?} | re-solve {:.2?} | splice {:.2?} | estimator {:.2?}",
+            "          {:.2?} total: graph {:.2?} | factorize {:.2?} (refactor {:.2?}, splice \
+             {:.2?}) | reach {:.2?} | re-solve {:.2?} | splice {:.2?} | estimator {:.2?}",
             report.total_time(),
             report.graph_time,
             report.factorization_time,
-            report.diff_time,
+            report.refactor_time,
+            report.factor_splice_time,
             report.reach_time,
             report.resolve_time,
             report.splice_time,
@@ -383,10 +443,11 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args)?;
-    reject_unknown_flags(&flags, &[])?;
+    let (pos, flags) = parse_flags(args, &["factors"])?;
+    reject_unknown_flags(&flags, &["factors"])?;
+    let check_factors = flag(&flags, "factors").is_some();
     let [index_path] = pos.as_slice() else {
-        return Err("usage: kdash verify <index.kdash>".into());
+        return Err("usage: kdash verify <index.kdash> [--factors]".into());
     };
 
     // Stage 1 — load. The v4 loader verifies every per-section CRC32 and
@@ -411,8 +472,14 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         index.update_epoch(),
     );
 
-    // Stage 2 — deep structural audit.
-    let audit = IndexAudit::run(&index);
+    // Stage 2 — deep structural audit; --factors appends the
+    // factor-consistency section (triangularity, diag-last layout, and
+    // the spot-recomputed W = L·U check on sampled columns).
+    let audit = if check_factors {
+        IndexAudit::run_with_factors(&index, None)
+    } else {
+        IndexAudit::run(&index)
+    };
     for section in &audit.sections {
         let findings = audit.findings.iter().filter(|f| f.section == section.name).count();
         println!(
@@ -421,6 +488,14 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             section.checks,
             section.duration,
             if findings == 0 { "ok".to_string() } else { format!("{findings} FINDING(S)") },
+        );
+    }
+    if check_factors
+        && audit.sections.iter().any(|s| s.name == "factors" && s.checks == 0)
+    {
+        println!(
+            "note: this index stores no LU factors (built without keep_factors), so the \
+             factor-consistency checks were skipped — that is not a finding"
         );
     }
     for finding in &audit.findings {
@@ -462,7 +537,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args, &[])?;
     reject_unknown_flags(&flags, &[])?;
     let [index_path] = pos.as_slice() else {
         return Err("usage: kdash info <index.kdash>".into());
@@ -488,7 +563,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args, &[])?;
     reject_unknown_flags(&flags, &["nodes", "seed"])?;
     let [profile_text, out_path] = pos.as_slice() else {
         return Err("usage: kdash gen <profile> <edges.txt> [--nodes 2000] [--seed 42]".into());

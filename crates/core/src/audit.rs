@@ -30,7 +30,7 @@
 //! and directly through this API.
 
 use crate::KdashIndex;
-use kdash_sparse::{transition_matrix, RowLayout, BLOCK_COLS};
+use kdash_sparse::{transition_matrix, w_matrix, LuFactors, RowLayout, BLOCK_COLS};
 use std::time::{Duration, Instant};
 
 /// Cap on stored findings: a corrupted index tends to violate one
@@ -99,8 +99,41 @@ impl Collector {
 impl IndexAudit {
     /// Runs the full audit. Never panics; violations become findings.
     pub fn run(index: &KdashIndex) -> IndexAudit {
+        let (sections, col) = Self::run_core(index);
+        IndexAudit { sections, findings: col.findings, suppressed: col.suppressed }
+    }
+
+    /// Runs the full audit plus the factor-consistency section
+    /// (`kdash verify --factors`): the LU factors are checked for
+    /// triangularity, the diagonal-last `U` layout, agreement with the
+    /// stored nnz stats, and — the expensive part — `W = L·U` is
+    /// spot-recomputed on a deterministic sample of columns against a
+    /// fresh rebuild of `W` from the stored graph.
+    ///
+    /// `factors` overrides the source: pass `Some` to audit factors held
+    /// outside the index (the dynamic engine's kept copy), or `None` to
+    /// use `index.factors()`. When neither is available the `"factors"`
+    /// section is reported with zero checks — an index without kept
+    /// factors (every persisted index) has nothing to verify, which is
+    /// not a finding.
+    pub fn run_with_factors(index: &KdashIndex, factors: Option<&LuFactors>) -> IndexAudit {
+        let (mut sections, mut col) = Self::run_core(index);
+        let before = col.checks;
+        let t = Instant::now();
+        if let Some(f) = factors.or_else(|| index.factors()) {
+            audit_factors(index, f, &mut col);
+        }
+        sections.push(AuditSection {
+            name: "factors",
+            checks: col.checks - before,
+            duration: t.elapsed(),
+        });
+        IndexAudit { sections, findings: col.findings, suppressed: col.suppressed }
+    }
+
+    fn run_core(index: &KdashIndex) -> (Vec<AuditSection>, Collector) {
         let mut col = Collector::new();
-        let mut sections = Vec::with_capacity(7);
+        let mut sections = Vec::with_capacity(8);
         let steps: [(&'static str, fn(&KdashIndex, &mut Collector)); 7] = [
             ("header", audit_header),
             ("permutation", audit_permutation),
@@ -120,7 +153,7 @@ impl IndexAudit {
                 duration: t.elapsed(),
             });
         }
-        IndexAudit { sections, findings: col.findings, suppressed: col.suppressed }
+        (sections, col)
     }
 
     /// True when no invariant was violated.
@@ -492,6 +525,140 @@ fn audit_estimator(index: &KdashIndex, col: &mut Collector) {
     }
 }
 
+/// Spot-check columns for [`audit_factors`]: deterministic, always the
+/// first and last column plus an even stride between them, at most `cap`.
+fn sampled_columns(n: usize, cap: usize) -> Vec<u32> {
+    if n == 0 || cap == 0 {
+        return Vec::new();
+    }
+    if n <= cap {
+        return (0..n as u32).collect();
+    }
+    let mut cols: Vec<u32> = (0..cap).map(|i| (i * (n - 1) / (cap - 1)) as u32).collect();
+    cols.dedup();
+    cols
+}
+
+/// Relative tolerance for the `W = L·U` spot check. The factorisation is
+/// exact left-looking elimination, so the residual is pure rounding —
+/// well under this bound on diagonally dominant `W`.
+const FACTOR_SPOT_TOL: f64 = 1e-10;
+
+/// Kept LU factors (`kdash verify --factors` / the dynamic engine's
+/// post-apply check): both triangles structurally sound (`L` strictly
+/// lower and unit-diagonal by convention, `U` upper with its diagonal
+/// stored *last* per column, exactly as the left-looking factorisation
+/// emits them), the stored nnz stats in agreement, and `W = L·U`
+/// spot-recomputed on sampled columns against a fresh `W` rebuilt from
+/// the stored graph — stale factors from before a graph change fail this
+/// even when they are perfectly well-formed.
+fn audit_factors(index: &KdashIndex, f: &LuFactors, col: &mut Collector) {
+    const S: &str = "factors";
+    let n = index.num_nodes();
+    col.check(S, f.l.nrows() == n && f.l.ncols() == n, || {
+        format!("L is {}×{}, expected {n}×{n}", f.l.nrows(), f.l.ncols())
+    });
+    col.check(S, f.u.nrows() == n && f.u.ncols() == n, || {
+        format!("U is {}×{}, expected {n}×{n}", f.u.nrows(), f.u.ncols())
+    });
+    if f.l.ncols() != n || f.u.ncols() != n || f.l.nrows() != n || f.u.nrows() != n {
+        return;
+    }
+    for j in 0..n as u32 {
+        let (rows, vals) = f.l.col(j);
+        let mut prev: Option<u32> = None;
+        for (&r, &v) in rows.iter().zip(vals) {
+            col.check(S, r > j, || format!("L column {j}: entry at row {r} not strictly below"));
+            col.check(S, v.is_finite(), || format!("L column {j}: non-finite value at row {r}"));
+            col.check(S, prev.is_none_or(|p| p < r), || {
+                format!("L column {j}: rows not strictly ascending at {r}")
+            });
+            prev = Some(r);
+        }
+    }
+    for j in 0..n as u32 {
+        let (rows, vals) = f.u.col(j);
+        col.check(S, !rows.is_empty(), || format!("U column {j}: diagonal entry missing"));
+        let mut prev: Option<u32> = None;
+        for (i, (&r, &v)) in rows.iter().zip(vals).enumerate() {
+            col.check(S, v.is_finite(), || format!("U column {j}: non-finite value at row {r}"));
+            if i + 1 == rows.len() {
+                col.check(S, r == j, || {
+                    format!("U column {j}: last entry at row {r} is not the diagonal")
+                });
+                col.check(S, v != 0.0, || format!("U column {j}: zero diagonal"));
+            } else {
+                col.check(S, r < j, || {
+                    format!("U column {j}: off-diagonal entry at row {r} not above the diagonal")
+                });
+                col.check(S, prev.is_none_or(|p| p < r), || {
+                    format!("U column {j}: rows not strictly ascending at {r}")
+                });
+                prev = Some(r);
+            }
+        }
+    }
+    let stats = index.stats();
+    col.check(S, stats.nnz_l == f.l.nnz(), || {
+        format!("stats record {} L entries, factors hold {}", stats.nnz_l, f.l.nnz())
+    });
+    col.check(S, stats.nnz_u == f.u.nnz(), || {
+        format!("stats record {} U entries, factors hold {}", stats.nnz_u, f.u.nnz())
+    });
+
+    // Spot-recompute W = L·U on sampled columns against a fresh W.
+    let a = transition_matrix(index.permuted_graph(), index.dangling_policy());
+    let w = match w_matrix(&a, index.restart_probability()) {
+        Ok(w) => w,
+        Err(e) => {
+            col.check(S, false, || format!("cannot rebuild W for the spot check: {e}"));
+            return;
+        }
+    };
+    if w.ncols() != n {
+        col.check(S, false, || {
+            format!("rebuilt W has {} columns, expected {n}", w.ncols())
+        });
+        return;
+    }
+    let mut x = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    for j in sampled_columns(n, 16) {
+        // (L·U)(:, j) with L's implicit unit diagonal.
+        let (urows, uvals) = f.u.col(j);
+        for (&k, &uv) in urows.iter().zip(uvals) {
+            x[k as usize] += uv;
+            touched.push(k);
+            let (lrows, lvals) = f.l.col(k);
+            for (&r, &lv) in lrows.iter().zip(lvals) {
+                x[r as usize] += lv * uv;
+                touched.push(r);
+            }
+        }
+        let (wrows, wvals) = w.col(j);
+        for (&r, &wv) in wrows.iter().zip(wvals) {
+            let diff = (x[r as usize] - wv).abs();
+            col.check(S, diff <= FACTOR_SPOT_TOL * wv.abs().max(1.0), || {
+                format!(
+                    "column {j}: (L·U)[{r}] = {} but W[{r}] = {wv} (|Δ| = {diff:.3e})",
+                    x[r as usize]
+                )
+            });
+            x[r as usize] = 0.0;
+        }
+        for &r in &touched {
+            col.check(S, x[r as usize].abs() <= FACTOR_SPOT_TOL, || {
+                format!(
+                    "column {j}: product has entry {} at row {r} where W has none",
+                    x[r as usize]
+                )
+            });
+            x[r as usize] = 0.0;
+        }
+        touched.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,7 +666,7 @@ mod tests {
     use kdash_graph::GraphBuilder;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
-    fn sample_index() -> KdashIndex {
+    fn sample_index_with(options: IndexOptions) -> KdashIndex {
         let mut rng = StdRng::seed_from_u64(11);
         let mut b = GraphBuilder::new(50);
         for v in 0..50u32 {
@@ -510,7 +677,11 @@ mod tests {
                 }
             }
         }
-        KdashIndex::build(&b.build().unwrap(), IndexOptions::default()).unwrap()
+        KdashIndex::build(&b.build().unwrap(), options).unwrap()
+    }
+
+    fn sample_index() -> KdashIndex {
+        sample_index_with(IndexOptions::default())
     }
 
     #[test]
@@ -543,6 +714,52 @@ mod tests {
         index.save_v1(&mut v1).unwrap();
         let upgraded = KdashIndex::load(v1.as_slice()).unwrap();
         assert!(IndexAudit::run(&upgraded).is_clean());
+    }
+
+    #[test]
+    fn kept_factors_audit_clean() {
+        let index =
+            sample_index_with(IndexOptions { keep_factors: true, ..Default::default() });
+        let audit = IndexAudit::run_with_factors(&index, None);
+        assert!(audit.is_clean(), "findings: {:?}", audit.findings);
+        assert_eq!(audit.sections.len(), 8);
+        let last = &audit.sections[7];
+        assert_eq!(last.name, "factors");
+        assert!(last.checks > 0, "factors present ⇒ checks must run");
+    }
+
+    #[test]
+    fn absent_factors_report_a_zero_check_section() {
+        let audit = IndexAudit::run_with_factors(&sample_index(), None);
+        assert!(audit.is_clean());
+        assert_eq!(audit.sections.len(), 8);
+        let last = &audit.sections[7];
+        assert_eq!(last.name, "factors");
+        assert_eq!(last.checks, 0, "no factors ⇒ section is skipped, not failed");
+    }
+
+    #[test]
+    fn corrupted_factors_are_found() {
+        let index =
+            sample_index_with(IndexOptions { keep_factors: true, ..Default::default() });
+        let mut factors = index.factors().unwrap().clone();
+        // Perturb one U value: structure stays legal, W = L·U breaks.
+        let (cp, ri, mut vals) = {
+            let (cp, ri, vals) = factors.u.raw();
+            (cp.to_vec(), ri.to_vec(), vals.to_vec())
+        };
+        vals[0] += 0.25;
+        factors.u = kdash_sparse::CscMatrix::from_raw_parts(
+            factors.u.nrows(),
+            factors.u.ncols(),
+            cp,
+            ri,
+            vals,
+        )
+        .unwrap();
+        let audit = IndexAudit::run_with_factors(&index, Some(&factors));
+        assert!(!audit.is_clean(), "perturbed factors must be flagged");
+        assert!(audit.findings.iter().all(|f| f.section == "factors"));
     }
 
     #[test]

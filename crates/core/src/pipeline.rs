@@ -25,7 +25,8 @@ use crate::precompute::IndexParts;
 use crate::{IndexOptions, IndexStats, KdashError, KdashIndex, NodeOrdering, Result};
 use kdash_graph::{CsrGraph, NodeId, Permutation};
 use kdash_sparse::{
-    invert_lower_unit_with, invert_upper_with, sparse_lu, transition_matrix, w_matrix, CsrMatrix,
+    invert_lower_unit_with, invert_upper_with, sparse_lu_with, transition_matrix, w_matrix,
+    CsrMatrix,
     DanglingPolicy, InvertOptions, ProximityStore, RowLayout,
 };
 use std::time::{Duration, Instant};
@@ -245,7 +246,7 @@ impl IndexBuilder {
         let t = Instant::now();
         let a = transition_matrix(&permuted, options.dangling);
         let w = w_matrix(&a, options.restart_probability)?;
-        let factors = sparse_lu(&w)?;
+        let factors = sparse_lu_with(&w, InvertOptions { threads: self.threads })?;
         let factorization_time = t.elapsed();
         report
             .stages

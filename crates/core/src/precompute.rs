@@ -112,6 +112,11 @@ pub struct IndexPatch {
     pub nnz_l: usize,
     /// Stored entries of the fresh factor `U` (stats refresh).
     pub nnz_u: usize,
+    /// Update batches this patch represents — the epoch advance. A plain
+    /// apply is 1; a coalesced apply of `k` batches is `k`, so the epoch
+    /// counts *batches*, identically whether they were applied one by
+    /// one or merged into a single pass. Must be at least 1.
+    pub epochs: u64,
 }
 
 /// Everything the build pipeline (or deserialisation) hands over to become
@@ -422,6 +427,11 @@ impl KdashIndex {
                 format!("patch A_max {} is not a finite non-negative value", patch.a_max),
             )));
         }
+        if patch.epochs == 0 {
+            return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
+                "patch must advance the update epoch by at least one batch".into(),
+            )));
+        }
         self.graph = patch.graph;
         self.linv = patch.linv;
         self.uinv = patch.uinv;
@@ -430,7 +440,7 @@ impl KdashIndex {
         self.c_prime = patch.c_prime;
         self.c_prime_max = self.c_prime.iter().copied().fold(0.0f64, f64::max);
         self.factors = patch.factors;
-        self.update_epoch += 1;
+        self.update_epoch += patch.epochs;
         self.stats.num_edges = self.graph.num_edges();
         self.stats.nnz_l = patch.nnz_l;
         self.stats.nnz_u = patch.nnz_u;

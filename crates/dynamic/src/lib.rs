@@ -13,10 +13,18 @@
 //! one column of `W` changes. The damage to the factors and their
 //! inverses is bounded *structurally*:
 //!
-//! 1. **Factor diff** — the engine refactorises `W = LU` (the cheap
-//!    stage: a few percent of build time; the triangular inversion is
-//!    what costs minutes) and bit-compares columns against the previous
-//!    factors, giving the exact dirty column sets of `L` and `U`.
+//! 1. **Incremental refactorisation** — left-looking elimination gives
+//!    the factor columns a dependency DAG: column `j` of `L`/`U` is a
+//!    function of `W(:, j)` and of the `L` columns in the symbolic reach
+//!    of its pattern — `U` is never read back, and every `L`-dependency
+//!    edge runs strictly upward in column index. So the columns that can
+//!    differ after an edit are exactly the dirty `W` columns plus their
+//!    forward reach through that DAG, and
+//!    [`kdash_sparse::refactor_columns_with`] re-eliminates **only that
+//!    set**, splicing every other column from the old factors
+//!    bit-for-bit. The re-elimination reports which recomputed columns
+//!    actually changed (bit-level), giving the exact dirty column sets
+//!    of `L` and `U` without ever touching the clean ones.
 //! 2. **Reach analysis** — column `q` of `T⁻¹` solves `T x = e_q` and
 //!    reads exactly the columns in the Gilbert–Peierls reach of `q`. So
 //!    the dirty columns of `L⁻¹`/`U⁻¹` are precisely the columns whose
@@ -68,6 +76,20 @@
 //! // Queries see the edited graph immediately — and exactly.
 //! let fresh = dynamic.index().top_k(0, 5).unwrap();
 //! assert_eq!(fresh.items[0].node, 0);
+//!
+//! // A queue of batches coalesces into one pass (one refactorisation,
+//! // one reach analysis, one re-solve) — bit-identical to applying
+//! // them one by one, and the epoch still advances by the queue
+//! // length. `predict` reports the expected footprint without
+//! // mutating anything (the CLI's `update --coalesce --dry-run`).
+//! let queue = vec![
+//!     UpdateBatch::new(vec![EdgeEdit::Reweight { src: 0, dst: 16, weight: 1.0 }]).unwrap(),
+//!     UpdateBatch::new(vec![EdgeEdit::Delete { src: 0, dst: 16 }]).unwrap(),
+//! ];
+//! let prediction = dynamic.predict(&queue).unwrap();
+//! let report = dynamic.apply_coalesced(&queue).unwrap();
+//! assert!(report.dirty_factor_columns_recomputed <= prediction.candidate_factor_columns);
+//! assert_eq!(dynamic.index().update_epoch(), 3);
 //! ```
 //!
 //! Batches come from code ([`UpdateBatch::new`]) or from edit-stream
@@ -84,7 +106,7 @@ pub mod batch;
 pub mod engine;
 
 pub use batch::UpdateBatch;
-pub use engine::{DynamicIndex, UpdateReport};
+pub use engine::{DynamicIndex, UpdatePrediction, UpdateReport};
 
 /// This crate surfaces errors through the core error type: graph-level
 /// edit failures (unknown nodes, absent edges, duplicate inserts, bad

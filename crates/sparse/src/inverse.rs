@@ -132,7 +132,7 @@ struct ColumnBlock {
 /// proportional to its reach, which grows towards one end of the
 /// triangle), so claims must stay small enough for the fast workers to
 /// steal the cheap tail; large enough that the cursor isn't contended.
-fn claim_chunk(n: usize, threads: usize) -> usize {
+pub(crate) fn claim_chunk(n: usize, threads: usize) -> usize {
     (n / (threads * 32)).clamp(1, 256)
 }
 

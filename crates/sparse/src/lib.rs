@@ -68,12 +68,14 @@ pub use inverse::{
     invert_columns_with, invert_lower_unit, invert_lower_unit_with, invert_upper,
     invert_upper_with, InvertOptions,
 };
-pub use reach::inverse_dirty_columns;
+pub use reach::{inverse_dirty_columns, refactor_candidates};
 pub use kernel::{
     adaptive_picks_wide, GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, RowStat,
     ADAPTIVE_MIN_WIDE_NNZ, ADAPTIVE_WIDE_HIT_RATE,
 };
-pub use lu::{sparse_lu, LuFactors};
+pub use lu::{
+    refactor_columns, refactor_columns_with, sparse_lu, sparse_lu_with, LuFactors, RefactorReport,
+};
 pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
 pub use scatter::{ScatteredColumn, DENSITY_BUCKET_COLS};
 pub use store::{ProximityStore, RowLayout};

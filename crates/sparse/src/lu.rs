@@ -11,8 +11,50 @@
 //! dominant, for which LU without pivoting is well defined and numerically
 //! stable; a zero pivot on other inputs surfaces as
 //! [`SparseError::SingularPivot`].
+//!
+//! ## The column-dependency DAG
+//!
+//! The left-looking formulation makes the data flow explicit: factor
+//! column `j` is produced from `W(:, j)` and the `L` columns in the
+//! Gilbert–Peierls reach of `pattern(W(:, j))` — nothing else (`U`
+//! columns are outputs; the solve never reads them back). Every pattern
+//! edge `k → i` of `L` runs strictly upward (`i > k`), so the columns
+//! form a DAG ordered by column number, and a column's dependency cone
+//! lies entirely to its left. Two machines are built on that DAG here:
+//!
+//! * **Parallel factorisation** ([`sparse_lu_with`]) — columns are
+//!   independent except through the DAG, so workers claim chunks of
+//!   columns in ascending order and a per-column provider *waits* on the
+//!   not-yet-solved dependencies. The globally lowest unfinished column
+//!   always has all dependencies finished and an owner working on it, so
+//!   the schedule is deadlock-free; and since each column's bits are a
+//!   function of its inputs alone, the result is **bit-identical at any
+//!   thread count**.
+//! * **Incremental refactorisation** ([`refactor_columns`]) — a column
+//!   whose `W` column is untouched and whose reach contains no column
+//!   with bitwise-changed `L` reads only bit-identical inputs, so its
+//!   output is provably bit-identical and is kept. Processing columns in
+//!   ascending order, the exact recompute set falls out of a taint
+//!   propagation: when a recomputed column's `L` part changes, a backward
+//!   BFS over the old `L`'s row-pattern adjacency taints every ancestor
+//!   (column that can reach it); a later column is recomputed iff its `W`
+//!   column is dirty or its `W` pattern holds a tainted node. Any path
+//!   from a seed to a *first*-changed column runs through unchanged
+//!   columns only, whose old and new patterns coincide — so the old
+//!   adjacency covers every path that matters, and stale edges from
+//!   changed columns can only over-taint (extra work, never a wrong
+//!   bit). Note the popular "column `j` depends on `k` iff
+//!   `U(k, j) ≠ 0`" formulation is *not* used for the dependency test:
+//!   exact numeric cancellation can drop an entry from the stored `U`
+//!   while the symbolic reach still includes it, and the symbolic reach
+//!   is what bounds the inputs.
 
-use crate::{CscMatrix, Index, Result, SolveWorkspace, SparseError, Triangle};
+use crate::{
+    ColumnUpdate, CscMatrix, Index, InvertOptions, Result, SolveWorkspace, SparseError, Triangle,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// The two triangular factors of `W = L · U`.
 ///
@@ -94,134 +136,584 @@ impl LuFactors {
     }
 }
 
-/// Factors a square matrix with the left-looking sparse LU algorithm.
-pub fn sparse_lu(w: &CscMatrix) -> Result<LuFactors> {
-    let n = w.nrows();
-    if w.nrows() != w.ncols() {
-        return Err(SparseError::NotSquare { nrows: w.nrows(), ncols: w.ncols() });
+/// One solved factor column: the `U(:, j)` entries (sorted, diagonal
+/// last) and the strictly-lower `L(:, j)` entries (sorted, already
+/// divided by the pivot). The unit of work every factorisation driver in
+/// this module produces and consumes.
+#[derive(Debug, Clone)]
+struct FactorColumn {
+    u_rows: Vec<Index>,
+    u_vals: Vec<f64>,
+    l_rows: Vec<Index>,
+    l_vals: Vec<f64>,
+}
+
+/// Per-worker scratch for the Gilbert–Peierls per-column solve. One
+/// allocation set reused across every column a driver solves.
+struct LuScratch {
+    stamp: Vec<u32>,
+    cur: u32,
+    x: Vec<f64>,
+    topo: Vec<Index>,
+    stack: Vec<(Index, usize)>,
+    col_scratch: Vec<(Index, f64)>,
+}
+
+impl LuScratch {
+    fn new(n: usize) -> LuScratch {
+        LuScratch {
+            stamp: vec![0u32; n],
+            cur: 0,
+            x: vec![0.0f64; n],
+            topo: Vec::new(),
+            stack: Vec::new(),
+            col_scratch: Vec::new(),
+        }
+    }
+}
+
+/// Source of already-solved `L` columns for [`solve_factor_column`]: the
+/// growing result set (sequential build), a hybrid of old factors and
+/// recomputed columns (incremental refactorisation), or cross-thread
+/// slots that wait on in-flight dependencies (parallel build). Fallible
+/// so the parallel provider can abort a poisoned run.
+trait LColumns {
+    /// Strictly-lower pattern and values of factor column `k` — only ever
+    /// requested for `k` strictly left of the column being solved.
+    fn col(&self, k: Index) -> Result<(&[Index], &[f64])>;
+}
+
+/// Sequential full factorisation: every column `k < j` is already in the
+/// result vector.
+struct SolvedView<'a>(&'a [FactorColumn]);
+
+impl LColumns for SolvedView<'_> {
+    fn col(&self, k: Index) -> Result<(&[Index], &[f64])> {
+        let c = &self.0[k as usize];
+        Ok((&c.l_rows, &c.l_vals))
+    }
+}
+
+/// Incremental refactorisation: recomputed columns where available, the
+/// old factor columns everywhere else (legal because non-recomputed
+/// columns are provably bit-identical to a full rebuild).
+struct HybridView<'a> {
+    old_l: &'a CscMatrix,
+    fresh: &'a [Option<FactorColumn>],
+}
+
+impl LColumns for HybridView<'_> {
+    fn col(&self, k: Index) -> Result<(&[Index], &[f64])> {
+        match &self.fresh[k as usize] {
+            Some(c) => Ok((&c.l_rows, &c.l_vals)),
+            None => Ok(self.old_l.col(k)),
+        }
+    }
+}
+
+/// Sentinel in the column→slot map for "not scheduled for recomputation;
+/// read the old factors".
+const NOT_SCHEDULED: u32 = u32::MAX;
+
+/// Parallel provider: dependencies still in flight are awaited on their
+/// [`OnceLock`] slot. `old` is `None` for a full build (slot index ==
+/// column index) and `Some((old_l, map))` for a parallel refactor, where
+/// unscheduled columns fall back to the old factors.
+struct ParallelView<'a> {
+    old: Option<(&'a CscMatrix, &'a [u32])>,
+    slots: &'a [OnceLock<FactorColumn>],
+    abort: &'a AtomicBool,
+}
+
+impl LColumns for ParallelView<'_> {
+    fn col(&self, k: Index) -> Result<(&[Index], &[f64])> {
+        let slot = match self.old {
+            None => &self.slots[k as usize],
+            Some((old_l, map)) => {
+                let s = map[k as usize];
+                if s == NOT_SCHEDULED {
+                    return Ok(old_l.col(k));
+                }
+                &self.slots[s as usize]
+            }
+        };
+        loop {
+            if let Some(c) = slot.get() {
+                return Ok((&c.l_rows, &c.l_vals));
+            }
+            if self.abort.load(Ordering::Acquire) {
+                // Another worker hit a real error; unwind quietly — the
+                // driver re-derives the deterministic error sequentially.
+                return Err(SparseError::Malformed(
+                    "parallel factorisation aborted".into(),
+                ));
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The Gilbert–Peierls solve for one factor column: symbolic DFS over
+/// the `L` columns left of `j`, sparse numeric elimination in reverse
+/// postorder, pivot check, then emit `U(:, j)` (sorted, diagonal last)
+/// and `L(:, j)` (sorted, pivot-scaled). Bit-for-bit the same arithmetic
+/// in the same order regardless of which provider backs `l` — the
+/// invariant every driver in this module leans on.
+fn solve_factor_column(
+    j: Index,
+    w_col: (&[Index], &[f64]),
+    l: &impl LColumns,
+    scratch: &mut LuScratch,
+) -> Result<FactorColumn> {
+    let LuScratch { stamp, cur, x, topo, stack, col_scratch } = scratch;
+    *cur += 1;
+    if *cur == 0 {
+        // u32 stamp wrapped (needs 2^32 solves on one scratch): reset.
+        stamp.iter_mut().for_each(|s| *s = 0);
+        *cur = 1;
+    }
+    let cur = *cur;
+    topo.clear();
+    stack.clear();
+    let (b_rows, b_vals) = w_col;
+
+    // Symbolic: reach of pattern(W(:,j)) over the partially built L.
+    // Only columns < j exist in L, so nodes >= j have no children.
+    for &r in b_rows {
+        if stamp[r as usize] == cur {
+            continue;
+        }
+        stamp[r as usize] = cur;
+        x[r as usize] = 0.0;
+        stack.push((r, 0));
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            let children: &[Index] = if node < j { l.col(node)?.0 } else { &[] };
+            if *cursor < children.len() {
+                let child = children[*cursor];
+                *cursor += 1;
+                if stamp[child as usize] != cur {
+                    stamp[child as usize] = cur;
+                    x[child as usize] = 0.0;
+                    stack.push((child, 0));
+                }
+            } else {
+                topo.push(node);
+                stack.pop();
+            }
+        }
+    }
+    for (&r, &v) in b_rows.iter().zip(b_vals) {
+        x[r as usize] = v;
     }
 
-    // Growing CSC arrays for L (strictly lower, unsorted within a column
-    // until finalisation) and U (sorted, diag last).
+    // Numeric: reverse postorder = topological order of dependencies.
+    for pos in (0..topo.len()).rev() {
+        let r = topo[pos];
+        if r >= j {
+            continue; // rows at or below the pivot only accumulate
+        }
+        let xr = x[r as usize];
+        if xr != 0.0 {
+            let (rows, vals) = l.col(r)?;
+            for (i, v) in rows.iter().zip(vals) {
+                x[*i as usize] -= v * xr;
+            }
+        }
+    }
+
+    // Pivot.
+    let pivot = if stamp[j as usize] == cur { x[j as usize] } else { 0.0 };
+    if pivot == 0.0 || !pivot.is_finite() {
+        return Err(SparseError::SingularPivot { column: j as usize, value: pivot });
+    }
+
+    // Emit U(:, j): rows < j, sorted, then the diagonal last.
+    col_scratch.clear();
+    for &r in topo.iter() {
+        if r < j {
+            let v = x[r as usize];
+            if v != 0.0 {
+                col_scratch.push((r, v));
+            }
+        }
+    }
+    col_scratch.sort_unstable_by_key(|&(r, _)| r);
+    let mut u_rows = Vec::with_capacity(col_scratch.len() + 1);
+    let mut u_vals = Vec::with_capacity(col_scratch.len() + 1);
+    for &(r, v) in col_scratch.iter() {
+        u_rows.push(r);
+        u_vals.push(v);
+    }
+    u_rows.push(j);
+    u_vals.push(pivot);
+
+    // Emit L(:, j): rows > j, divided by the pivot, sorted.
+    col_scratch.clear();
+    for &r in topo.iter() {
+        if r > j {
+            let v = x[r as usize];
+            if v != 0.0 {
+                col_scratch.push((r, v / pivot));
+            }
+        }
+    }
+    col_scratch.sort_unstable_by_key(|&(r, _)| r);
+    let mut l_rows = Vec::with_capacity(col_scratch.len());
+    let mut l_vals = Vec::with_capacity(col_scratch.len());
+    for &(r, v) in col_scratch.iter() {
+        l_rows.push(r);
+        l_vals.push(v);
+    }
+
+    Ok(FactorColumn { u_rows, u_vals, l_rows, l_vals })
+}
+
+/// Concatenates solved columns into the flat CSC factor pair.
+fn assemble(n: usize, cols: Vec<FactorColumn>) -> Result<LuFactors> {
     let mut l_ptr: Vec<usize> = Vec::with_capacity(n + 1);
-    let mut l_rows: Vec<Index> = Vec::new();
-    let mut l_vals: Vec<f64> = Vec::new();
-    l_ptr.push(0);
     let mut u_ptr: Vec<usize> = Vec::with_capacity(n + 1);
-    let mut u_rows: Vec<Index> = Vec::new();
-    let mut u_vals: Vec<f64> = Vec::new();
+    l_ptr.push(0);
     u_ptr.push(0);
-
-    // Scratch.
-    let mut stamp = vec![0u32; n];
-    let mut cur = 0u32;
-    let mut x = vec![0.0f64; n];
-    let mut topo: Vec<Index> = Vec::new();
-    let mut stack: Vec<(Index, usize)> = Vec::new();
-    let mut col_scratch: Vec<(Index, f64)> = Vec::new();
-
-    for j in 0..n as Index {
-        cur += 1;
-        topo.clear();
-        let (b_rows, b_vals) = w.col(j);
-
-        // Symbolic: reach of pattern(W(:,j)) over the partially built L.
-        // Only columns < j exist in L, so nodes >= j have no children.
-        for &r in b_rows {
-            if stamp[r as usize] == cur {
-                continue;
-            }
-            stamp[r as usize] = cur;
-            x[r as usize] = 0.0;
-            stack.push((r, 0));
-            while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
-                let children: &[Index] = if node < j {
-                    let range = l_ptr[node as usize]..l_ptr[node as usize + 1];
-                    &l_rows[range]
-                } else {
-                    &[]
-                };
-                if *cursor < children.len() {
-                    let child = children[*cursor];
-                    *cursor += 1;
-                    if stamp[child as usize] != cur {
-                        stamp[child as usize] = cur;
-                        x[child as usize] = 0.0;
-                        stack.push((child, 0));
-                    }
-                } else {
-                    topo.push(node);
-                    stack.pop();
-                }
-            }
-        }
-        for (&r, &v) in b_rows.iter().zip(b_vals) {
-            x[r as usize] = v;
-        }
-
-        // Numeric: reverse postorder = topological order of dependencies.
-        for pos in (0..topo.len()).rev() {
-            let r = topo[pos];
-            if r >= j {
-                continue; // rows at or below the pivot only accumulate
-            }
-            let xr = x[r as usize];
-            if xr != 0.0 {
-                let range = l_ptr[r as usize]..l_ptr[r as usize + 1];
-                for (i, v) in l_rows[range.clone()].iter().zip(&l_vals[range]) {
-                    x[*i as usize] -= v * xr;
-                }
-            }
-        }
-
-        // Pivot.
-        let pivot = if stamp[j as usize] == cur { x[j as usize] } else { 0.0 };
-        if pivot == 0.0 || !pivot.is_finite() {
-            return Err(SparseError::SingularPivot { column: j as usize, value: pivot });
-        }
-
-        // Emit U(:, j): rows < j, sorted, then the diagonal last.
-        col_scratch.clear();
-        for &r in &topo {
-            if r < j {
-                let v = x[r as usize];
-                if v != 0.0 {
-                    col_scratch.push((r, v));
-                }
-            }
-        }
-        col_scratch.sort_unstable_by_key(|&(r, _)| r);
-        for &(r, v) in &col_scratch {
-            u_rows.push(r);
-            u_vals.push(v);
-        }
-        u_rows.push(j);
-        u_vals.push(pivot);
-        u_ptr.push(u_rows.len());
-
-        // Emit L(:, j): rows > j, divided by the pivot, sorted.
-        col_scratch.clear();
-        for &r in &topo {
-            if r > j {
-                let v = x[r as usize];
-                if v != 0.0 {
-                    col_scratch.push((r, v / pivot));
-                }
-            }
-        }
-        col_scratch.sort_unstable_by_key(|&(r, _)| r);
-        for &(r, v) in &col_scratch {
-            l_rows.push(r);
-            l_vals.push(v);
-        }
+    let l_nnz: usize = cols.iter().map(|c| c.l_rows.len()).sum();
+    let u_nnz: usize = cols.iter().map(|c| c.u_rows.len()).sum();
+    let mut l_rows: Vec<Index> = Vec::with_capacity(l_nnz);
+    let mut l_vals: Vec<f64> = Vec::with_capacity(l_nnz);
+    let mut u_rows: Vec<Index> = Vec::with_capacity(u_nnz);
+    let mut u_vals: Vec<f64> = Vec::with_capacity(u_nnz);
+    for c in &cols {
+        l_rows.extend_from_slice(&c.l_rows);
+        l_vals.extend_from_slice(&c.l_vals);
         l_ptr.push(l_rows.len());
+        u_rows.extend_from_slice(&c.u_rows);
+        u_vals.extend_from_slice(&c.u_vals);
+        u_ptr.push(u_rows.len());
     }
-
     let l = CscMatrix::from_raw_parts(n, n, l_ptr, l_rows, l_vals)?;
     let u = CscMatrix::from_raw_parts(n, n, u_ptr, u_rows, u_vals)?;
     debug_assert!(l.is_strictly_lower());
     debug_assert!(u.is_upper());
     Ok(LuFactors { l, u })
+}
+
+/// Sequential driver: columns left to right, each reading the columns
+/// already solved.
+fn solve_all_sequential(w: &CscMatrix) -> Result<Vec<FactorColumn>> {
+    let n = w.nrows();
+    let mut cols: Vec<FactorColumn> = Vec::with_capacity(n);
+    let mut scratch = LuScratch::new(n);
+    for j in 0..n as Index {
+        let col = solve_factor_column(j, w.col(j), &SolvedView(&cols), &mut scratch)?;
+        cols.push(col);
+    }
+    Ok(cols)
+}
+
+/// Parallel driver: solves `columns` (ascending) of the factorisation of
+/// `w`, result `i` landing in slot `i`. `old` supplies the unscheduled
+/// columns for a refactor, `None` for a full build (then `columns` must
+/// be `0..n`). Returns `None` when any column's solve failed — the
+/// caller re-runs sequentially so the reported error (lowest failing
+/// column) is deterministic at every thread count.
+fn solve_columns_parallel(
+    w: &CscMatrix,
+    columns: &[Index],
+    old: Option<(&CscMatrix, &[u32])>,
+    threads: usize,
+) -> Option<Vec<FactorColumn>> {
+    let n = w.nrows();
+    let m = columns.len();
+    let slots: Vec<OnceLock<FactorColumn>> = (0..m).map(|_| OnceLock::new()).collect();
+    let abort = AtomicBool::new(false);
+    let cursor = AtomicUsize::new(0);
+    let chunk = crate::inverse::claim_chunk(m, threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch = LuScratch::new(n);
+                let view = ParallelView { old, slots: &slots, abort: &abort };
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= m {
+                        break;
+                    }
+                    // Chunks are processed in ascending column order, so
+                    // the globally lowest unfinished column always has an
+                    // owner actively solving it — no deadlock.
+                    for (i, &j) in columns.iter().enumerate().take((start + chunk).min(m)).skip(start)
+                    {
+                        if abort.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match solve_factor_column(j, w.col(j), &view, &mut scratch) {
+                            Ok(c) => {
+                                let _ = slots[i].set(c);
+                            }
+                            Err(_) => {
+                                abort.store(true, Ordering::Release);
+                                cursor.fetch_max(m, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if abort.load(Ordering::Acquire) {
+        return None;
+    }
+    slots.into_iter().map(OnceLock::into_inner).collect()
+}
+
+/// Factors a square matrix with the left-looking sparse LU algorithm
+/// (sequentially, on the calling thread).
+pub fn sparse_lu(w: &CscMatrix) -> Result<LuFactors> {
+    sparse_lu_with(w, InvertOptions::sequential())
+}
+
+/// [`sparse_lu`] with an explicit worker count: the columns fan out over
+/// the same work-stealing chunk cursor as the inversion stage
+/// ([`crate::invert_lower_unit_with`]), with per-column dependencies
+/// awaited through the column DAG (see the module docs). Output is
+/// **bit-identical at any thread count**; a singular input reports the
+/// same lowest failing column at any thread count.
+pub fn sparse_lu_with(w: &CscMatrix, options: InvertOptions) -> Result<LuFactors> {
+    let n = w.nrows();
+    if w.nrows() != w.ncols() {
+        return Err(SparseError::NotSquare { nrows: w.nrows(), ncols: w.ncols() });
+    }
+    let threads = options.resolved_threads(n);
+    if threads <= 1 {
+        return assemble(n, solve_all_sequential(w)?);
+    }
+    let columns: Vec<Index> = (0..n as Index).collect();
+    match solve_columns_parallel(w, &columns, None, threads) {
+        Some(cols) => assemble(n, cols),
+        // Some column failed: derive the deterministic (lowest-column)
+        // error on the calling thread. Errors are a cold path, so the
+        // duplicated work is irrelevant next to determinism.
+        None => assemble(n, solve_all_sequential(w)?),
+    }
+}
+
+/// What an incremental refactorisation did: how much of the factor it
+/// recomputed, which columns actually changed (the dirty sets the
+/// inverse reach analysis consumes), and where the time went.
+#[derive(Debug, Clone, Default)]
+pub struct RefactorReport {
+    /// Matrix dimension (columns per factor).
+    pub dim: usize,
+    /// In-bounds distinct dirty `W` columns the caller declared.
+    pub dirty_w_columns: usize,
+    /// Factor columns re-run through the Gilbert–Peierls solve. On the
+    /// sequential path this is the *exact* taint closure; the parallel
+    /// path schedules the pattern-only candidate superset
+    /// ([`crate::refactor_candidates`]) so it can fan out up front.
+    pub recomputed_columns: usize,
+    /// Columns of `L` that changed bitwise (sorted ascending).
+    pub changed_l_columns: Vec<Index>,
+    /// Columns of `U` that changed bitwise (sorted ascending).
+    pub changed_u_columns: Vec<Index>,
+    /// Reach/taint analysis + bit-diff time (everything except the
+    /// solves and the splice).
+    pub analysis_time: Duration,
+    /// Gilbert–Peierls solve time over the recomputed columns.
+    pub solve_time: Duration,
+    /// Time splicing the changed columns into the old factors.
+    pub splice_time: Duration,
+}
+
+impl RefactorReport {
+    /// Fraction of factor columns re-run, in `[0, 1]`.
+    pub fn recomputed_fraction(&self) -> f64 {
+        self.recomputed_columns as f64 / self.dim.max(1) as f64
+    }
+}
+
+/// Incrementally refactors `w_new = L · U` given the factors of a
+/// previous `w_old` that differs from `w_new` only in the `dirty_w`
+/// columns: re-runs the per-column solve on exactly the columns whose
+/// inputs can differ (the taint closure of the module docs) and splices
+/// the changed columns into the old factors. The result is
+/// **bit-identical** to `sparse_lu(w_new)` — pinned by
+/// `tests/incremental_lu_equivalence.rs` across graph families,
+/// orderings and edit classes.
+///
+/// `dirty_w` must cover every column where `w_new` differs from the
+/// matrix `old` factors (extra or out-of-bounds entries are harmless);
+/// an incomplete set silently produces stale factors — the same
+/// contract as the inverse-side [`crate::inverse_dirty_columns`].
+pub fn refactor_columns(
+    old: &LuFactors,
+    w_new: &CscMatrix,
+    dirty_w: &[Index],
+) -> Result<(LuFactors, RefactorReport)> {
+    refactor_columns_with(old, w_new, dirty_w, InvertOptions::sequential())
+}
+
+/// [`refactor_columns`] with an explicit worker count. The parallel path
+/// pre-computes the pattern-only candidate superset
+/// ([`crate::refactor_candidates`]) so the recompute set is known up
+/// front, then fans the candidates out over the column DAG like
+/// [`sparse_lu_with`]; recomputed-but-unchanged candidates diff clean
+/// and are not spliced, so the factors are still bit-identical to the
+/// sequential (exact-taint) path at any thread count — only
+/// [`RefactorReport::recomputed_columns`] may be larger.
+pub fn refactor_columns_with(
+    old: &LuFactors,
+    w_new: &CscMatrix,
+    dirty_w: &[Index],
+    options: InvertOptions,
+) -> Result<(LuFactors, RefactorReport)> {
+    let n = w_new.nrows();
+    if w_new.nrows() != w_new.ncols() {
+        return Err(SparseError::NotSquare { nrows: w_new.nrows(), ncols: w_new.ncols() });
+    }
+    if old.dim() != n || old.l.nrows() != n || old.l.ncols() != n {
+        return Err(SparseError::Malformed(format!(
+            "refactor of a {n}×{n} matrix against {}×{} factors",
+            old.l.nrows(),
+            old.u.ncols()
+        )));
+    }
+
+    let started = Instant::now();
+    let mut report = RefactorReport { dim: n, ..Default::default() };
+    let mut dirty = vec![false; n];
+    for &d in dirty_w {
+        if (d as usize) < n && !dirty[d as usize] {
+            dirty[d as usize] = true;
+            report.dirty_w_columns += 1;
+        }
+    }
+    if report.dirty_w_columns == 0 {
+        report.analysis_time = started.elapsed();
+        return Ok((old.clone(), report));
+    }
+
+    let threads = options.resolved_threads(n);
+    let mut fresh: Vec<Option<FactorColumn>> = (0..n).map(|_| None).collect();
+    let mut solve_time = Duration::ZERO;
+
+    if threads <= 1 {
+        // Exact taint propagation (see the module docs): ascending over
+        // the columns, recompute iff dirty-W or a tainted seed, and when
+        // the recomputed L part changed bitwise, taint every ancestor via
+        // the old L's row-pattern adjacency.
+        let (adj_ptr, adj_cols) = crate::reach::pattern_row_adjacency(&old.l);
+        let mut taint = vec![false; n];
+        let mut bfs: Vec<Index> = Vec::new();
+        let mut scratch = LuScratch::new(n);
+        for j in 0..n as Index {
+            let seeds = w_new.col(j).0;
+            let recompute =
+                dirty[j as usize] || seeds.iter().any(|&s| (s as usize) < n && taint[s as usize]);
+            if !recompute {
+                continue;
+            }
+            report.recomputed_columns += 1;
+            let t = Instant::now();
+            let col = solve_factor_column(
+                j,
+                w_new.col(j),
+                &HybridView { old_l: &old.l, fresh: &fresh },
+                &mut scratch,
+            )?;
+            solve_time += t.elapsed();
+            let l_changed = column_changed(&old.l, j, &col.l_rows, &col.l_vals);
+            if column_changed(&old.u, j, &col.u_rows, &col.u_vals) {
+                report.changed_u_columns.push(j);
+            }
+            if l_changed {
+                report.changed_l_columns.push(j);
+                if !taint[j as usize] {
+                    // Ancestors-or-self of a changed column: backward BFS
+                    // over the row adjacency (predecessors of v are the
+                    // columns whose L holds row v).
+                    taint[j as usize] = true;
+                    bfs.push(j);
+                    while let Some(v) = bfs.pop() {
+                        for &k in &adj_cols[adj_ptr[v as usize]..adj_ptr[v as usize + 1]] {
+                            if !taint[k as usize] {
+                                taint[k as usize] = true;
+                                bfs.push(k);
+                            }
+                        }
+                    }
+                }
+            }
+            fresh[j as usize] = Some(col);
+        }
+    } else {
+        // Parallel path: the pattern-only candidate closure is a provable
+        // superset of the exact recompute set, so scheduling all of it
+        // keeps every input bit-identical to the full build.
+        let candidates = crate::reach::refactor_candidates(&old.l, w_new, dirty_w);
+        let mut slot_of = vec![NOT_SCHEDULED; n];
+        for (i, &c) in candidates.iter().enumerate() {
+            slot_of[c as usize] = i as u32;
+        }
+        report.recomputed_columns = candidates.len();
+        let t = Instant::now();
+        let cols =
+            match solve_columns_parallel(w_new, &candidates, Some((&old.l, &slot_of)), threads) {
+                Some(cols) => cols,
+                // A candidate failed: re-derive the deterministic error
+                // (or, impossibly, the result) on the exact path.
+                None => {
+                    return refactor_columns_with(old, w_new, dirty_w, InvertOptions::sequential())
+                }
+            };
+        solve_time = t.elapsed();
+        for (&j, col) in candidates.iter().zip(cols) {
+            if column_changed(&old.l, j, &col.l_rows, &col.l_vals) {
+                report.changed_l_columns.push(j);
+            }
+            if column_changed(&old.u, j, &col.u_rows, &col.u_vals) {
+                report.changed_u_columns.push(j);
+            }
+            fresh[j as usize] = Some(col);
+        }
+    }
+
+    report.solve_time = solve_time;
+    report.analysis_time = started.elapsed().saturating_sub(solve_time);
+
+    // Splice only the bitwise-changed columns into the old factors.
+    let t = Instant::now();
+    let mut l_updates: Vec<ColumnUpdate> = Vec::with_capacity(report.changed_l_columns.len());
+    for &j in &report.changed_l_columns {
+        if let Some(c) = fresh[j as usize].as_mut() {
+            l_updates.push(ColumnUpdate {
+                col: j,
+                rows: std::mem::take(&mut c.l_rows),
+                vals: std::mem::take(&mut c.l_vals),
+            });
+        }
+    }
+    let mut u_updates: Vec<ColumnUpdate> = Vec::with_capacity(report.changed_u_columns.len());
+    for &j in &report.changed_u_columns {
+        if let Some(c) = fresh[j as usize].as_mut() {
+            u_updates.push(ColumnUpdate {
+                col: j,
+                rows: std::mem::take(&mut c.u_rows),
+                vals: std::mem::take(&mut c.u_vals),
+            });
+        }
+    }
+    let l = old.l.splice_columns(&l_updates)?;
+    let u = old.u.splice_columns(&u_updates)?;
+    report.splice_time = t.elapsed();
+    debug_assert!(l.is_strictly_lower());
+    debug_assert!(u.is_upper());
+    Ok((LuFactors { l, u }, report))
+}
+
+/// Bit-level comparison of a freshly solved column against the stored
+/// column `j` of `t` (pattern and value bits).
+fn column_changed(t: &CscMatrix, j: Index, rows: &[Index], vals: &[f64]) -> bool {
+    let (or, ov) = t.col(j);
+    rows != or || vals.iter().zip(ov).any(|(a, b)| a.to_bits() != b.to_bits())
 }
 
 #[cfg(test)]
@@ -253,6 +745,36 @@ mod tests {
                 assert!((x - y).abs() <= tol * (1.0 + y.abs()), "({i},{j}): {x} vs {y}");
             }
         }
+    }
+
+    fn assert_factors_bit_identical(a: &LuFactors, b: &LuFactors) {
+        for (x, y) in [(&a.l, &b.l), (&a.u, &b.u)] {
+            let (xp, xi, xv) = x.raw();
+            let (yp, yi, yv) = y.raw();
+            assert_eq!(xp, yp, "column pointers differ");
+            assert_eq!(xi, yi, "row patterns differ");
+            assert!(xv.iter().zip(yv).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+    }
+
+    fn random_dominant(n: usize, density: f64, seed: u64) -> CscMatrix {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+        let mut col_sum = vec![0.0f64; n];
+        for j in 0..n as Index {
+            for i in 0..n as Index {
+                if i != j && rng.gen_bool(density) {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    trips.push((i, j, v));
+                    col_sum[j as usize] += v.abs();
+                }
+            }
+        }
+        for (j, &cs) in col_sum.iter().enumerate() {
+            trips.push((j as Index, j as Index, cs + 1.0));
+        }
+        CscMatrix::from_triplets(n, n, &trips).unwrap()
     }
 
     #[test]
@@ -347,23 +869,9 @@ mod tests {
     fn random_diag_dominant_roundtrip() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        for _ in 0..20 {
+        for trial in 0..20 {
             let n = rng.gen_range(2..30usize);
-            let mut trips: Vec<(Index, Index, f64)> = Vec::new();
-            let mut col_sum = vec![0.0f64; n];
-            for j in 0..n as Index {
-                for i in 0..n as Index {
-                    if i != j && rng.gen_bool(0.25) {
-                        let v: f64 = rng.gen_range(-1.0..1.0);
-                        trips.push((i, j, v));
-                        col_sum[j as usize] += v.abs();
-                    }
-                }
-            }
-            for (j, &cs) in col_sum.iter().enumerate() {
-                trips.push((j as Index, j as Index, cs + 1.0)); // strictly dominant
-            }
-            let w = CscMatrix::from_triplets(n, n, &trips).unwrap();
+            let w = random_dominant(n, 0.25, 1000 + trial);
             let f = sparse_lu(&w).unwrap();
             assert_matrix_close(&dense_lu_product(&f), &w.to_dense(), 1e-10);
             // Solve against a random RHS and verify the residual.
@@ -372,6 +880,134 @@ mod tests {
             let recon = w.matvec(&x);
             for (r, e) in recon.iter().zip(&b) {
                 assert!((r - e).abs() < 1e-8, "{r} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_lu_is_bit_identical() {
+        for seed in 0..6u64 {
+            let w = random_dominant(60, 0.08, seed);
+            let seq = sparse_lu(&w).unwrap();
+            for threads in [2usize, 3, 0] {
+                let par = sparse_lu_with(&w, InvertOptions { threads }).unwrap();
+                assert_factors_bit_identical(&seq, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_lu_reports_the_lowest_singular_column() {
+        // Columns 2 and 5 are identically zero; every thread count must
+        // report column 2, exactly like the sequential factorisation.
+        let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+        for j in 0..8u32 {
+            if j != 2 && j != 5 {
+                trips.push((j, j, 1.0));
+            }
+        }
+        trips.push((3, 0, 0.5));
+        trips.push((7, 1, 0.5));
+        let w = CscMatrix::from_triplets(8, 8, &trips).unwrap();
+        for threads in [1usize, 2, 4, 0] {
+            match sparse_lu_with(&w, InvertOptions { threads }) {
+                Err(SparseError::SingularPivot { column, .. }) => {
+                    assert_eq!(column, 2, "threads {threads}")
+                }
+                other => panic!("threads {threads}: expected singular pivot, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_matches_full_lu_bitwise() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..12u64 {
+            let n = rng.gen_range(8..40usize);
+            let w_old = random_dominant(n, 0.15, 100 + trial);
+            let old = sparse_lu(&w_old).unwrap();
+            // Perturb a few columns (keep dominance: bump the diagonal).
+            let mut dirty: Vec<Index> = (0..rng.gen_range(1..4usize))
+                .map(|_| rng.gen_range(0..n) as Index)
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let mut updates = Vec::new();
+            for &j in &dirty {
+                let (rows, vals) = w_old.col(j);
+                let mut rows = rows.to_vec();
+                let mut vals = vals.to_vec();
+                if let Some(at) = rows.iter().position(|&r| r == j) {
+                    vals[at] += 1.0 + rng.gen_range(0.0..1.0);
+                } else {
+                    rows.push(j);
+                    vals.push(5.0);
+                    let mut pairs: Vec<(Index, f64)> =
+                        rows.iter().copied().zip(vals.iter().copied()).collect();
+                    pairs.sort_unstable_by_key(|&(r, _)| r);
+                    rows = pairs.iter().map(|&(r, _)| r).collect();
+                    vals = pairs.iter().map(|&(_, v)| v).collect();
+                }
+                updates.push(ColumnUpdate { col: j, rows, vals });
+            }
+            let w_new = w_old.splice_columns(&updates).unwrap();
+            let full = sparse_lu(&w_new).unwrap();
+            let (inc, report) = refactor_columns(&old, &w_new, &dirty).unwrap();
+            assert_factors_bit_identical(&full, &inc);
+            assert_eq!(report.dirty_w_columns, dirty.len());
+            assert!(report.recomputed_columns >= report.changed_l_columns.len());
+            // Parallel refactor: same bits at every thread count.
+            for threads in [2usize, 0] {
+                let (par, preport) =
+                    refactor_columns_with(&old, &w_new, &dirty, InvertOptions { threads })
+                        .unwrap();
+                assert_factors_bit_identical(&full, &par);
+                assert!(preport.recomputed_columns >= report.recomputed_columns);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_with_no_dirty_columns_is_a_clone() {
+        let w = random_dominant(20, 0.2, 9);
+        let old = sparse_lu(&w).unwrap();
+        let (same, report) = refactor_columns(&old, &w, &[]).unwrap();
+        assert_factors_bit_identical(&old, &same);
+        assert_eq!(report.recomputed_columns, 0);
+        assert!(report.changed_l_columns.is_empty() && report.changed_u_columns.is_empty());
+        // Out-of-bounds dirty indices are ignored, like the reach API.
+        let (same2, report2) = refactor_columns(&old, &w, &[999]).unwrap();
+        assert_factors_bit_identical(&old, &same2);
+        assert_eq!(report2.dirty_w_columns, 0);
+    }
+
+    #[test]
+    fn refactor_rejects_mismatched_shapes() {
+        let w = random_dominant(6, 0.3, 3);
+        let old = sparse_lu(&w).unwrap();
+        let bigger = random_dominant(7, 0.3, 4);
+        assert!(matches!(
+            refactor_columns(&old, &bigger, &[0]),
+            Err(SparseError::Malformed(_))
+        ));
+        let rect = CscMatrix::zeros(6, 7);
+        assert!(matches!(refactor_columns(&old, &rect, &[0]), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn refactor_surfaces_singular_columns_deterministically() {
+        // Dirtying a column to all-zeros must fail with that column's
+        // SingularPivot at any thread count.
+        let w = random_dominant(10, 0.2, 11);
+        let old = sparse_lu(&w).unwrap();
+        let zeroed = w
+            .splice_columns(&[ColumnUpdate { col: 4, rows: Vec::new(), vals: Vec::new() }])
+            .unwrap();
+        for threads in [1usize, 2, 0] {
+            match refactor_columns_with(&old, &zeroed, &[4], InvertOptions { threads }) {
+                Err(SparseError::SingularPivot { column: 4, .. }) => {}
+                other => panic!("threads {threads}: expected singular pivot at 4, got {other:?}"),
             }
         }
     }

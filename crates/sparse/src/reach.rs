@@ -24,24 +24,25 @@
 //! column set the re-solve stage has to pay for, and nothing else.
 //! Everything outside it is untouched, which is the freshness guarantee
 //! `tests/dynamic_equivalence.rs` pins.
+//!
+//! The same machinery drives the *factor* side: [`refactor_candidates`]
+//! runs the pattern-only taint closure of the incremental
+//! refactorisation ([`crate::refactor_columns`], see `lu`'s module docs
+//! for the exactness argument) — the columns of the factorisation that
+//! *can* change when the given `W` columns change, assuming every
+//! candidate's `L` pattern changes. It is a provable superset of the
+//! exact (value-aware) recompute set, cheap enough to serve as a
+//! dry-run predictor and as the up-front schedule of the parallel
+//! refactor path.
 
 use crate::{CscMatrix, Index};
 
-/// The columns of `T⁻¹` whose Gilbert–Peierls reach intersects `dirty` —
-/// the exact set of inverse columns a change confined to the `dirty`
-/// columns of `T` can affect. Returned sorted ascending; always a
-/// superset of `dirty` itself (every in-bounds dirty column trivially
-/// reaches itself). Out-of-bounds dirty indices are ignored. Works for
-/// either triangle: the traversal follows stored off-diagonal entries,
-/// and a valid triangular matrix only stores entries on its own side.
-pub fn inverse_dirty_columns(t: &CscMatrix, dirty: &[Index]) -> Vec<Index> {
+/// Row-pattern adjacency of `t` as flat CSR-ish arrays: for node `i`,
+/// `cols[ptr[i]..ptr[i + 1]]` lists the columns `j ≠ i` with a stored
+/// off-diagonal `t_ij` — the reverse of the Gilbert–Peierls pattern
+/// graph. One counting transpose over the pattern; values untouched.
+pub(crate) fn pattern_row_adjacency(t: &CscMatrix) -> (Vec<usize>, Vec<Index>) {
     let n = t.ncols();
-    if n == 0 || dirty.is_empty() {
-        return Vec::new();
-    }
-    // Row-pattern adjacency (the reverse graph): for node `i`, the
-    // columns `j` with a stored off-diagonal `T_ij`. One counting
-    // transpose over the pattern, values never touched.
     let (col_ptr, row_idx, _) = t.raw();
     let mut ptr = vec![0usize; n + 1];
     for (j, window) in col_ptr.windows(2).enumerate() {
@@ -64,6 +65,24 @@ pub fn inverse_dirty_columns(t: &CscMatrix, dirty: &[Index]) -> Vec<Index> {
             }
         }
     }
+    (ptr, cols)
+}
+
+/// The columns of `T⁻¹` whose Gilbert–Peierls reach intersects `dirty` —
+/// the exact set of inverse columns a change confined to the `dirty`
+/// columns of `T` can affect. Returned sorted ascending; always a
+/// superset of `dirty` itself (every in-bounds dirty column trivially
+/// reaches itself). Out-of-bounds dirty indices are ignored. Works for
+/// either triangle: the traversal follows stored off-diagonal entries,
+/// and a valid triangular matrix only stores entries on its own side.
+pub fn inverse_dirty_columns(t: &CscMatrix, dirty: &[Index]) -> Vec<Index> {
+    let n = t.ncols();
+    if n == 0 || dirty.is_empty() {
+        return Vec::new();
+    }
+    // Row-pattern adjacency (the reverse graph): for node `i`, the
+    // columns `j` with a stored off-diagonal `T_ij`.
+    let (ptr, cols) = pattern_row_adjacency(t);
 
     // BFS from the dirty seed over the reverse graph.
     let mut visited = vec![false; n];
@@ -87,6 +106,64 @@ pub fn inverse_dirty_columns(t: &CscMatrix, dirty: &[Index]) -> Vec<Index> {
     }
     queue.sort_unstable();
     queue
+}
+
+/// The factor columns that *can* be recomputed when the `dirty_w`
+/// columns of `W` change, given the old factor `l` (strictly-lower part)
+/// and the new matrix `w_new`: the pattern-only taint closure of the
+/// incremental refactorisation. Ascending over the columns, column `j`
+/// is a candidate iff its `W` column is dirty or `pattern(w_new(:, j))`
+/// holds a tainted node, and every candidate immediately taints its
+/// ancestors-or-self in the old `L`'s pattern DAG (as if its `L` part
+/// were guaranteed to change). Because the exact algorithm only taints
+/// from columns whose `L` part *did* change — a subset of the
+/// candidates, by induction — this closure is always a **superset** of
+/// the exact recompute set, which makes it safe as the up-front schedule
+/// of [`crate::refactor_columns_with`]'s parallel path and honest as the
+/// `--dry-run` predictor. Returned sorted ascending; out-of-bounds dirty
+/// indices are ignored.
+pub fn refactor_candidates(l: &CscMatrix, w_new: &CscMatrix, dirty_w: &[Index]) -> Vec<Index> {
+    let n = l.ncols().min(w_new.ncols());
+    if n == 0 || dirty_w.is_empty() {
+        return Vec::new();
+    }
+    let mut dirty = vec![false; n];
+    let mut any = false;
+    for &d in dirty_w {
+        if (d as usize) < n {
+            dirty[d as usize] = true;
+            any = true;
+        }
+    }
+    if !any {
+        return Vec::new();
+    }
+    let (ptr, cols) = pattern_row_adjacency(l);
+    let mut taint = vec![false; n];
+    let mut bfs: Vec<Index> = Vec::new();
+    let mut out: Vec<Index> = Vec::new();
+    for j in 0..n {
+        let seeds = w_new.col(j as Index).0;
+        let candidate =
+            dirty[j] || seeds.iter().any(|&s| (s as usize) < n && taint[s as usize]);
+        if !candidate {
+            continue;
+        }
+        out.push(j as Index);
+        if !taint[j] {
+            taint[j] = true;
+            bfs.push(j as Index);
+            while let Some(v) = bfs.pop() {
+                for &k in &cols[ptr[v as usize]..ptr[v as usize + 1]] {
+                    if !taint[k as usize] {
+                        taint[k as usize] = true;
+                        bfs.push(k);
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -146,6 +223,41 @@ mod tests {
         assert_eq!(inverse_dirty_columns(&l, &[7]), Vec::<Index>::new());
         let empty = CscMatrix::zeros(0, 0);
         assert!(inverse_dirty_columns(&empty, &[0]).is_empty());
+    }
+
+    #[test]
+    fn refactor_candidates_cover_the_dirty_columns_and_respect_components() {
+        use crate::{refactor_columns, sparse_lu, ColumnUpdate};
+        // Two independent 3-blocks in W: dirt in one block never makes
+        // candidates in the other.
+        let mut trips: Vec<(Index, Index, f64)> = Vec::new();
+        for base in [0u32, 3] {
+            for j in 0..3u32 {
+                trips.push((base + j, base + j, 4.0));
+                trips.push((base + (j + 1) % 3, base + j, -1.0));
+            }
+        }
+        let w = CscMatrix::from_triplets(6, 6, &trips).unwrap();
+        let f = sparse_lu(&w).unwrap();
+        let cand = refactor_candidates(&f.l, &w, &[4]);
+        assert!(cand.contains(&4));
+        assert!(cand.iter().all(|&c| c >= 3), "block {{0,1,2}} must stay clean: {cand:?}");
+        // Superset contract: the exact recompute set of a real edit is
+        // contained in the candidates of the same dirty set.
+        let mut vals = w.col(4).1.to_vec();
+        vals[0] += 1.5;
+        let w2 = w
+            .splice_columns(&[ColumnUpdate { col: 4, rows: w.col(4).0.to_vec(), vals }])
+            .unwrap();
+        let cand2 = refactor_candidates(&f.l, &w2, &[4]);
+        let (_, report) = refactor_columns(&f, &w2, &[4]).unwrap();
+        for &c in &report.changed_l_columns {
+            assert!(cand2.contains(&c), "changed column {c} missing from candidates {cand2:?}");
+        }
+        assert!(report.recomputed_columns <= cand2.len());
+        // Degenerate inputs mirror inverse_dirty_columns.
+        assert!(refactor_candidates(&f.l, &w, &[]).is_empty());
+        assert!(refactor_candidates(&f.l, &w, &[99]).is_empty());
     }
 
     /// The exactness contract on random triangles: a column is in the

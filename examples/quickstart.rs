@@ -118,10 +118,12 @@ fn main() {
     .expect("valid batch");
     let report = dynamic.apply(&batch).expect("incremental update");
     println!(
-        "\nincremental update: {} edits in {:?} — re-solved {}/{} L⁻¹ and {}/{} U⁻¹ columns \
-         (update epoch {})",
+        "\nincremental update: {} edits in {:?} — re-eliminated {}/{} factor columns, re-solved \
+         {}/{} L⁻¹ and {}/{} U⁻¹ columns (update epoch {})",
         report.edits,
         report.total_time(),
+        report.dirty_factor_columns_recomputed,
+        report.num_columns,
         report.dirty_linv_columns,
         report.num_columns,
         report.dirty_uinv_columns,
@@ -146,4 +148,28 @@ fn main() {
         fresh.items.iter().any(|item| item.node == far),
         "the freshly linked node should now rank in the top-{k}"
     );
+
+    // 6. A queue of batches coalesces into one incremental pass — one
+    //    refactorisation, one reach analysis, one re-solve — bit-identical
+    //    to applying them one by one, with the epoch still advancing by
+    //    the queue length. `predict` prices the queue without mutating
+    //    anything. On the command line the same pair is
+    //    `kdash update --coalesce --dry-run`.
+    let queue = vec![
+        UpdateBatch::new(vec![EdgeEdit::Reweight { src: q, dst: far, weight: 1.5 }])
+            .expect("valid batch"),
+        UpdateBatch::new(vec![EdgeEdit::Delete { src: far, dst: q }]).expect("valid batch"),
+    ];
+    let prediction = dynamic.predict(&queue).expect("dry-run prediction");
+    let coalesced = dynamic.apply_coalesced(&queue).expect("coalesced update");
+    println!(
+        "coalesced {} batches in {:?} — predicted ≤{} factor candidates, re-eliminated {} \
+         (update epoch {})",
+        coalesced.batches,
+        coalesced.total_time(),
+        prediction.candidate_factor_columns,
+        coalesced.dirty_factor_columns_recomputed,
+        dynamic.index().update_epoch(),
+    );
+    assert!(coalesced.dirty_factor_columns_recomputed <= prediction.candidate_factor_columns);
 }
