@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! kdash build  <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]
+//!              [--drop-tol 0]
 //! kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...]
 //!              [--kernel auto] [--pruning on]
 //! kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]
@@ -14,6 +15,16 @@
 //! `build` runs the staged `IndexBuilder` pipeline and prints one timing
 //! line per stage; `--threads 0` parallelises the inversion stage over all
 //! available cores (output is bit-identical at any thread count).
+//! `--drop-tol EPS` builds the *sparsified* tier: inverse entries whose
+//! magnitude falls below `EPS` are dropped during the inversion solves
+//! (the per-column dropped ℓ₁ masses are recorded in the index), shrinking
+//! the stored `L⁻¹`/`U⁻¹` at the cost of routing every query through the
+//! certified residual-refinement loop. Returned top-k sets and their
+//! order are still **exact** — refinement iterates until the residual
+//! norm proves the ranking — and an uncertifiable query (exact
+//! proximity tie, or a gap below the floating-point floor) fails loudly
+//! rather than returning a silently approximate answer. `--drop-tol 0`
+//! (the default) is bit-identical to the dense-exact build.
 //!
 //! `query` selects its gather kernel with `--kernel
 //! {scalar,unrolled,simd,auto}` (a selector the host CPU cannot honour is
@@ -101,6 +112,7 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 kdash build  <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] [--threads 1]\n\
+         \x20              [--drop-tol 0]\n\
          \x20 kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
          \x20              [--kernel auto] [--pruning on]\n\
          \x20 kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]\n\
@@ -115,6 +127,9 @@ fn print_usage() {
          KERNELS:   scalar unrolled simd auto — proximity gather kernel; 'simd' errors on\n\
          \x20          hosts without AVX2, only 'auto' falls back\n\
          PRUNING:   on (Lemma 2 early termination) | off (visit every reachable node)\n\
+         DROP-TOL:  inverse entries below this magnitude are dropped at build time;\n\
+         \x20          queries then run certified residual refinement — top-k sets and\n\
+         \x20          order stay exact, uncertifiable queries fail loudly; 0 = dense\n\
          EDITS:     one edit per line: '+ src dst w' insert, '- src dst' delete,\n\
          \x20          '= src dst w' reweight; blank lines separate atomic batches;\n\
          \x20          --coalesce merges all batches into one pass (bit-identical),\n\
@@ -191,10 +206,10 @@ fn parse_ordering(text: &str) -> Result<NodeOrdering, String> {
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args, &[])?;
-    reject_unknown_flags(&flags, &["c", "ordering", "threads", "layout"])?;
+    reject_unknown_flags(&flags, &["c", "ordering", "threads", "layout", "drop-tol"])?;
     let [edges_path, index_path] = pos.as_slice() else {
         return Err("usage: kdash build <edges.txt> <index.kdash> [--c 0.95] [--ordering hybrid] \
-                    [--threads 1] [--layout blocked]"
+                    [--threads 1] [--layout blocked] [--drop-tol 0]"
             .into());
     };
     let c: f64 = flag(&flags, "c").unwrap_or("0.95").parse().map_err(|_| "invalid --c")?;
@@ -203,6 +218,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         flag(&flags, "threads").unwrap_or("1").parse().map_err(|_| "invalid --threads")?;
     let layout: RowLayout =
         flag(&flags, "layout").unwrap_or("blocked").parse().map_err(|e| format!("{e}"))?;
+    let drop_tolerance: f64 =
+        flag(&flags, "drop-tol").unwrap_or("0").parse().map_err(|_| "invalid --drop-tol")?;
 
     let file = File::open(edges_path).map_err(|e| format!("open {edges_path}: {e}"))?;
     let graph = read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -212,6 +229,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         ordering,
         restart_probability: c,
         layout,
+        drop_tolerance,
         ..Default::default()
     })
     .threads(threads);
@@ -240,6 +258,15 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         index.stats().inverse_nnz_ratio(),
         index.stats().uinv_index_bytes as f64 / index.stats().nnz_u_inv.max(1) as f64,
     );
+    if index.is_sparsified() {
+        println!(
+            "sparsified tier: drop tolerance {:e}, dropped l1 mass {:.3e} — queries run \
+             certified residual refinement{}",
+            index.drop_tolerance(),
+            index.dropped_mass(),
+            if index.needs_refinement() { "" } else { " (nothing dropped: classic path)" },
+        );
+    }
 
     save_atomic(&index, index_path).map_err(|e| format!("write {index_path}: {e}"))?;
     println!("wrote {index_path}");
@@ -326,6 +353,19 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         s.bytes_touched,
         s.value_bytes_touched,
     );
+    // Sparsified-tier observability: how many certified-refinement sweeps
+    // the query needed and the extra nonzeros they streamed (residual
+    // edges + correction scatter/gather). Dense-exact indexes skip the
+    // loop entirely, so the line would always read 0/0 — omit it.
+    if index.needs_refinement() {
+        println!(
+            "-- refinement: {} iteration(s), {} streamed nnz (sparsified tier, drop tolerance \
+             {:e})",
+            s.refinement_iterations,
+            s.refinement_nnz,
+            index.drop_tolerance(),
+        );
+    }
     Ok(())
 }
 
@@ -559,6 +599,20 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         s.uinv_index_bytes,
         s.uinv_index_bytes as f64 / s.nnz_u_inv.max(1) as f64
     );
+    if index.is_sparsified() {
+        println!("tier               sparsified (drop tolerance {:e})", index.drop_tolerance());
+        println!("dropped l1 mass    {:.3e}", index.dropped_mass());
+        println!(
+            "query path         {}",
+            if index.needs_refinement() {
+                "certified residual refinement (top-k set and order exact)"
+            } else {
+                "classic (ε dropped nothing — stored inverses are dense-exact)"
+            }
+        );
+    } else {
+        println!("tier               dense-exact");
+    }
     Ok(())
 }
 

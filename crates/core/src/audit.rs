@@ -133,8 +133,8 @@ impl IndexAudit {
 
     fn run_core(index: &KdashIndex) -> (Vec<AuditSection>, Collector) {
         let mut col = Collector::new();
-        let mut sections = Vec::with_capacity(8);
-        let steps: [(&'static str, fn(&KdashIndex, &mut Collector)); 7] = [
+        let mut sections = Vec::with_capacity(9);
+        let steps: [(&'static str, fn(&KdashIndex, &mut Collector)); 8] = [
             ("header", audit_header),
             ("permutation", audit_permutation),
             ("graph", audit_graph),
@@ -142,6 +142,7 @@ impl IndexAudit {
             ("uinv", audit_uinv),
             ("row-stats", audit_row_stats),
             ("estimator", audit_estimator),
+            ("sparsify", audit_sparsify),
         ];
         for (name, step) in steps {
             let before = col.checks;
@@ -525,6 +526,46 @@ fn audit_estimator(index: &KdashIndex, col: &mut Collector) {
     }
 }
 
+/// The sparsification record: the drop tolerance is finite and
+/// non-negative, both dropped-mass vectors cover every node with finite
+/// non-negative entries, and a dense-exact build (`ε = 0`) dropped
+/// nothing — mass under a zero tolerance means the inverses and the
+/// record disagree about what was stored.
+fn audit_sparsify(index: &KdashIndex, col: &mut Collector) {
+    const S: &str = "sparsify";
+    let n = index.num_nodes();
+    let eps = index.drop_tolerance();
+    col.check(S, eps.is_finite() && eps >= 0.0, || {
+        format!("drop tolerance {eps} not finite and non-negative")
+    });
+    let (linv_dropped, uinv_dropped) = index.dropped_masses();
+    col.check(S, linv_dropped.len() == n, || {
+        format!("L⁻¹ dropped-mass vector has {} entries, expected {n}", linv_dropped.len())
+    });
+    col.check(S, uinv_dropped.len() == n, || {
+        format!("U⁻¹ dropped-mass vector has {} entries, expected {n}", uinv_dropped.len())
+    });
+    for (label, masses) in [("L⁻¹", linv_dropped), ("U⁻¹", uinv_dropped)] {
+        for (j, &m) in masses.iter().enumerate() {
+            col.check(S, m.is_finite() && m >= 0.0, || {
+                format!("{label} column {j}: dropped mass {m} not finite and non-negative")
+            });
+            if eps == 0.0 {
+                col.check(S, m == 0.0, || {
+                    format!("{label} column {j}: dropped mass {m} under a zero drop tolerance")
+                });
+            }
+        }
+    }
+    let total = linv_dropped.iter().sum::<f64>() + uinv_dropped.iter().sum::<f64>();
+    col.check(S, index.dropped_mass().to_bits() == total.to_bits(), || {
+        format!(
+            "cached dropped-mass total {} disagrees with recomputed {total}",
+            index.dropped_mass()
+        )
+    });
+}
+
 /// Spot-check columns for [`audit_factors`]: deterministic, always the
 /// first and last column plus an even stride between them, at most `cap`.
 fn sampled_columns(n: usize, cap: usize) -> Vec<u32> {
@@ -688,7 +729,7 @@ mod tests {
     fn fresh_index_audits_clean() {
         let audit = IndexAudit::run(&sample_index());
         assert!(audit.is_clean(), "findings: {:?}", audit.findings);
-        assert_eq!(audit.sections.len(), 7);
+        assert_eq!(audit.sections.len(), 8);
         assert!(audit.sections.iter().all(|s| s.checks > 0));
         assert!(audit.clone().into_result().is_ok());
     }
@@ -722,8 +763,8 @@ mod tests {
             sample_index_with(IndexOptions { keep_factors: true, ..Default::default() });
         let audit = IndexAudit::run_with_factors(&index, None);
         assert!(audit.is_clean(), "findings: {:?}", audit.findings);
-        assert_eq!(audit.sections.len(), 8);
-        let last = &audit.sections[7];
+        assert_eq!(audit.sections.len(), 9);
+        let last = &audit.sections[8];
         assert_eq!(last.name, "factors");
         assert!(last.checks > 0, "factors present ⇒ checks must run");
     }
@@ -732,8 +773,8 @@ mod tests {
     fn absent_factors_report_a_zero_check_section() {
         let audit = IndexAudit::run_with_factors(&sample_index(), None);
         assert!(audit.is_clean());
-        assert_eq!(audit.sections.len(), 8);
-        let last = &audit.sections[7];
+        assert_eq!(audit.sections.len(), 9);
+        let last = &audit.sections[8];
         assert_eq!(last.name, "factors");
         assert_eq!(last.checks, 0, "no factors ⇒ section is skipped, not failed");
     }

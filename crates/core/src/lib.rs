@@ -142,6 +142,40 @@
 //!   row gathers, restoring memory-level parallelism on DRAM-resident
 //!   indexes.
 //!
+//! ## The exactness contract under sparsified indexes
+//!
+//! [`IndexOptions::drop_tolerance`](precompute::IndexOptions) > 0 builds a
+//! **sparsified index tier**: entries of `L⁻¹`/`U⁻¹` below `ε` are
+//! truncated during inversion (shrinking both build time and stored
+//! bytes), and the per-column dropped ℓ₁ masses are stored alongside.
+//! Answers remain *exact* — the brand does not change — because queries on
+//! a sparsified index run a **certified residual refinement loop** instead
+//! of trusting the stored values:
+//!
+//! 1. Gather the approximate solution `x̃ ≈ W⁻¹ b` from the sparsified
+//!    store (`b` is the unit restart vector `e_q`, or the merged
+//!    restart-set vector).
+//! 2. Compute the residual `r = b − W x̃` directly against the stored
+//!    permuted graph (`W = I − (1−c)A` is never materialised; the residual
+//!    streams the graph's edges).
+//! 3. Because `A` is column-substochastic, `W⁻¹ = Σ ((1−c)A)^i` is
+//!    entrywise non-negative with column sums ≤ `1/c`, so **every** entry
+//!    of the error obeys `|p_u − c·x̃_u| ≤ ‖r‖₁`. This is the same
+//!    upper/lower-bound style as the paper's Lemma 2, applied to the
+//!    refinement residual instead of the BFS frontier.
+//! 4. If consecutive ranked proximities (and the k-th/(k+1)-th boundary)
+//!    are separated by more than `2‖r‖₁`, the top-k *set and order* are
+//!    proven identical to the exact answer — terminate. Otherwise apply
+//!    one correction `x̃ += Ũ⁻¹(L̃⁻¹ r)` (the sparsified inverses act as a
+//!    preconditioner, so `‖r‖₁` contracts geometrically) and re-certify.
+//!
+//! The loop fails *loudly* ([`KdashError::RefinementFailed`]) if
+//! proximities are genuinely tied or closer than the achievable
+//! floating-point floor — it never returns a ranking it could not prove.
+//! With `drop_tolerance = 0` (the default) nothing changes: the build
+//! routes through the exact inverters bit-for-bit and queries run the
+//! classic Lemma-2 path with zero refinement iterations.
+//!
 //! ## Operational guarantees
 //!
 //! Exactness is the brand, so the failure modes are engineered to be
@@ -236,6 +270,16 @@ pub enum KdashError {
     /// A deep structural audit ([`IndexAudit::run`]) found invariant
     /// violations; each entry is `"<section>: <detail>"`.
     AuditFailed { findings: Vec<String> },
+    /// The certified refinement loop on a sparsified index could not
+    /// separate the top-k set and order within its iteration budget:
+    /// after `iterations` correction passes the residual bound was
+    /// `residual` but certifying the ranking needed a gap above
+    /// `2 × residual`, and the smallest decisive gap was `gap`. This
+    /// happens only when proximities are tied (or separated by less than
+    /// the achievable floating-point floor) — the query has no answer
+    /// rather than a silently mis-ordered one. A dense-exact index
+    /// (`drop_tolerance = 0`) never takes this path.
+    RefinementFailed { iterations: usize, residual: f64, gap: f64 },
 }
 
 impl std::fmt::Display for KdashError {
@@ -272,6 +316,16 @@ impl std::fmt::Display for KdashError {
                     write!(f, "; first: {first}")?;
                 }
                 Ok(())
+            }
+            KdashError::RefinementFailed { iterations, residual, gap } => {
+                write!(
+                    f,
+                    "refinement could not certify the top-k order after {iterations} \
+                     iteration(s): residual bound {residual:.3e} needs a ranking gap \
+                     > {:.3e} but the smallest decisive gap was {gap:.3e} \
+                     (tied or near-tied proximities)",
+                    2.0 * residual
+                )
             }
         }
     }

@@ -11,7 +11,14 @@
 //!
 //! # Format versions
 //!
-//! * **v4** (current): v3 with integrity checksums. Every section —
+//! * **v5** (current): v4 plus a **dropped-mass section** between the
+//!   estimator constants and the trailer: the drop tolerance `ε` the
+//!   stored inverses were truncated with, then the per-column dropped ℓ₁
+//!   masses of `L⁻¹` and `U⁻¹` — what the certified refinement loop needs
+//!   to keep sparsified answers exact. The section is checksummed like
+//!   every other. v1–v4 files still load, flagged dense-exact (`ε = 0`,
+//!   zero masses) — which is what they are.
+//! * **v4**: v3 with integrity checksums. Every section —
 //!   header, permutation, graph arrays, `L⁻¹`, `U⁻¹`, row stats,
 //!   estimator constants, trailer — is followed by its CRC32 (IEEE), and
 //!   the file ends with a `KDASHEND` footer carrying the CRC32 of the
@@ -50,7 +57,9 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"KDASHIDX";
 const FOOTER_MAGIC: &[u8; 8] = b"KDASHEND";
-const VERSION: u32 = 4;
+const VERSION: u32 = 5;
+/// First format version carrying the dropped-mass section.
+const VERSION_SPARSIFIED: u32 = 5;
 /// First format version with per-section and whole-file checksums.
 const VERSION_CHECKSUMMED: u32 = 4;
 const LAYOUT_FLAT: u8 = 0;
@@ -76,6 +85,9 @@ pub enum Section {
     RowStats,
     /// The estimator constants (`A_max(v)`, `A_max`, `c'`).
     Estimator,
+    /// The sparsification record (v5+): drop tolerance `ε` and the
+    /// per-column dropped ℓ₁ masses of both stored inverses.
+    DroppedMass,
     /// The dynamic-update trailer (dangling policy, update epoch).
     Trailer,
     /// The `KDASHEND` + whole-file-CRC footer.
@@ -96,6 +108,7 @@ impl Section {
             Section::Uinv => "uinv",
             Section::RowStats => "row-stats",
             Section::Estimator => "estimator",
+            Section::DroppedMass => "dropped-mass",
             Section::Trailer => "trailer",
             Section::Footer => "footer",
             Section::Index => "index",
@@ -475,7 +488,7 @@ impl<R: Read> SectionReader<R> {
 }
 
 impl KdashIndex {
-    /// Serialises the index in the current (v4, checksummed) format,
+    /// Serialises the index in the current (v5, checksummed) format,
     /// preserving the row layout and the update epoch. The raw LU factors
     /// (if kept) are not persisted — reload yields an index without the
     /// `proximities_via_factors` ablation path (the dynamic engine
@@ -498,12 +511,36 @@ impl KdashIndex {
         &self,
         w: W,
     ) -> io::Result<Vec<(&'static str, u64)>> {
+        self.save_versioned(w, VERSION)
+    }
+
+    /// Serialises in the v4 (checksummed, pre-sparsification) format.
+    /// Rejects sparsified-tier indexes — v4 has nowhere to record the
+    /// drop tolerance or the dropped masses. Kept solely so the v4 → v5
+    /// upgrade path stays covered by tests against real v4 bytes.
+    #[doc(hidden)]
+    pub fn save_v4<W: Write>(&self, w: W) -> io::Result<()> {
+        if self.is_sparsified() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sparsified-tier index cannot be saved in the v4 format (it records no \
+                 drop tolerance) — use the current format",
+            ));
+        }
+        self.save_versioned(w, VERSION_CHECKSUMMED).map(|_| ())
+    }
+
+    fn save_versioned<W: Write>(
+        &self,
+        w: W,
+        version: u32,
+    ) -> io::Result<Vec<(&'static str, u64)>> {
         let mut w = SectionWriter::new(w);
-        let mut marks = Vec::with_capacity(9);
+        let mut marks = Vec::with_capacity(10);
 
         // Header.
         w.write_all(MAGIC)?;
-        write_u32(&mut w, VERSION)?;
+        write_u32(&mut w, version)?;
         write_f64(&mut w, self.restart_probability())?;
         let (tag, seed) = encode_ordering(self.ordering());
         w.write_all(&[tag])?;
@@ -571,6 +608,16 @@ impl KdashIndex {
         self.write_estimator(&mut w)?;
         marks.push((Section::Estimator.name(), w.end_section()?));
 
+        // The sparsification record (v5): drop tolerance + per-column
+        // dropped ℓ₁ masses of both inverses.
+        if version >= VERSION_SPARSIFIED {
+            write_f64(&mut w, self.drop_tolerance())?;
+            let (linv_dropped, uinv_dropped) = self.dropped_masses();
+            write_f64_slice(&mut w, linv_dropped)?;
+            write_f64_slice(&mut w, uinv_dropped)?;
+            marks.push((Section::DroppedMass.name(), w.end_section()?));
+        }
+
         // The dynamic-update trailer.
         let dangling_tag = match self.dangling_policy() {
             kdash_sparse::DanglingPolicy::Keep => DANGLING_KEEP,
@@ -589,6 +636,14 @@ impl KdashIndex {
     /// against real v1 bytes.
     #[doc(hidden)]
     pub fn save_v1<W: Write>(&self, mut w: W) -> io::Result<()> {
+        if self.needs_refinement() {
+            // The legacy format has nowhere to put the dropped masses; a
+            // reload would silently skip refinement and answer wrong.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "sparsified indexes cannot be written in the legacy v1 format",
+            ));
+        }
         w.write_all(MAGIC)?;
         write_u32(&mut w, 1)?;
         write_f64(&mut w, self.restart_probability())?;
@@ -791,6 +846,34 @@ impl KdashIndex {
         let c_prime = r.f64_vec(Section::Estimator, n)?;
         r.end_section(Section::Estimator)?;
 
+        // The v5 sparsification record; earlier versions are dense-exact
+        // by construction (ε = 0, nothing dropped).
+        let (drop_tolerance, linv_dropped, uinv_dropped) = if version >= VERSION_SPARSIFIED {
+            let eps_at = r.offset();
+            let eps = r.f64(Section::DroppedMass)?;
+            if !(eps.is_finite() && eps >= 0.0) {
+                return Err(corrupt(
+                    Section::DroppedMass,
+                    eps_at,
+                    format!("drop tolerance {eps} must be finite and >= 0"),
+                ));
+            }
+            let masses_at = r.offset();
+            let linv_dropped = r.f64_vec(Section::DroppedMass, n)?;
+            let uinv_dropped = r.f64_vec(Section::DroppedMass, n)?;
+            if linv_dropped.iter().chain(&uinv_dropped).any(|m| *m < 0.0) {
+                return Err(corrupt(
+                    Section::DroppedMass,
+                    masses_at,
+                    "negative dropped-mass entry",
+                ));
+            }
+            r.end_section(Section::DroppedMass)?;
+            (eps, linv_dropped, uinv_dropped)
+        } else {
+            (0.0, vec![0.0; n], vec![0.0; n])
+        };
+
         // The v3 dynamic-update trailer; earlier versions get the
         // defaults a from-scratch build would have.
         let (dangling, update_epoch) = if version >= 3 {
@@ -829,6 +912,9 @@ impl KdashIndex {
             a_col_max,
             a_max,
             c_prime,
+            drop_tolerance,
+            linv_dropped,
+            uinv_dropped,
         )
         .map_err(|e| corrupt(Section::Index, end, format!("inconsistent index components: {e}")))?;
         Ok((index, LoadInfo { version, checksummed: version >= VERSION_CHECKSUMMED }))
@@ -1103,8 +1189,9 @@ mod tests {
         let loaded_v1 = KdashIndex::load(v1.as_slice()).unwrap();
         assert_eq!(loaded_v1.update_epoch(), 0);
         assert_eq!(loaded_v1.dangling_policy(), kdash_sparse::DanglingPolicy::Keep);
-        // An unknown dangling tag in the trailer is rejected. The v4 tail
-        // is trailer payload (9) + trailer CRC (4) + footer (12).
+        // An unknown dangling tag in the trailer is rejected. The file
+        // tail is trailer payload (9) + trailer CRC (4) + footer (12) —
+        // the dropped-mass section sits before the trailer.
         let tag_off = buf.len() - 25;
         let mut bad = buf.clone();
         bad[tag_off] = 7;
@@ -1154,7 +1241,7 @@ mod tests {
         let mut v4 = Vec::new();
         index.save(&mut v4).unwrap();
         let (_, info) = KdashIndex::load_with_info(v4.as_slice()).unwrap();
-        assert_eq!(info, LoadInfo { version: 4, checksummed: true });
+        assert_eq!(info, LoadInfo { version: 5, checksummed: true });
 
         let mut v1 = Vec::new();
         index.save_v1(&mut v1).unwrap();
@@ -1178,6 +1265,7 @@ mod tests {
                 "uinv",
                 "row-stats",
                 "estimator",
+                "dropped-mass",
                 "trailer",
                 "footer"
             ]

@@ -25,9 +25,9 @@ use crate::precompute::IndexParts;
 use crate::{IndexOptions, IndexStats, KdashError, KdashIndex, NodeOrdering, Result};
 use kdash_graph::{CsrGraph, NodeId, Permutation};
 use kdash_sparse::{
-    invert_lower_unit_with, invert_upper_with, sparse_lu_with, transition_matrix, w_matrix,
-    CsrMatrix,
-    DanglingPolicy, InvertOptions, ProximityStore, RowLayout,
+    sparse_lu_with, sparsify_lower_unit_with, sparsify_upper_with, transition_matrix,
+    validate_drop_tolerance, w_matrix, CsrMatrix, DanglingPolicy, InvertOptions, ProximityStore,
+    RowLayout,
 };
 use std::time::{Duration, Instant};
 
@@ -197,6 +197,16 @@ impl IndexBuilder {
         self
     }
 
+    /// Drop tolerance `ε` for the stored inverses (see
+    /// [`IndexOptions::drop_tolerance`]). `0.0` (the default) builds the
+    /// dense-exact index bit-for-bit; `ε > 0` truncates sub-`ε` inverse
+    /// entries during inversion and routes queries through certified
+    /// residual refinement, keeping answers exact.
+    pub fn drop_tolerance(mut self, eps: f64) -> Self {
+        self.options.drop_tolerance = eps;
+        self
+    }
+
     /// Worker threads for the inversion stage: `0` = one per available
     /// hardware thread, `1` (the default) = sequential. Output is
     /// bit-identical at every thread count.
@@ -218,6 +228,7 @@ impl IndexBuilder {
     /// Runs the pipeline and reports per-stage timings and observations.
     pub fn build_with_report(&self, graph: &CsrGraph) -> Result<(KdashIndex, BuildReport)> {
         let options = self.options;
+        validate_drop_tolerance(options.drop_tolerance)?;
         let mut report = BuildReport::default();
 
         // Stage 1 — ordering: permutation + permuted graph for the BFS.
@@ -253,11 +264,19 @@ impl IndexBuilder {
             .push(StageTiming { stage: BuildStage::Factorization, duration: factorization_time });
 
         // Stage 3 — inversion: the independent column solves, fanned out.
+        // Under a positive drop tolerance the solves truncate sub-ε
+        // entries before they propagate (the sparsify drivers delegate to
+        // the plain inverters at ε = 0, so the dense-exact path stays
+        // bit-identical); the per-column dropped ℓ₁ masses ride along into
+        // the index for the certified refinement loop.
         let t = Instant::now();
+        let eps = options.drop_tolerance;
         let invert_options = InvertOptions { threads: self.threads };
         report.inversion_threads = invert_options.resolved_threads(permuted.num_nodes());
-        let linv = invert_lower_unit_with(&factors.l, invert_options)?;
-        let uinv_csc = invert_upper_with(&factors.u, invert_options)?;
+        let sparsified_l = sparsify_lower_unit_with(&factors.l, eps, invert_options)?;
+        let (linv, linv_dropped) = (sparsified_l.inverse, sparsified_l.dropped);
+        let sparsified_u = sparsify_upper_with(&factors.u, eps, invert_options)?;
+        let (uinv_csc, uinv_dropped) = (sparsified_u.inverse, sparsified_u.dropped);
         let uinv = CsrMatrix::from_csc(&uinv_csc);
         let inversion_time = t.elapsed();
         report.stages.push(StageTiming { stage: BuildStage::Inversion, duration: inversion_time });
@@ -310,6 +329,9 @@ impl IndexBuilder {
             a_max,
             c_prime,
             factors: options.keep_factors.then_some(factors),
+            drop_tolerance: eps,
+            linv_dropped,
+            uinv_dropped,
             stats,
         });
         let assemble_time = t.elapsed();

@@ -28,6 +28,15 @@ pub struct IndexOptions {
     /// results — [`RowLayout::Flat`] is kept for cross-layout equivalence
     /// checks and benchmarks).
     pub layout: RowLayout,
+    /// Drop tolerance `ε` for the stored inverses: entries of `L⁻¹`/`U⁻¹`
+    /// below `ε` in magnitude are truncated *during* inversion (before
+    /// they propagate), shrinking the index far below the dense-exact
+    /// wall. Queries stay **exact**: the per-column dropped ℓ₁ masses are
+    /// recorded and every answer on a sparsified index passes through the
+    /// certified residual-refinement loop, which repairs and proves the
+    /// top-k set and order. `0.0` (the default) keeps the classic
+    /// dense-exact index bit-for-bit.
+    pub drop_tolerance: f64,
 }
 
 impl Default for IndexOptions {
@@ -38,6 +47,7 @@ impl Default for IndexOptions {
             dangling: DanglingPolicy::Keep,
             keep_factors: false,
             layout: RowLayout::default(),
+            drop_tolerance: 0.0,
         }
     }
 }
@@ -84,6 +94,17 @@ pub struct KdashIndex {
     c_prime_max: f64,
     /// Raw factors, kept only when requested.
     factors: Option<LuFactors>,
+    /// Drop tolerance `ε` the stored inverses were truncated with
+    /// (`0.0` = dense-exact).
+    drop_tolerance: f64,
+    /// Dropped ℓ₁ mass per `L⁻¹` column (all zeros when dense-exact).
+    linv_dropped: Vec<f64>,
+    /// Dropped ℓ₁ mass per `U⁻¹` solve lane (CSC column of the inversion;
+    /// all zeros when dense-exact).
+    uinv_dropped: Vec<f64>,
+    /// Cached `Σ linv_dropped + Σ uinv_dropped` — the routing switch:
+    /// `> 0` sends every query through certified refinement.
+    dropped_total: f64,
     stats: IndexStats,
 }
 
@@ -108,6 +129,11 @@ pub struct IndexPatch {
     /// Fresh factors to keep on the index (`None` drops any kept ones —
     /// stale factors must never survive a graph change).
     pub factors: Option<LuFactors>,
+    /// Full replacement for the per-column `L⁻¹` dropped masses (dirty
+    /// columns re-sparsified under the index's `ε`, clean ones copied).
+    pub linv_dropped: Vec<f64>,
+    /// Full replacement for the per-lane `U⁻¹` dropped masses.
+    pub uinv_dropped: Vec<f64>,
     /// Stored entries of the fresh factor `L` (stats refresh).
     pub nnz_l: usize,
     /// Stored entries of the fresh factor `U` (stats refresh).
@@ -135,6 +161,9 @@ pub(crate) struct IndexParts {
     pub a_max: f64,
     pub c_prime: Vec<f64>,
     pub factors: Option<LuFactors>,
+    pub drop_tolerance: f64,
+    pub linv_dropped: Vec<f64>,
+    pub uinv_dropped: Vec<f64>,
     pub stats: IndexStats,
 }
 
@@ -150,6 +179,8 @@ impl KdashIndex {
     /// Finalises an index from pipeline (or deserialisation) output.
     pub(crate) fn from_parts(parts: IndexParts) -> KdashIndex {
         let c_prime_max = parts.c_prime.iter().copied().fold(0.0f64, f64::max);
+        let dropped_total = parts.linv_dropped.iter().sum::<f64>()
+            + parts.uinv_dropped.iter().sum::<f64>();
         KdashIndex {
             c: parts.c,
             ordering: parts.ordering,
@@ -164,6 +195,10 @@ impl KdashIndex {
             c_prime: parts.c_prime,
             c_prime_max,
             factors: parts.factors,
+            drop_tolerance: parts.drop_tolerance,
+            linv_dropped: parts.linv_dropped,
+            uinv_dropped: parts.uinv_dropped,
+            dropped_total,
             stats: parts.stats,
         }
     }
@@ -202,6 +237,43 @@ impl KdashIndex {
         self.uinv.layout()
     }
 
+    /// The drop tolerance `ε` the stored inverses were truncated with
+    /// (`0.0` for a dense-exact index).
+    pub fn drop_tolerance(&self) -> f64 {
+        self.drop_tolerance
+    }
+
+    /// Whether the index was built under a positive drop tolerance — the
+    /// *tier* label (`ε > 0` ⇒ "sparsified", else "dense-exact"). Note an
+    /// `ε > 0` build may still have dropped nothing (every inverse entry
+    /// cleared the bar); [`needs_refinement`](Self::needs_refinement) is
+    /// the routing switch.
+    pub fn is_sparsified(&self) -> bool {
+        self.drop_tolerance > 0.0
+    }
+
+    /// Whether queries must pass through the certified refinement loop:
+    /// true exactly when the stored inverses dropped any ℓ₁ mass. When
+    /// false the stored inverses are bit-for-bit the dense-exact ones and
+    /// every query takes the classic path unchanged.
+    pub fn needs_refinement(&self) -> bool {
+        self.dropped_total > 0.0
+    }
+
+    /// Total ℓ₁ mass the truncated inversion dropped across both stored
+    /// inverses (`0.0` for a dense-exact index).
+    pub fn dropped_mass(&self) -> f64 {
+        self.dropped_total
+    }
+
+    /// The per-column dropped ℓ₁ masses `(L⁻¹, U⁻¹ solve lanes)`. Hidden:
+    /// the persistence and audit paths serialise/validate them, and the
+    /// dynamic engine splices replacements for dirty columns.
+    #[doc(hidden)]
+    pub fn dropped_masses(&self) -> (&[f64], &[f64]) {
+        (&self.linv_dropped, &self.uinv_dropped)
+    }
+
     /// A copy of this index with `U⁻¹` re-encoded into `layout` — values
     /// bit-identical, every query answer unchanged. Cheap relative to a
     /// build (`O(nnz)`), so benchmarks and layout-equivalence checks can
@@ -226,19 +298,33 @@ impl KdashIndex {
     }
 
     /// Exact proximity of a single node `u` with respect to query `q`
-    /// (both in original ids): `c · (U⁻¹)ᵤ,⋆ · (L⁻¹ e_q)`.
+    /// (both in original ids): `c · (U⁻¹)ᵤ,⋆ · (L⁻¹ e_q)`. On a
+    /// sparsified index the raw dot product is only approximate, so the
+    /// value is refined to the certified residual floor first (see
+    /// [`full_proximities`](Self::full_proximities)).
     pub fn proximity(&self, q: NodeId, u: NodeId) -> Result<f64> {
         self.check_node(q)?;
         self.check_node(u)?;
+        if self.needs_refinement() {
+            return Ok(self.searcher().refined_full_proximities(&[q])?[u as usize]);
+        }
         let (qi, ui) = (self.perm.new_of(q), self.perm.new_of(u));
         let (idx, val) = self.linv.col(qi);
         Ok(self.c * self.uinv.row_dot_sparse(ui, idx, val))
     }
 
     /// The full proximity vector for `q` in original id space,
-    /// `p = c · U⁻¹ (L⁻¹ e_q)`. `O(nnz(L⁻¹ column) + nnz(U⁻¹))`.
+    /// `p = c · U⁻¹ (L⁻¹ e_q)`. `O(nnz(L⁻¹ column) + nnz(U⁻¹))` on a
+    /// dense-exact index; on a sparsified one the vector is refined until
+    /// the residual bound drops below `1e-13`, so every entry is within
+    /// that distance of exact (and the call can fail with
+    /// [`KdashError::RefinementFailed`](crate::KdashError) if the
+    /// tolerance was set too aggressively for the loop to contract).
     pub fn full_proximities(&self, q: NodeId) -> Result<Vec<f64>> {
         self.check_node(q)?;
+        if self.needs_refinement() {
+            return self.searcher().refined_full_proximities(&[q]);
+        }
         let qi = self.perm.new_of(q);
         let (idx, val) = self.linv.col(qi);
         Ok(self.proximities_from_query_column(idx, val))
@@ -250,6 +336,9 @@ impl KdashIndex {
     /// linearity this is the average of the single-source vectors, but it
     /// is computed in one pass over the merged `L⁻¹` columns.
     pub fn full_proximities_from_set(&self, sources: &[NodeId]) -> Result<Vec<f64>> {
+        if self.needs_refinement() {
+            return self.searcher().refined_full_proximities(sources);
+        }
         let (idx, val) = self.merged_query_column(sources)?;
         Ok(self.proximities_from_query_column(&idx, &val))
     }
@@ -347,9 +436,13 @@ impl KdashIndex {
         a_col_max: Vec<f64>,
         a_max: f64,
         c_prime: Vec<f64>,
+        drop_tolerance: f64,
+        linv_dropped: Vec<f64>,
+        uinv_dropped: Vec<f64>,
     ) -> Result<KdashIndex> {
         let n = graph.num_nodes();
         kdash_sparse::rwr::validate_restart(c)?;
+        kdash_sparse::validate_drop_tolerance(drop_tolerance)?;
         if perm.len() != n
             || linv.nrows() != n
             || linv.ncols() != n
@@ -357,9 +450,16 @@ impl KdashIndex {
             || uinv.ncols() != n
             || a_col_max.len() != n
             || c_prime.len() != n
+            || linv_dropped.len() != n
+            || uinv_dropped.len() != n
         {
             return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
                 "component dimensions disagree".into(),
+            )));
+        }
+        if linv_dropped.iter().chain(&uinv_dropped).any(|m| !(m.is_finite() && *m >= 0.0)) {
+            return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
+                "dropped-mass entries must be finite and non-negative".into(),
             )));
         }
         let stats = IndexStats {
@@ -384,6 +484,9 @@ impl KdashIndex {
             a_max,
             c_prime,
             factors: None,
+            drop_tolerance,
+            linv_dropped,
+            uinv_dropped,
             stats,
         }))
     }
@@ -417,9 +520,21 @@ impl KdashIndex {
             || patch.uinv.ncols() != n
             || patch.a_col_max.len() != n
             || patch.c_prime.len() != n
+            || patch.linv_dropped.len() != n
+            || patch.uinv_dropped.len() != n
         {
             return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
                 "patch component dimensions disagree with the index".into(),
+            )));
+        }
+        if patch
+            .linv_dropped
+            .iter()
+            .chain(&patch.uinv_dropped)
+            .any(|m| !(m.is_finite() && *m >= 0.0))
+        {
+            return Err(KdashError::Sparse(kdash_sparse::SparseError::Malformed(
+                "patch dropped-mass entries must be finite and non-negative".into(),
             )));
         }
         if !(patch.a_max.is_finite() && patch.a_max >= 0.0) {
@@ -440,6 +555,10 @@ impl KdashIndex {
         self.c_prime = patch.c_prime;
         self.c_prime_max = self.c_prime.iter().copied().fold(0.0f64, f64::max);
         self.factors = patch.factors;
+        self.linv_dropped = patch.linv_dropped;
+        self.uinv_dropped = patch.uinv_dropped;
+        self.dropped_total = self.linv_dropped.iter().sum::<f64>()
+            + self.uinv_dropped.iter().sum::<f64>();
         self.update_epoch += patch.epochs;
         self.stats.num_edges = self.graph.num_edges();
         self.stats.nnz_l = patch.nnz_l;

@@ -140,6 +140,13 @@ impl KdashIndex {
         if k == 0 {
             return Ok(TopKResult::default());
         }
+        if self.needs_refinement() {
+            // The merge join reads raw sparsified rows, so its "reference"
+            // values would be approximate — route through the certified
+            // searcher instead. The equivalence contract on sparsified
+            // tiers is set-and-order, not bitwise.
+            return self.searcher().top_k(q, k);
+        }
         let qp = self.permutation().new_of(q);
         let bfs = BfsTree::new(self.permuted_graph(), qp);
         let (col_idx, col_val) = self.linv().col(qp);
@@ -214,6 +221,11 @@ impl KdashIndex {
         let (col_idx, col_val) = self.merged_query_column(sources)?;
         if k == 0 {
             return Ok(TopKResult::default());
+        }
+        if self.needs_refinement() {
+            // Same routing as `top_k_merge_join`: raw sparsified gathers
+            // cannot serve as a reference, the certified path can.
+            return self.searcher().top_k_from_set(sources, k);
         }
         let roots: Vec<NodeId> =
             sources.iter().map(|&s| self.permutation().new_of(s)).collect();

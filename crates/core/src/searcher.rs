@@ -46,6 +46,28 @@
 //! ([`PREFETCH_BLOCK`]), and every query's byte traffic, per-class row
 //! split and resolved kernel land in [`SearchStats`].
 //!
+//! # Certified refinement (sparsified tier)
+//!
+//! On an index built with a positive `drop_tolerance`, the stored
+//! inverses are *truncated* and a raw gather yields only an approximation
+//! `x̃ ≈ W⁻¹ b`. Every entry point detects this
+//! ([`KdashIndex::needs_refinement`]) and routes through the certified
+//! refinement loop instead of the Lemma-2 search: the whole reachable set
+//! is solved approximately, the residual `r = b − W x̃` is streamed from
+//! the permuted graph itself (which the index stores exactly), and the
+//! bound `|p_u − c·x̃_u| ≤ ‖r‖₁` turns the ranking into a proof
+//! obligation — once every consecutive gap among the answer candidates
+//! exceeds `2‖r‖₁`, the returned set *and order* are provably identical
+//! to the dense-exact answer. While gaps stay unproven, one correction
+//! `x̃ += Ũ⁻¹(L̃⁻¹ r)` contracts the residual geometrically (the
+//! sparsified inverses are their own preconditioner) and the check
+//! re-runs. Genuinely tied proximities can never separate, so the loop
+//! fails loudly with [`KdashError::RefinementFailed`] instead of
+//! guessing; returned proximity *values* are `c·x̃` — within the final
+//! `‖r‖₁` of exact, which certification keeps below half the smallest
+//! decisive gap. Ties among certified answers break by ascending
+//! *permuted* id, matching the classic heap's comparator.
+//!
 //! All five query entry points run through this workspace; the matching
 //! [`KdashIndex`] methods are thin conveniences that build a transient
 //! `Searcher` per call.
@@ -55,7 +77,9 @@ use crate::{
     TopKResult,
 };
 use kdash_graph::{BfsScratch, NodeId};
-use kdash_sparse::{GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, ScatteredColumn};
+use kdash_sparse::{
+    DanglingPolicy, GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, ScatteredColumn,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
@@ -66,6 +90,19 @@ use std::time::{Duration, Instant};
 /// serialising behind it. Small enough that a Lemma 2 termination wastes
 /// at most a handful of speculative prefetches.
 const PREFETCH_BLOCK: usize = 8;
+
+/// Hard ceiling on certified-refinement correction passes. The loop
+/// contracts `‖r‖₁` geometrically when it converges at all, so a query
+/// still uncertified after this many passes is tied (or past the
+/// floating-point floor) and fails loudly instead of spinning.
+const REFINE_MAX_ITERATIONS: usize = 64;
+
+/// Residual floor the full-vector refined paths iterate down to: the
+/// returned vector is within this `ℓ∞` distance of the exact proximities
+/// (and exactly exact when the residual reaches zero). Chosen a couple of
+/// decades above `f64` epsilon so accumulation noise cannot stall the
+/// loop short of its goal.
+pub(crate) const FULL_VECTOR_FLOOR: f64 = 1e-13;
 
 /// The resource ceiling a runaway query hit first — carried inside
 /// [`KdashError::BudgetExceeded`] so callers can tell *which* knob fired
@@ -240,6 +277,137 @@ impl TopKHeap {
     }
 }
 
+/// Workspace of the certified refinement loop — allocated on the first
+/// refined query (sparsified tier only) and reused afterwards. Dense
+/// vectors are indexed by permuted node id; the touched-entry lists make
+/// per-iteration resets proportional to the work done, not to `n`.
+#[derive(Debug)]
+struct RefineState {
+    /// The approximate solution `x̃`, zero outside the current reachable
+    /// set; reset via the BFS order after every refined query.
+    x: Vec<f64>,
+    /// The residual `r = b − W x̃` and its touched-entry bookkeeping.
+    resid: Vec<f64>,
+    resid_supp: Vec<NodeId>,
+    in_resid: Vec<bool>,
+    /// The correction intermediate `y = L̃⁻¹ r` and its bookkeeping.
+    y: Vec<f64>,
+    y_supp: Vec<NodeId>,
+    in_y: Vec<bool>,
+    /// Values of `y` in `y_supp` order, feeding `ycol`.
+    y_val: Vec<f64>,
+    /// Scattered form of `y` the correction row-gathers run against.
+    ycol: ScatteredColumn,
+    /// Top-`(k+1)` scratch the certification check ranks candidates with.
+    cert: TopKHeap,
+}
+
+impl RefineState {
+    fn new(n: usize) -> Self {
+        RefineState {
+            x: vec![0.0; n],
+            resid: vec![0.0; n],
+            resid_supp: Vec::new(),
+            in_resid: vec![false; n],
+            y: vec![0.0; n],
+            y_supp: Vec::new(),
+            in_y: vec![false; n],
+            y_val: Vec::new(),
+            ycol: ScatteredColumn::new(n),
+            cert: TopKHeap::new(0),
+        }
+    }
+}
+
+/// What the refinement loop must prove before it may stop.
+enum RefineGoal<'o> {
+    /// Certify the top-k set and order; the winners land in the
+    /// workspace heap (ties by ascending permuted id).
+    TopK(usize),
+    /// Certify every reachable node's side of `theta` and the order of
+    /// the hits; the hits land in the workspace hit list (sorted).
+    Threshold(f64),
+    /// Iterate the residual down to [`FULL_VECTOR_FLOOR`]; `c·x̃` lands
+    /// in the provided dense permuted vector.
+    FullVector(&'o mut [f64]),
+}
+
+/// Appends `j` to a touched-entry list exactly once per reset cycle.
+#[inline]
+fn touch(supp: &mut Vec<NodeId>, seen: &mut [bool], j: NodeId) {
+    if !seen[j as usize] {
+        seen[j as usize] = true;
+        supp.push(j);
+    }
+}
+
+/// Top-k certification: ranks the `k + 1` best candidates (the entry
+/// below the last ranked one is the exact-zero proximity of the
+/// unreached padding) and demands every consecutive gap among the top
+/// `k` exceed `2δ` — then no exchange across any of those boundaries can
+/// survive the error bound, so set and order are proven. A zero residual
+/// certifies unconditionally (the values are exact; ties fall to the
+/// deterministic comparator). Returns the verdict and the smallest
+/// decisive gap for diagnostics.
+fn certify_top_k(
+    x: &[f64],
+    order: &[NodeId],
+    c: f64,
+    k: usize,
+    delta: f64,
+    cert: &mut TopKHeap,
+) -> (bool, f64) {
+    cert.reset(k + 1);
+    for &u in order {
+        cert.offer(c * x[u as usize], u);
+    }
+    let ranked = cert.sorted_entries();
+    let m = ranked.len();
+    let limit = k.min(m);
+    let mut min_gap = f64::INFINITY;
+    for i in 0..limit {
+        let next = if i + 1 < m { ranked[i + 1].0 } else { 0.0 };
+        min_gap = min_gap.min(ranked[i].0 - next);
+    }
+    if !min_gap.is_finite() {
+        min_gap = 0.0;
+    }
+    (delta == 0.0 || min_gap > 2.0 * delta, min_gap)
+}
+
+/// Threshold certification: every reachable node must sit provably on
+/// one side of `theta` (margin `> δ`) and the hits must be provably
+/// ordered among themselves (gaps `> 2δ`). Fills `hits` with the
+/// candidate answers, sorted; on the accepting iteration they are the
+/// final ones.
+fn certify_threshold(
+    x: &[f64],
+    order: &[NodeId],
+    c: f64,
+    theta: f64,
+    delta: f64,
+    hits: &mut Vec<(f64, NodeId)>,
+) -> (bool, f64) {
+    hits.clear();
+    let mut min_margin = f64::INFINITY;
+    for &u in order {
+        let p = c * x[u as usize];
+        min_margin = min_margin.min((p - theta).abs());
+        if p >= theta {
+            hits.push((p, u));
+        }
+    }
+    hits.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    let mut min_gap = 2.0 * min_margin;
+    for pair in hits.windows(2) {
+        min_gap = min_gap.min(pair[0].0 - pair[1].0);
+    }
+    if !min_gap.is_finite() {
+        min_gap = 0.0;
+    }
+    (delta == 0.0 || (min_margin > delta && min_gap > 2.0 * delta), min_gap)
+}
+
 /// A reusable query workspace over one [`KdashIndex`].
 ///
 /// Construction is `O(n)`; each query after the first allocates nothing
@@ -288,6 +456,9 @@ pub struct Searcher<'a> {
     prefetched_until: usize,
     /// Per-query resource ceilings (default: unlimited).
     budget: QueryBudget,
+    /// Certified-refinement workspace, allocated on the first refined
+    /// query. Stays `None` forever on a dense-exact index.
+    refine: Option<Box<RefineState>>,
 }
 
 impl<'a> Searcher<'a> {
@@ -308,6 +479,7 @@ impl<'a> Searcher<'a> {
             counters: GatherCounters::default(),
             prefetched_until: 0,
             budget: QueryBudget::default(),
+            refine: None,
         }
     }
 
@@ -489,7 +661,13 @@ impl<'a> Searcher<'a> {
             out.stats = SearchStats::default();
             return Ok(());
         }
-        self.prepare_query(q)?;
+        let qp = self.prepare_query(q)?;
+        if index.needs_refinement() {
+            // Sparsified tier: gathered values are approximate, so the
+            // Lemma-2 path is unsound — certify instead (both traversal
+            // modes drain the frontier there anyway).
+            return self.refined_top_k(&[(qp, 1.0)], k, out);
+        }
         if eager {
             while self.bfs.expand_next_layer(index.permuted_graph()) > 0 {}
         }
@@ -554,7 +732,12 @@ impl<'a> Searcher<'a> {
             index.check_node(q)?;
             return Ok(TopKResult::default());
         }
-        self.prepare_query(q)?;
+        let qp = self.prepare_query(q)?;
+        if index.needs_refinement() {
+            let mut out = TopKResult::default();
+            self.refined_top_k(&[(qp, 1.0)], k, &mut out)?;
+            return Ok(out);
+        }
         let c = index.restart_probability();
         let started = self.budget.start();
 
@@ -594,7 +777,20 @@ impl<'a> Searcher<'a> {
         if !(theta > 0.0 && theta.is_finite()) {
             return Err(KdashError::InvalidThreshold { theta });
         }
-        self.prepare_query(q)?;
+        let qp = self.prepare_query(q)?;
+        if index.needs_refinement() {
+            let mut stats = SearchStats::default();
+            self.refined_run(&[(qp, 1.0)], RefineGoal::Threshold(theta), &mut stats)?;
+            self.record_traversal(&mut stats);
+            // The accepting certification pass left `hits` sorted; the
+            // shared epilogue below maps them to original ids.
+            let items = self
+                .hits
+                .iter()
+                .map(|&(p, u)| RankedNode { node: index.permutation().old_of(u), proximity: p })
+                .collect();
+            return Ok(TopKResult { items, stats });
+        }
         let c = index.restart_probability();
         let started = self.budget.start();
 
@@ -662,6 +858,15 @@ impl<'a> Searcher<'a> {
         let roots = std::mem::take(&mut self.sources_p);
         self.bfs.begin_multi(index.permuted_graph(), &roots);
         self.sources_p = roots;
+        if index.needs_refinement() {
+            // The restart vector is uniform over the sources.
+            let weight = 1.0 / self.sources_p.len() as f64;
+            let rhs: Vec<(NodeId, f64)> =
+                self.sources_p.iter().map(|&s| (s, weight)).collect();
+            let mut out = TopKResult::default();
+            self.refined_top_k(&rhs, k, &mut out)?;
+            return Ok(out);
+        }
         let c = index.restart_probability();
         let started = self.budget.start();
 
@@ -725,6 +930,16 @@ impl<'a> Searcher<'a> {
         index.check_node(root)?;
         if k == 0 {
             return Ok(TopKResult::default());
+        }
+        if index.needs_refinement() {
+            // The ablation's visit order is irrelevant to a refined
+            // answer — every reachable node is solved and certified
+            // regardless — so the random root routes through the standard
+            // refined query and stays exact on sparsified tiers.
+            let qp = self.prepare_query(q)?;
+            let mut out = TopKResult::default();
+            self.refined_top_k(&[(qp, 1.0)], k, &mut out)?;
+            return Ok(out);
         }
         let qp = index.permutation().new_of(q);
         let rootp = index.permutation().new_of(root);
@@ -844,6 +1059,260 @@ impl<'a> Searcher<'a> {
                 }
             }
         }
+    }
+
+    /// Refined top-k epilogue shared by every sparsified-tier ranking
+    /// entry point: run the certified loop, fold the traversal counters,
+    /// rank + pad. Expects the BFS seeded and the query column loaded.
+    fn refined_top_k(
+        &mut self,
+        rhs: &[(NodeId, f64)],
+        k: usize,
+        out: &mut TopKResult,
+    ) -> Result<()> {
+        let mut stats = SearchStats::default();
+        self.refined_run(rhs, RefineGoal::TopK(k), &mut stats)?;
+        self.record_traversal(&mut stats);
+        self.finish(k, true, stats, out);
+        Ok(())
+    }
+
+    /// The full proximity vector (original id space) through the
+    /// certified refinement loop, iterated down to [`FULL_VECTOR_FLOOR`]:
+    /// every returned value is within that bound of exact (and exact when
+    /// the residual reaches zero). `sources` restart uniformly, so a
+    /// singleton slice reproduces the single-query vector. This is the
+    /// sparsified-tier backend of [`KdashIndex::full_proximities`] and
+    /// friends.
+    #[doc(hidden)]
+    pub fn refined_full_proximities(&mut self, sources: &[NodeId]) -> Result<Vec<f64>> {
+        let index = self.index;
+        let (col_idx, col_val) = index.merged_query_column(sources)?;
+        self.column.load(&col_idx, &col_val);
+        self.counters.reset();
+        self.prefetched_until = 0;
+        self.sources_p.clear();
+        self.sources_p.extend(sources.iter().map(|&s| index.permutation().new_of(s)));
+        let roots = std::mem::take(&mut self.sources_p);
+        self.bfs.begin_multi(index.permuted_graph(), &roots);
+        let weight = 1.0 / roots.len() as f64;
+        let rhs: Vec<(NodeId, f64)> = roots.iter().map(|&s| (s, weight)).collect();
+        self.sources_p = roots;
+        let mut permuted = vec![0.0; index.num_nodes()];
+        let mut stats = SearchStats::default();
+        self.refined_run(&rhs, RefineGoal::FullVector(&mut permuted), &mut stats)?;
+        Ok(index.permutation().unpermute_values(&permuted))
+    }
+
+    /// The certified refinement driver (see the module docs): drains the
+    /// reachable set, solves it approximately through the sparsified
+    /// inverses, and iterates residual/correction passes until `goal` is
+    /// proven. Expects the BFS seeded at the support of `rhs` (the
+    /// restart vector `b = Σ weight·e_root`, permuted ids) and the
+    /// matching `L̃⁻¹` query column loaded.
+    fn refined_run(
+        &mut self,
+        rhs: &[(NodeId, f64)],
+        mut goal: RefineGoal<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<()> {
+        // The Lemma-2 bound cannot prune against approximate proximities,
+        // so the refined path always drains the whole reachable set —
+        // supp(x̃), supp(r) and the correction all stay inside it.
+        while self.bfs.expand_next_layer(self.index.permuted_graph()) > 0 {}
+        let mut st = self
+            .refine
+            .take()
+            .unwrap_or_else(|| Box::new(RefineState::new(self.index.num_nodes())));
+        let result = self.refined_run_inner(&mut st, rhs, &mut goal, stats);
+        // Zero x̃ over the visited set before parking the state, so an
+        // error leaves the workspace exactly as reusable as success does.
+        for &u in &self.bfs.order()[..self.bfs.num_discovered()] {
+            st.x[u as usize] = 0.0;
+        }
+        self.refine = Some(st);
+        result
+    }
+
+    fn refined_run_inner(
+        &mut self,
+        st: &mut RefineState,
+        rhs: &[(NodeId, f64)],
+        goal: &mut RefineGoal<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<()> {
+        let index = self.index;
+        let graph = index.permuted_graph();
+        let c = index.restart_probability();
+        let one_minus_c = 1.0 - c;
+        let dangling = index.dangling_policy();
+        let started = self.budget.start();
+        let reach = self.bfs.num_discovered();
+
+        // Initial approximate solve x̃ = Ũ⁻¹(L̃⁻¹ b): one gather per
+        // reachable node through the workspace kernel, exactly the
+        // classic search's per-candidate cost.
+        for pos in 0..reach {
+            if let Some(limit) = self.budget.exceeded(stats.visited, self.counters.nnz, started) {
+                return Err(self.budget_abort(limit, stats.clone()));
+            }
+            self.prefetch_block(pos);
+            let u = self.bfs.order()[pos];
+            stats.visited += 1;
+            let v = self.gather(u);
+            stats.proximity_computations += 1;
+            st.x[u as usize] = v;
+        }
+
+        let mut iterations = 0usize;
+        let mut prev_norm = f64::INFINITY;
+        loop {
+            // Residual r = b − W x̃ = b − x̃ + (1−c)·A x̃, streamed from
+            // the permuted graph's out-edges (the index stores the graph
+            // exactly, so this is the true residual): column j of A is
+            // node j's out-distribution, self-looped when dangling under
+            // that policy, empty when dangling is kept absorbing.
+            for &j in &st.resid_supp {
+                st.resid[j as usize] = 0.0;
+                st.in_resid[j as usize] = false;
+            }
+            st.resid_supp.clear();
+            let mut edge_terms = 0usize;
+            for pos in 0..reach {
+                let j = self.bfs.order()[pos];
+                let xj = st.x[j as usize];
+                if xj == 0.0 {
+                    continue;
+                }
+                touch(&mut st.resid_supp, &mut st.in_resid, j);
+                st.resid[j as usize] -= xj;
+                let out_sum = graph.out_weight_sum(j);
+                if out_sum > 0.0 {
+                    let scale = one_minus_c * xj / out_sum;
+                    for (t, w) in graph.out_edges(j) {
+                        touch(&mut st.resid_supp, &mut st.in_resid, t);
+                        st.resid[t as usize] += scale * w;
+                        edge_terms += 1;
+                    }
+                } else if dangling == DanglingPolicy::SelfLoop {
+                    st.resid[j as usize] += one_minus_c * xj;
+                }
+            }
+            for &(root, weight) in rhs {
+                touch(&mut st.resid_supp, &mut st.in_resid, root);
+                st.resid[root as usize] += weight;
+            }
+            stats.refinement_nnz += edge_terms;
+            let delta: f64 =
+                st.resid_supp.iter().map(|&j| st.resid[j as usize].abs()).sum();
+
+            // |p_u − c·x̃_u| ≤ ‖r‖₁ for every node (column sums of W⁻¹
+            // are at most 1/c, cancelling the c in p = c·x): certify the
+            // goal against that uniform bound.
+            let order = &self.bfs.order()[..reach];
+            let (certified, min_gap) = match goal {
+                RefineGoal::TopK(k) => {
+                    certify_top_k(&st.x, order, c, *k, delta, &mut st.cert)
+                }
+                RefineGoal::Threshold(theta) => {
+                    certify_threshold(&st.x, order, c, *theta, delta, &mut self.hits)
+                }
+                RefineGoal::FullVector(_) => (delta <= FULL_VECTOR_FLOOR, delta),
+            };
+            if certified {
+                break;
+            }
+            if iterations >= REFINE_MAX_ITERATIONS || delta >= prev_norm {
+                // Tied (or sub-floating-point-separated) proximities can
+                // never certify, and a non-contracting residual means the
+                // drop tolerance out-weighs the preconditioner: fail
+                // loudly, never return an unproven ranking.
+                return Err(KdashError::RefinementFailed {
+                    iterations,
+                    residual: delta,
+                    gap: min_gap,
+                });
+            }
+            prev_norm = delta;
+
+            // One correction pass x̃ += Ũ⁻¹(L̃⁻¹ r): scatter the L̃⁻¹
+            // columns of the residual support into y, then gather every
+            // reachable Ũ⁻¹ row against it — the same kernel and cost
+            // model as the initial solve.
+            for &u in &st.y_supp {
+                st.y[u as usize] = 0.0;
+                st.in_y[u as usize] = false;
+            }
+            st.y_supp.clear();
+            let linv = index.linv();
+            for &j in &st.resid_supp {
+                let rj = st.resid[j as usize];
+                if rj == 0.0 {
+                    continue;
+                }
+                let (idx, val) = linv.col(j);
+                stats.refinement_nnz += idx.len();
+                for (&i, &v) in idx.iter().zip(val) {
+                    touch(&mut st.y_supp, &mut st.in_y, i);
+                    st.y[i as usize] += rj * v;
+                }
+            }
+            st.y_val.clear();
+            st.y_val.extend(st.y_supp.iter().map(|&i| st.y[i as usize]));
+            st.ycol.load(&st.y_supp, &st.y_val);
+            let nnz_before = self.counters.nnz;
+            for pos in 0..reach {
+                if let Some(limit) =
+                    self.budget.exceeded(stats.visited, self.counters.nnz, started)
+                {
+                    return Err(self.budget_abort(limit, stats.clone()));
+                }
+                if pos % PREFETCH_BLOCK == 0 {
+                    let end = (pos + PREFETCH_BLOCK).min(reach);
+                    let uinv = index.uinv();
+                    for &v in &self.bfs.order()[pos..end] {
+                        uinv.prefetch_row(v);
+                    }
+                }
+                let u = self.bfs.order()[pos];
+                let d = index.uinv().row_gather(
+                    self.kernel,
+                    u,
+                    &st.ycol,
+                    &mut self.scratch,
+                    &mut self.counters,
+                );
+                st.x[u as usize] += d;
+            }
+            stats.refinement_nnz += self.counters.nnz - nnz_before;
+            iterations += 1;
+        }
+        stats.refinement_iterations = iterations;
+
+        // Deliver the certified answer.
+        match goal {
+            RefineGoal::TopK(k) => {
+                // The certification scratch already ranked the k+1 best
+                // candidates (descending proximity, ties by ascending
+                // permuted id); the first k are the proven answer.
+                self.heap.reset(*k);
+                let ranked = st.cert.sorted_entries();
+                for &(p, u) in ranked.iter().take(*k) {
+                    self.heap.offer(p, u);
+                }
+            }
+            RefineGoal::Threshold(_) => {
+                // The accepting certification pass left the final hits in
+                // the workspace hit list, already sorted.
+            }
+            RefineGoal::FullVector(out) => {
+                for pos in 0..reach {
+                    let u = self.bfs.order()[pos];
+                    out[u as usize] = c * st.x[u as usize];
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -116,6 +116,18 @@ pub struct SearchStats {
     /// `auto`/`adaptive` resolutions are reproducible from logs. Empty on
     /// paths that never run the gather kernel.
     pub kernel: &'static str,
+    /// Certified-refinement correction passes the query ran. Zero on a
+    /// dense-exact index (the classic Lemma-2 path never refines); on a
+    /// sparsified index every answer was certified after this many
+    /// residual/correction iterations. Independent of kernel and layout —
+    /// a pure function of index content and query.
+    pub refinement_iterations: usize,
+    /// Stored entries the refinement loop moved: residual accumulations
+    /// over the permuted graph plus `L̃⁻¹`/`Ũ⁻¹` entries scattered and
+    /// gathered by the correction solves. The refinement-work currency the
+    /// memory/latency tradeoff benches record. Zero when no refinement
+    /// ran.
+    pub refinement_nnz: usize,
 }
 
 impl SearchStats {

@@ -38,7 +38,7 @@ use crate::{KdashError, Result, UpdateBatch};
 use kdash_core::{IndexPatch, KdashIndex};
 use kdash_graph::{EdgeEdit, NodeId};
 use kdash_sparse::{
-    inverse_dirty_columns, invert_columns_with, refactor_candidates, refactor_columns_with,
+    inverse_dirty_columns, refactor_candidates, refactor_columns_with, sparsify_columns_with,
     transition_matrix, w_matrix, Index, InvertOptions, LuFactors, ProximityStore, RowUpdate,
     Triangle,
 };
@@ -258,6 +258,11 @@ impl DynamicIndex {
         probes.sort_unstable();
         probes.dedup();
         let factors = self.current_factors();
+        // The stored columns carry the index's drop tolerance, so the
+        // probe solves must truncate identically — a dense solve against
+        // a sparsified store would flag every truncated column as
+        // corruption. With ε = 0 these are bit-for-bit the plain solves.
+        let eps = self.index.drop_tolerance();
         let mut ws = kdash_sparse::SolveWorkspace::new(n);
         let (mut xi, mut xv) = (Vec::new(), Vec::new());
         let mismatch = |q: Index| {
@@ -270,14 +275,15 @@ impl DynamicIndex {
         };
         for &q in &probes {
             // L⁻¹ column q, bit-for-bit.
-            ws.solve_unit(&factors.l, Triangle::Lower, true, q, &mut xi, &mut xv)?;
+            ws.solve_unit_truncated(&factors.l, Triangle::Lower, true, q, eps, &mut xi, &mut xv)?;
             let (rows, vals) = self.index.linv_cols().col(q);
             if xi != rows || xv.iter().zip(vals).any(|(a, b)| a.to_bits() != b.to_bits()) {
                 return Err(mismatch(q));
             }
             // U⁻¹ diagonal entry of column q (= first stored entry of the
-            // upper-triangular row q).
-            ws.solve_unit(&factors.u, Triangle::Upper, false, q, &mut xi, &mut xv)?;
+            // upper-triangular row q). The diagonal is the protected seed,
+            // so truncation cannot touch it.
+            ws.solve_unit_truncated(&factors.u, Triangle::Upper, false, q, eps, &mut xi, &mut xv)?;
             let solved_diag = xi
                 .iter()
                 .position(|&r| r == q)
@@ -477,13 +483,18 @@ impl DynamicIndex {
         report.reach_time = t.elapsed();
 
         // Stage 4 — re-solve only the dirty inverse columns, on the same
-        // per-column solves (hence the same bits) the build pipeline runs.
+        // per-column solves (hence the same bits) the build pipeline runs,
+        // under the index's drop tolerance so sparsified stores stay
+        // sparsified (ε = 0 delegates to the plain dense solves).
         let t = Instant::now();
         let opts = InvertOptions { threads: self.threads };
-        let linv_updates =
-            invert_columns_with(&new_factors.l, Triangle::Lower, true, &dirty_linv, opts)?;
-        let uinv_updates =
-            invert_columns_with(&new_factors.u, Triangle::Upper, false, &dirty_uinv, opts)?;
+        let eps = self.index.drop_tolerance();
+        let linv_sparsified =
+            sparsify_columns_with(&new_factors.l, Triangle::Lower, true, &dirty_linv, eps, opts)?;
+        let uinv_sparsified =
+            sparsify_columns_with(&new_factors.u, Triangle::Upper, false, &dirty_uinv, eps, opts)?;
+        let linv_updates = linv_sparsified.updates;
+        let uinv_updates = uinv_sparsified.updates;
         report.resolved_nnz = linv_updates.iter().chain(&uinv_updates).map(|u| u.rows.len()).sum();
         report.resolve_time = t.elapsed();
 
@@ -522,6 +533,17 @@ impl DynamicIndex {
         } else {
             (None, Some(new_factors))
         };
+        // Per-column dropped ℓ₁ masses: carry the old vectors forward and
+        // overwrite just the re-solved columns with their fresh masses.
+        let (old_linv_dropped, old_uinv_dropped) = self.index.dropped_masses();
+        let mut linv_dropped = old_linv_dropped.to_vec();
+        for (upd, &mass) in linv_updates.iter().zip(&linv_sparsified.dropped) {
+            linv_dropped[upd.col as usize] = mass;
+        }
+        let mut uinv_dropped = old_uinv_dropped.to_vec();
+        for (upd, &mass) in uinv_updates.iter().zip(&uinv_sparsified.dropped) {
+            uinv_dropped[upd.col as usize] = mass;
+        }
         let patch = IndexPatch {
             graph: new_graph,
             linv: new_linv,
@@ -530,6 +552,8 @@ impl DynamicIndex {
             a_max,
             c_prime,
             factors: patch_factors,
+            linv_dropped,
+            uinv_dropped,
             nnz_l,
             nnz_u,
             epochs: batches.len() as u64,
@@ -775,6 +799,70 @@ mod tests {
             assert_eq!(a.items, b.items, "q {q}");
             assert_eq!(a.stats, b.stats, "q {q}");
         }
+    }
+
+    /// Same pinned-rebuild contract on a *sparsified* index: the engine's
+    /// stage-4 re-solves must truncate under the index's drop tolerance,
+    /// carry per-column dropped masses through the patch, and keep the
+    /// consistency probes honest — so the patched index stays bit-identical
+    /// to a from-scratch sparsified rebuild of the edited graph.
+    /// A chorded ring with node-dependent weights: the uniform ring is so
+    /// symmetric that distinct nodes share *exactly* equal proximities,
+    /// which the refined path refuses to certify (by design — exact ties
+    /// have no positive gap to separate). Irregular weights break the ties.
+    fn weighted_chorded_ring(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as NodeId {
+            b.add_edge(v, (v + 1) % n as NodeId, 1.0 + 0.03 * v as f64);
+            if v % 3 == 0 {
+                b.add_edge(v, (v + n as NodeId / 2) % n as NodeId, 0.5 + 0.01 * v as f64);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn apply_matches_pinned_rebuild_sparsified() {
+        let graph = weighted_chorded_ring(30);
+        let options = IndexOptions {
+            ordering: NodeOrdering::Degree,
+            drop_tolerance: 1e-4,
+            ..Default::default()
+        };
+        let index = KdashIndex::build(&graph, options).unwrap();
+        assert!(index.needs_refinement(), "ε = 1e-4 must actually drop mass on this graph");
+        let perm = index.permutation().clone();
+        let mut dynamic = DynamicIndex::new(index).unwrap();
+        let edits = vec![
+            EdgeEdit::Insert { src: 4, dst: 20, weight: 2.0 },
+            EdgeEdit::Delete { src: 6, dst: 7 },
+            EdgeEdit::Reweight { src: 0, dst: 1, weight: 3.0 },
+        ];
+        let report = dynamic.apply(&UpdateBatch::new(edits.clone()).unwrap()).unwrap();
+        assert_eq!(report.edits, 3);
+
+        let edited = graph.apply_edits(&edits).unwrap();
+        let rebuilt =
+            IndexBuilder::from_options(options).permutation(perm).build(&edited).unwrap();
+        let (ap, ai, av) = dynamic.index().linv_cols().raw();
+        let (bp, bi, bv) = rebuilt.linv_cols().raw();
+        assert_eq!((ap, ai), (bp, bi), "sparsified L⁻¹ structure must match the rebuild");
+        assert!(av.iter().zip(bv).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(dynamic.index().uinv_rows(), rebuilt.uinv_rows());
+        let (ald, aud) = dynamic.index().dropped_masses();
+        let (bld, bud) = rebuilt.dropped_masses();
+        assert!(ald.iter().zip(bld).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(aud.iter().zip(bud).all(|(a, b)| a.to_bits() == b.to_bits()));
+        for q in 0..30u32 {
+            let a = dynamic.index().top_k(q, 8).unwrap();
+            let b = rebuilt.top_k(q, 8).unwrap();
+            assert_eq!(a.items, b.items, "q {q}");
+        }
+        // The audit re-run against the patched store must stay green.
+        let mut dynamic = dynamic.verify_after_apply(true);
+        dynamic
+            .apply(&UpdateBatch::new(vec![EdgeEdit::Insert { src: 1, dst: 9, weight: 0.7 }]).unwrap())
+            .unwrap();
     }
 
     #[test]

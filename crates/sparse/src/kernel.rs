@@ -278,6 +278,61 @@ pub const ADAPTIVE_MIN_WIDE_NNZ: u32 = 16;
 /// independent lanes pay off.
 pub const ADAPTIVE_WIDE_HIT_RATE: f64 = 0.5;
 
+/// Stored value bytes (`8 × nnz`) up to which an index is classed
+/// [`IndexFootprint::Resident`]: small enough that gathers run cache-warm
+/// and the latency model behind [`ADAPTIVE_WIDE_HIT_RATE`] applies.
+/// A *nominal* machine-independent figure (32 MiB), deliberately **not**
+/// the host's cache size — consulting the host would make the executed
+/// kernel class machine-dependent. Keyed to value bytes rather than index
+/// bytes so the class (and therefore the row's kernel arm) is identical
+/// across row layouts, preserving flat/blocked bit-identity.
+pub const ADAPTIVE_RESIDENT_VALUE_BYTES: usize = 1 << 25;
+
+/// The wide-arm hit-rate bar for [`IndexFootprint::Dram`] indexes.
+/// BENCH_PR4 measured the regime flip: once the index outgrows cache the
+/// prefetched scalar loop saturates DRAM bandwidth and beats the AVX2 arm
+/// even on ~90%-hit rows, because the wide kernels' unconditional value
+/// loads turn every predicted miss into wasted DRAM traffic. Raising the
+/// bar to 7/8 keeps the wide arm only where stamp hits are so dominant
+/// that the extra traffic is negligible.
+pub const ADAPTIVE_DRAM_WIDE_HIT_RATE: f64 = 0.875;
+
+/// A build-time classification of the whole index's memory footprint —
+/// the third input to the adaptive policy. Derived once at store-assembly
+/// time from the stored value bytes (a pure build-time quantity, never a
+/// host measurement), so the policy remains a pure function of
+/// index + query and executes identically on every machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexFootprint {
+    /// Value payload within [`ADAPTIVE_RESIDENT_VALUE_BYTES`]: gathers are
+    /// expected cache-warm; the classic hit-rate bar applies.
+    #[default]
+    Resident,
+    /// Value payload beyond the resident bound: gathers stream from DRAM;
+    /// the wide arm must clear [`ADAPTIVE_DRAM_WIDE_HIT_RATE`].
+    Dram,
+}
+
+impl IndexFootprint {
+    /// Classifies an index by its stored value bytes (`8 × nnz`).
+    pub fn classify(value_bytes: usize) -> IndexFootprint {
+        if value_bytes > ADAPTIVE_RESIDENT_VALUE_BYTES {
+            IndexFootprint::Dram
+        } else {
+            IndexFootprint::Resident
+        }
+    }
+
+    /// The wide-arm hit-rate bar for this class.
+    #[inline]
+    pub fn wide_hit_rate(self) -> f64 {
+        match self {
+            IndexFootprint::Resident => ADAPTIVE_WIDE_HIT_RATE,
+            IndexFootprint::Dram => ADAPTIVE_DRAM_WIDE_HIT_RATE,
+        }
+    }
+}
+
 /// The adaptive policy: `true` hands the row to the wide kernel. A pure
 /// function of the row's build-time stats and the loaded query column —
 /// fixed constants, no host queries — so the choice is identical on every
@@ -291,11 +346,27 @@ pub const ADAPTIVE_WIDE_HIT_RATE: f64 = 0.5;
 /// protecting.
 #[inline]
 pub fn adaptive_picks_wide(stat: RowStat, column: &ScatteredColumn) -> bool {
+    adaptive_picks_wide_with(stat, column, IndexFootprint::Resident)
+}
+
+/// [`adaptive_picks_wide`] with the index's build-time footprint class as
+/// the third input: `Resident` applies the classic
+/// [`ADAPTIVE_WIDE_HIT_RATE`] bar (so this is exactly
+/// [`adaptive_picks_wide`]), `Dram` the stricter
+/// [`ADAPTIVE_DRAM_WIDE_HIT_RATE`]. Still a pure function of build-time
+/// and query-time quantities — the footprint is derived from stored value
+/// bytes at assembly, never from host cache geometry.
+#[inline]
+pub fn adaptive_picks_wide_with(
+    stat: RowStat,
+    column: &ScatteredColumn,
+    footprint: IndexFootprint,
+) -> bool {
     if stat.nnz < ADAPTIVE_MIN_WIDE_NNZ {
         return false;
     }
     let (in_window, covered) = column.window_density(stat.first, stat.last);
-    covered > 0 && in_window as f64 >= ADAPTIVE_WIDE_HIT_RATE * covered as f64
+    covered > 0 && in_window as f64 >= footprint.wide_hit_rate() * covered as f64
 }
 
 /// Byte-traffic counters the gather entry points accumulate, the raw
@@ -490,10 +561,22 @@ impl ResolvedKernel {
     /// where the per-row policy fires.
     #[inline]
     pub(crate) fn arm_for(self, stat: RowStat, buf: &ScatteredColumn) -> Option<WideDispatch> {
+        self.arm_for_with(stat, buf, IndexFootprint::Resident)
+    }
+
+    /// [`arm_for`](Self::arm_for) with the index's build-time footprint
+    /// class steering the adaptive policy (fixed kernels ignore it).
+    #[inline]
+    pub(crate) fn arm_for_with(
+        self,
+        stat: RowStat,
+        buf: &ScatteredColumn,
+        footprint: IndexFootprint,
+    ) -> Option<WideDispatch> {
         match self.0 {
             Dispatch::Scalar => None,
             Dispatch::Wide(w) => Some(w),
-            Dispatch::Adaptive(w) => adaptive_picks_wide(stat, buf).then_some(w),
+            Dispatch::Adaptive(w) => adaptive_picks_wide_with(stat, buf, footprint).then_some(w),
         }
     }
 }
@@ -766,6 +849,60 @@ mod tests {
             assert!(adaptive_picks_wide(hot, &column));
             assert!(!adaptive_picks_wide(cold, &column));
         }
+    }
+
+    /// The footprint term is deterministic and layered on the same pure
+    /// policy: `Resident` is exactly the classic predicate, `Dram` only
+    /// raises the hit-rate bar, and classification keys off value bytes
+    /// (layout-invariant) at a fixed machine-independent boundary.
+    #[test]
+    fn footprint_term_is_deterministic_and_only_tightens() {
+        let n = 4096usize;
+        let mut column = ScatteredColumn::new(n);
+        let idx: Vec<Index> = (0..512).collect();
+        column.load(&idx, &vec![1.0; 512]);
+
+        let hot = RowStat { nnz: 256, first: 0, last: 511 };
+        let cold = RowStat { nnz: 256, first: 2048, last: 4095 };
+        // Resident == the classic policy, bit for bit.
+        for stat in [hot, cold] {
+            assert_eq!(
+                adaptive_picks_wide_with(stat, &column, IndexFootprint::Resident),
+                adaptive_picks_wide(stat, &column)
+            );
+        }
+        // Dram never widens the wide set: any row Dram sends wide,
+        // Resident sends wide too.
+        for nnz in [16u32, 64, 256] {
+            for last in [31u32, 255, 511, 1023] {
+                let stat = RowStat { nnz, first: 0, last };
+                let dram = adaptive_picks_wide_with(stat, &column, IndexFootprint::Dram);
+                let resident = adaptive_picks_wide_with(stat, &column, IndexFootprint::Resident);
+                assert!(!dram || resident, "nnz {nnz} last {last}");
+            }
+        }
+        // A fully-loaded bucket clears even the Dram bar...
+        let mut dense_col = ScatteredColumn::new(n);
+        let all: Vec<Index> = (0..1024).collect();
+        dense_col.load(&all, &vec![1.0; 1024]);
+        let full = RowStat { nnz: 256, first: 0, last: 1023 };
+        assert!(adaptive_picks_wide_with(full, &dense_col, IndexFootprint::Dram));
+        // ...while the half-loaded bucket (hit rate 0.5) passes exactly
+        // the Resident bar and fails the Dram one.
+        let half = RowStat { nnz: 256, first: 0, last: 511 };
+        assert!(adaptive_picks_wide_with(half, &column, IndexFootprint::Resident));
+        assert!(!adaptive_picks_wide_with(half, &column, IndexFootprint::Dram));
+
+        // Classification boundary is exact and value-byte keyed.
+        assert_eq!(IndexFootprint::classify(0), IndexFootprint::Resident);
+        assert_eq!(
+            IndexFootprint::classify(ADAPTIVE_RESIDENT_VALUE_BYTES),
+            IndexFootprint::Resident
+        );
+        assert_eq!(
+            IndexFootprint::classify(ADAPTIVE_RESIDENT_VALUE_BYTES + 1),
+            IndexFootprint::Dram
+        );
     }
 
     /// Adaptive whole-row results equal whichever arm the policy picked —

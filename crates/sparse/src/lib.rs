@@ -14,6 +14,10 @@
 //!   computed as `n` sparse solves against unit vectors), plus the
 //!   subset driver [`invert_columns_with`] that re-solves only a dirty
 //!   column set for the dynamic-update engine,
+//! * [`sparsify`] — drop-tolerance sparsified inverses: entries below `ε`
+//!   are truncated *during* the column solves (before they propagate),
+//!   with per-column dropped ℓ₁ masses returned so the query engine's
+//!   certified residual refinement can repair answers back to exact,
 //! * [`reach`] — Gilbert–Peierls reach analysis
 //!   ([`inverse_dirty_columns`]): given the columns of a triangular
 //!   factor that changed, the **exact** set of inverse columns that can
@@ -58,6 +62,7 @@ pub mod lu;
 pub mod reach;
 pub mod rwr;
 pub mod scatter;
+pub mod sparsify;
 pub mod store;
 pub mod triangular;
 
@@ -70,14 +75,19 @@ pub use inverse::{
 };
 pub use reach::{inverse_dirty_columns, refactor_candidates};
 pub use kernel::{
-    adaptive_picks_wide, GatherCounters, GatherKernel, GatherScratch, ResolvedKernel, RowStat,
-    ADAPTIVE_MIN_WIDE_NNZ, ADAPTIVE_WIDE_HIT_RATE,
+    adaptive_picks_wide, adaptive_picks_wide_with, GatherCounters, GatherKernel, GatherScratch,
+    IndexFootprint, ResolvedKernel, RowStat, ADAPTIVE_DRAM_WIDE_HIT_RATE, ADAPTIVE_MIN_WIDE_NNZ,
+    ADAPTIVE_RESIDENT_VALUE_BYTES, ADAPTIVE_WIDE_HIT_RATE,
 };
 pub use lu::{
     refactor_columns, refactor_columns_with, sparse_lu, sparse_lu_with, LuFactors, RefactorReport,
 };
 pub use rwr::{transition_matrix, w_matrix, DanglingPolicy};
 pub use scatter::{ScatteredColumn, DENSITY_BUCKET_COLS};
+pub use sparsify::{
+    sparsify_columns_with, sparsify_lower_unit_with, sparsify_upper_with, validate_drop_tolerance,
+    SparsifiedColumns, SparsifiedInverse,
+};
 pub use store::{ProximityStore, RowLayout};
 pub use triangular::{SolveWorkspace, Triangle};
 
@@ -97,6 +107,8 @@ pub enum SparseError {
     NotTriangular(String),
     /// Restart probability outside `(0, 1)`.
     InvalidRestartProbability(f64),
+    /// Drop tolerance for sparsified inversion must be finite and `>= 0`.
+    InvalidDropTolerance(f64),
     /// A [`GatherKernel`] selector the host CPU cannot honour (or an
     /// unknown selector spelling). Only `Auto` falls back; explicit
     /// requests fail typed rather than silently downgrading.
@@ -116,6 +128,9 @@ impl std::fmt::Display for SparseError {
             SparseError::NotTriangular(m) => write!(f, "matrix is not triangular: {m}"),
             SparseError::InvalidRestartProbability(c) => {
                 write!(f, "restart probability {c} outside (0, 1)")
+            }
+            SparseError::InvalidDropTolerance(eps) => {
+                write!(f, "drop tolerance {eps} must be finite and >= 0")
             }
             SparseError::UnsupportedKernel { requested, reason } => {
                 write!(f, "gather kernel '{requested}' unavailable: {reason}")

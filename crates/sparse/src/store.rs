@@ -17,7 +17,7 @@
 //! [`GatherKernel::Adaptive`]: crate::GatherKernel::Adaptive
 
 use crate::blocked::prefetch_span;
-use crate::kernel::{gather_scalar_counting, gather_wide, row_stat_of};
+use crate::kernel::{gather_scalar_counting, gather_wide, row_stat_of, IndexFootprint};
 use crate::{
     BlockedCsr, CscMatrix, CsrMatrix, GatherCounters, GatherScratch, Index, ResolvedKernel,
     Result, RowStat, ScatteredColumn, SparseError,
@@ -76,6 +76,11 @@ pub struct ProximityStore {
     /// Largest row's stored-entry count — the decode-scratch high-water
     /// mark, so workspaces can preallocate and stay allocation-free.
     max_row_nnz: usize,
+    /// Build-time footprint class steering the adaptive policy's hit-rate
+    /// bar. Derived from stored value bytes (`8 × nnz`) — a
+    /// layout-invariant quantity, so the executed kernel class (and with
+    /// it flat/blocked bit-identity) never depends on the row encoding.
+    footprint: IndexFootprint,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -91,11 +96,12 @@ impl ProximityStore {
     pub fn from_csr(csr: CsrMatrix, layout: RowLayout) -> Result<ProximityStore> {
         let row_stats = row_stats_of_csr(&csr);
         let max_row_nnz = row_stats.iter().map(|s| s.nnz as usize).max().unwrap_or(0);
+        let footprint = IndexFootprint::classify(8 * csr.nnz());
         let rows = match layout {
             RowLayout::Flat => RowStorage::Flat(csr),
             RowLayout::Blocked => RowStorage::Blocked(BlockedCsr::from_csr(csr)?),
         };
-        Ok(ProximityStore { rows, row_stats, max_row_nnz })
+        Ok(ProximityStore { rows, row_stats, max_row_nnz, footprint })
     }
 
     /// Wraps an already-validated blocked matrix (the persistence load
@@ -103,7 +109,8 @@ impl ProximityStore {
     pub fn from_blocked(blocked: BlockedCsr) -> ProximityStore {
         let row_stats = row_stats_of_blocked(&blocked);
         let max_row_nnz = row_stats.iter().map(|s| s.nnz as usize).max().unwrap_or(0);
-        ProximityStore { rows: RowStorage::Blocked(blocked), row_stats, max_row_nnz }
+        let footprint = IndexFootprint::classify(8 * blocked.nnz());
+        ProximityStore { rows: RowStorage::Blocked(blocked), row_stats, max_row_nnz, footprint }
     }
 
     /// Re-encodes into `layout` (no-op when already there). Values move
@@ -180,6 +187,11 @@ impl ProximityStore {
         self.max_row_nnz
     }
 
+    /// The build-time footprint class the adaptive policy consumes.
+    pub fn footprint(&self) -> IndexFootprint {
+        self.footprint
+    }
+
     /// Index bytes a gather streams for row `r` under the active layout.
     #[inline]
     pub fn row_index_bytes(&self, r: Index) -> usize {
@@ -240,7 +252,7 @@ impl ProximityStore {
     ) -> f64 {
         debug_assert_eq!(buf.dim(), self.ncols());
         let stat = self.row_stats[r as usize];
-        let arm = kernel.arm_for(stat, buf);
+        let arm = kernel.arm_for_with(stat, buf, self.footprint);
         counters.index_bytes += self.row_index_bytes(r);
         counters.nnz += stat.nnz as usize;
         match (&self.rows, arm) {
@@ -290,7 +302,11 @@ impl ProximityStore {
             row_stats[u.row as usize] = row_stat_of(&u.cols);
         }
         let max_row_nnz = row_stats.iter().map(|s| s.nnz as usize).max().unwrap_or(0);
-        Ok(ProximityStore { rows, row_stats, max_row_nnz })
+        let footprint = match &rows {
+            RowStorage::Flat(m) => IndexFootprint::classify(8 * m.nnz()),
+            RowStorage::Blocked(b) => IndexFootprint::classify(8 * b.nnz()),
+        };
+        Ok(ProximityStore { rows, row_stats, max_row_nnz, footprint })
     }
 
     /// Two-pointer merge join of row `r` against a sorted sparse vector —

@@ -17,6 +17,7 @@
 
 use crate::{CscMatrix, Index, Result, SparseError};
 use kdash_graph::EpochStamps;
+use std::collections::BinaryHeap;
 
 /// Which triangle a matrix is solved as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,10 @@ pub struct SolveWorkspace {
     topo: Vec<Index>,
     /// Iterative DFS stack of `(node, next-child cursor)`.
     stack: Vec<(Index, usize)>,
+    /// Pending-node queue for the value-driven truncated solve, holding
+    /// indices encoded so the max-heap pops them in dependency order
+    /// (negated for `Lower`, plain for `Upper`).
+    pending: BinaryHeap<i64>,
 }
 
 impl SolveWorkspace {
@@ -52,6 +57,7 @@ impl SolveWorkspace {
             x: vec![0.0; n],
             topo: Vec::new(),
             stack: Vec::new(),
+            pending: BinaryHeap::new(),
         }
     }
 
@@ -80,7 +86,57 @@ impl SolveWorkspace {
         out_idx: &mut Vec<Index>,
         out_val: &mut Vec<f64>,
     ) -> Result<()> {
+        self.solve_truncated(t, triangle, unit_diag, b_idx, b_val, 0.0, None, out_idx, out_val)
+            .map(|_| ())
+    }
+
+    /// [`SolveWorkspace::solve`] with drop-tolerance truncation *during*
+    /// substitution: once a solution entry `x_j` is final, if `|x_j| < eps`
+    /// it is zeroed before it propagates to any dependent entry, and
+    /// `|x_j|` is added to the returned dropped ℓ₁ mass. Killing the entry
+    /// before propagation (rather than pruning afterwards) also skips all
+    /// downstream work it would have caused, so truncation cuts solve time
+    /// as well as output size.
+    ///
+    /// With `eps > 0` the solve runs *value-driven*: instead of the
+    /// Gilbert–Peierls symbolic DFS (whose cost is the full exact reach of
+    /// the pattern, truncated or not) it processes discovered positions
+    /// from a heap in dependency order — ascending indices for `Lower`,
+    /// descending for `Upper`. Substitution dependencies only flow in that
+    /// direction and scattering a popped node discovers only nodes further
+    /// along it, so pops are monotone and a popped value is final; a
+    /// truncated entry's downstream subtree is therefore never *visited*,
+    /// and the whole solve costs `O(s log s)` in the surviving pattern
+    /// plus its one-hop frontier rather than the exact reach. The two
+    /// strategies apply the same arithmetic along different accumulation
+    /// orders, so ε > 0 results are equal up to rounding but not
+    /// bit-pinned between them; every caller of one is compared only
+    /// against itself (stored sparsified columns vs dynamic re-solves, and
+    /// the refinement loop certifies rankings, not bit patterns).
+    ///
+    /// `protect` names one position that is never truncated regardless of
+    /// magnitude — inversion drivers protect the diagonal seed so `L⁻¹`
+    /// keeps its unit diagonal and `U⁻¹` its explicit diagonal.
+    ///
+    /// With `eps == 0.0` the truncation branch can never fire
+    /// (`|x_j| < 0.0` is false for every float), so the output is
+    /// bit-identical to [`SolveWorkspace::solve`] and the dropped mass
+    /// is exactly `0.0`.
+    #[allow(clippy::too_many_arguments)] // mirrors the mathematical signature
+    pub fn solve_truncated(
+        &mut self,
+        t: &CscMatrix,
+        triangle: Triangle,
+        unit_diag: bool,
+        b_idx: &[Index],
+        b_val: &[f64],
+        eps: f64,
+        protect: Option<Index>,
+        out_idx: &mut Vec<Index>,
+        out_val: &mut Vec<f64>,
+    ) -> Result<f64> {
         debug_assert_eq!(b_idx.len(), b_val.len());
+        debug_assert!(eps >= 0.0 && eps.is_finite(), "drop tolerance must be finite and >= 0");
         if t.nrows() != t.ncols() {
             return Err(SparseError::NotSquare { nrows: t.nrows(), ncols: t.ncols() });
         }
@@ -93,6 +149,11 @@ impl SolveWorkspace {
         }
         out_idx.clear();
         out_val.clear();
+        if eps > 0.0 {
+            return self.solve_truncated_worklist(
+                t, triangle, unit_diag, b_idx, b_val, eps, protect, out_idx, out_val,
+            );
+        }
         self.stamps.advance();
         self.topo.clear();
 
@@ -128,6 +189,7 @@ impl SolveWorkspace {
         }
 
         // Numeric phase in reverse postorder (a topological order).
+        let mut dropped = 0.0f64;
         for pos in (0..self.topo.len()).rev() {
             let j = self.topo[pos];
             let mut xj = self.x[j as usize];
@@ -143,6 +205,11 @@ impl SolveWorkspace {
                 self.x[j as usize] = xj;
             }
             if xj != 0.0 {
+                if xj.abs() < eps && protect != Some(j) {
+                    dropped += xj.abs();
+                    self.x[j as usize] = 0.0;
+                    continue; // never propagates; the gather drops the exact zero
+                }
                 let (rows, vals) = t.col(j);
                 let range = strict_span(rows, j, triangle);
                 for (&i, &v) in rows[range.clone()].iter().zip(&vals[range]) {
@@ -166,7 +233,94 @@ impl SolveWorkspace {
             }
         }
         out_idx.truncate(kept);
-        Ok(())
+        Ok(dropped)
+    }
+
+    /// The `eps > 0` engine of [`SolveWorkspace::solve_truncated`]:
+    /// index-ordered substitution over a pending-node heap. A position is
+    /// final when popped (see the public doc for the monotonicity
+    /// argument), so truncation prunes discovery itself — the symbolic
+    /// cost of the exact reach, which the DFS pays regardless of ε, never
+    /// arises. This is what makes sparsified builds tractable on graphs
+    /// whose *exact* inverses are the memory/time wall.
+    #[allow(clippy::too_many_arguments)] // mirrors the mathematical signature
+    fn solve_truncated_worklist(
+        &mut self,
+        t: &CscMatrix,
+        triangle: Triangle,
+        unit_diag: bool,
+        b_idx: &[Index],
+        b_val: &[f64],
+        eps: f64,
+        protect: Option<Index>,
+        out_idx: &mut Vec<Index>,
+        out_val: &mut Vec<f64>,
+    ) -> Result<f64> {
+        self.stamps.advance();
+        // Drained fully on success; an early error (singular pivot) can
+        // leave residue behind, so clear defensively.
+        self.pending.clear();
+        // Encode so the max-heap pops in dependency order: ascending
+        // indices for Lower, descending for Upper.
+        let enc = |i: Index| match triangle {
+            Triangle::Lower => -(i as i64),
+            Triangle::Upper => i as i64,
+        };
+        let dec = |key: i64| match triangle {
+            Triangle::Lower => (-key) as Index,
+            Triangle::Upper => key as Index,
+        };
+        for (&r, &v) in b_idx.iter().zip(b_val) {
+            debug_assert!((r as usize) < self.n, "rhs index out of bounds");
+            if self.stamps.is_marked(r as usize) {
+                self.x[r as usize] += v;
+            } else {
+                self.stamps.mark(r as usize);
+                self.x[r as usize] = v;
+                self.pending.push(enc(r));
+            }
+        }
+        let mut dropped = 0.0f64;
+        while let Some(key) = self.pending.pop() {
+            let j = dec(key);
+            let mut xj = self.x[j as usize];
+            if !unit_diag {
+                let diag = diag_value(t, j, triangle).ok_or(SparseError::SingularPivot {
+                    column: j as usize,
+                    value: 0.0,
+                })?;
+                if diag == 0.0 {
+                    return Err(SparseError::SingularPivot { column: j as usize, value: 0.0 });
+                }
+                xj /= diag;
+            }
+            if xj == 0.0 {
+                continue; // exact cancellation: not stored, nothing propagates
+            }
+            if xj.abs() < eps && protect != Some(j) {
+                dropped += xj.abs();
+                continue; // truncated: the downstream subtree is never discovered
+            }
+            out_idx.push(j);
+            out_val.push(xj);
+            let (rows, vals) = t.col(j);
+            let range = strict_span(rows, j, triangle);
+            for (&i, &v) in rows[range.clone()].iter().zip(&vals[range]) {
+                if self.stamps.is_marked(i as usize) {
+                    self.x[i as usize] -= v * xj;
+                } else {
+                    self.stamps.mark(i as usize);
+                    self.x[i as usize] = -v * xj;
+                    self.pending.push(enc(i));
+                }
+            }
+        }
+        if triangle == Triangle::Upper {
+            // Upper pops descend; callers get ascending indices either way.
+            out_idx.reverse();
+            out_val.reverse();
+        }
+        Ok(dropped)
     }
 
     /// Convenience wrapper: solves `T x = e_j`.
@@ -180,6 +334,22 @@ impl SolveWorkspace {
         out_val: &mut Vec<f64>,
     ) -> Result<()> {
         self.solve(t, triangle, unit_diag, &[j], &[1.0], out_idx, out_val)
+    }
+
+    /// Convenience wrapper: solves `T x = e_j` with drop-tolerance
+    /// truncation, protecting the seed position `j` (the diagonal of the
+    /// inverse column) from truncation. Returns the dropped ℓ₁ mass.
+    pub fn solve_unit_truncated(
+        &mut self,
+        t: &CscMatrix,
+        triangle: Triangle,
+        unit_diag: bool,
+        j: Index,
+        eps: f64,
+        out_idx: &mut Vec<Index>,
+        out_val: &mut Vec<f64>,
+    ) -> Result<f64> {
+        self.solve_truncated(t, triangle, unit_diag, &[j], &[1.0], eps, Some(j), out_idx, out_val)
     }
 }
 
@@ -343,6 +513,103 @@ mod tests {
         ws.solve(&with_diag, Triangle::Lower, true, &[0], &[3.0], &mut i2, &mut v2).unwrap();
         assert_eq!(i1, i2);
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn zero_tolerance_truncated_solve_is_bit_identical() {
+        let l = CscMatrix::from_triplets(4, 4, &[(1, 0, 0.5), (2, 1, 0.25), (3, 2, 2.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(4);
+        let (mut i1, mut v1) = (Vec::new(), Vec::new());
+        let (mut i2, mut v2) = (Vec::new(), Vec::new());
+        ws.solve(&l, Triangle::Lower, true, &[0], &[1.0], &mut i1, &mut v1).unwrap();
+        let dropped = ws
+            .solve_unit_truncated(&l, Triangle::Lower, true, 0, 0.0, &mut i2, &mut v2)
+            .unwrap();
+        assert_eq!(dropped, 0.0);
+        assert_eq!(i1, i2);
+        let b1: Vec<u64> = v1.iter().map(|v| v.to_bits()).collect();
+        let b2: Vec<u64> = v2.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn truncation_drops_small_entries_and_records_mass() {
+        // chain: x = [1, -0.5, 0.25, -0.125] for L with subdiagonal 0.5.
+        let l = CscMatrix::from_triplets(
+            4,
+            4,
+            &[(1, 0, 0.5), (2, 1, 0.5), (3, 2, 0.5)],
+        )
+        .unwrap();
+        let mut ws = SolveWorkspace::new(4);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        // eps = 0.3 kills x_2 = 0.25 before it propagates, so x_3 (which
+        // only depends on x_2) never appears at all.
+        let dropped =
+            ws.solve_unit_truncated(&l, Triangle::Lower, true, 0, 0.3, &mut oi, &mut ov).unwrap();
+        assert_eq!(oi, vec![0, 1]);
+        assert_eq!(ov, vec![1.0, -0.5]);
+        assert!((dropped - 0.25).abs() < 1e-15, "dropped {dropped}");
+    }
+
+    #[test]
+    fn truncation_protects_the_seed_entry() {
+        // U with large diagonal: the seed x_1 = 1/8 is far below eps but
+        // must survive because it is the protected diagonal entry.
+        let u = CscMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 1, 8.0)]).unwrap();
+        let mut ws = SolveWorkspace::new(2);
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        let dropped =
+            ws.solve_unit_truncated(&u, Triangle::Upper, false, 1, 0.5, &mut oi, &mut ov).unwrap();
+        assert_eq!(oi, vec![1]);
+        assert_eq!(ov, vec![0.125]);
+        // x_0 = -(U_01 * x_1) / U_00 = -1/32 was dropped.
+        assert!((dropped - 1.0 / 32.0).abs() < 1e-15, "dropped {dropped}");
+    }
+
+    #[test]
+    fn worklist_solve_matches_dfs_solve_when_nothing_drops() {
+        // eps = 1e-300 routes the value-driven worklist engine, but no
+        // entry of these well-scaled systems can fall below it, so the
+        // result must carry the DFS solve's exact pattern and values
+        // (equal up to the accumulation-order rounding documented on
+        // `solve_truncated`).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..24usize);
+            let mut lo = Vec::new();
+            let mut up = Vec::new();
+            for j in 0..n as Index {
+                up.push((j, j, rng.gen_range(1.0..2.0)));
+                for i in (j + 1)..n as Index {
+                    if rng.gen_bool(0.3) {
+                        lo.push((i, j, rng.gen_range(-2.0..2.0)));
+                        up.push((j, i, rng.gen_range(-2.0..2.0)));
+                    }
+                }
+            }
+            let l = CscMatrix::from_triplets(n, n, &lo).unwrap();
+            let u = CscMatrix::from_triplets(n, n, &up).unwrap();
+            let mut ws = SolveWorkspace::new(n);
+            for (m, tri, unit) in [(&l, Triangle::Lower, true), (&u, Triangle::Upper, false)] {
+                let seed = rng.gen_range(0..n) as Index;
+                let (mut ei, mut ev) = (Vec::new(), Vec::new());
+                let (mut wi, mut wv) = (Vec::new(), Vec::new());
+                ws.solve(m, tri, unit, &[seed], &[1.0], &mut ei, &mut ev).unwrap();
+                let dropped = ws
+                    .solve_unit_truncated(m, tri, unit, seed, 1e-300, &mut wi, &mut wv)
+                    .unwrap();
+                assert_eq!(dropped, 0.0, "trial {trial}");
+                assert_eq!(ei, wi, "trial {trial} {tri:?}: pattern diverged");
+                for (k, (a, b)) in ev.iter().zip(&wv).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                        "trial {trial} {tri:?} entry {k}: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ const ALLOWLIST: &[(&str, usize)] = &[
     ("crates/core/src/estimator.rs", 1),
     ("crates/core/src/ordering.rs", 1),
     ("crates/core/src/precompute.rs", 1),
-    ("crates/core/src/searcher.rs", 2),
+    // searcher.rs: all three are `partial_cmp.expect` on proximities that
+    // are finite by construction (the refinement sort added the third).
+    ("crates/core/src/searcher.rs", 3),
     ("crates/datagen/src/ba.rs", 1),
     ("crates/datagen/src/collaboration.rs", 1),
     ("crates/datagen/src/dictionary.rs", 1),
@@ -52,6 +54,10 @@ const ALLOWLIST: &[(&str, usize)] = &[
     ("crates/sparse/src/kernel.rs", 1),
     ("crates/sparse/src/lu.rs", 1),
     ("crates/sparse/src/rwr.rs", 1),
+    // sparsify.rs: two `join().expect` propagating worker panics (the same
+    // deliberately-fatal pattern audited in inverse.rs) and one
+    // `col_ptr.last().expect` directly after an unconditional push.
+    ("crates/sparse/src/sparsify.rs", 3),
     ("crates/sparse/src/store.rs", 1),
 ];
 

@@ -333,14 +333,14 @@ fn every_section_boundary_truncation_is_rejected() {
     }
 }
 
-/// A clean save → load round trip reports the checksummed v4 format and
+/// A clean save → load round trip reports the checksummed v5 format and
 /// passes the deep structural audit; a v1 file still loads but is
 /// flagged unchecksummed.
 #[test]
 fn clean_roundtrip_is_checksummed_and_audits_clean() {
     let (index, buf) = sample_index();
     let (loaded, info) = KdashIndex::load_with_info(buf.as_slice()).unwrap();
-    assert_eq!(info.version, 4);
+    assert_eq!(info.version, 5);
     assert!(info.checksummed);
     let audit = IndexAudit::run(&loaded);
     assert!(audit.is_clean(), "findings: {:?}", audit.findings);
@@ -351,6 +351,119 @@ fn clean_roundtrip_is_checksummed_and_audits_clean() {
     assert_eq!(info.version, 1);
     assert!(!info.checksummed, "legacy files must be flagged unchecksummed");
     assert!(IndexAudit::run(&upgraded).is_clean());
+}
+
+/// A sparsified-tier build over the sample graph, saved in the current
+/// format.
+fn sample_sparsified_index() -> (KdashIndex, Vec<u8>) {
+    let mut b = GraphBuilder::new(30);
+    for v in 0..30u32 {
+        b.add_edge(v, (v + 1) % 30, 1.0 + 0.03 * v as f64);
+        b.add_edge(v, (v + 11) % 30, 0.5 + 0.01 * v as f64);
+    }
+    let index = KdashIndex::build(
+        &b.build().unwrap(),
+        IndexOptions { drop_tolerance: 1e-4, ..Default::default() },
+    )
+    .unwrap();
+    assert!(index.needs_refinement(), "ε = 1e-4 must drop mass on the sample graph");
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+    (index, buf)
+}
+
+/// v5 round trip of a sparsified index: the drop tolerance, the total
+/// and per-column dropped masses, and refined query answers all survive
+/// bit-for-bit, and the reloaded index passes the audit (whose sparsify
+/// section cross-checks the masses against the stored inverses).
+#[test]
+fn sparsified_roundtrip_preserves_dropped_masses() {
+    let (index, buf) = sample_sparsified_index();
+    let (loaded, info) = KdashIndex::load_with_info(buf.as_slice()).unwrap();
+    assert_eq!(info.version, 5);
+    assert!(info.checksummed);
+    assert_eq!(loaded.drop_tolerance().to_bits(), index.drop_tolerance().to_bits());
+    assert_eq!(loaded.dropped_mass().to_bits(), index.dropped_mass().to_bits());
+    assert!(loaded.needs_refinement());
+    let (ald, aud) = index.dropped_masses();
+    let (bld, bud) = loaded.dropped_masses();
+    assert!(ald.iter().zip(bld).all(|(a, b)| a.to_bits() == b.to_bits()));
+    assert!(aud.iter().zip(bud).all(|(a, b)| a.to_bits() == b.to_bits()));
+    let audit = IndexAudit::run(&loaded);
+    assert!(audit.is_clean(), "findings: {:?}", audit.findings);
+    for q in (0..30u32).step_by(7) {
+        let a = index.top_k(q, 6).unwrap();
+        let b = loaded.top_k(q, 6).unwrap();
+        assert_eq!(a.items, b.items, "query {q}");
+        assert_eq!(a.stats, b.stats, "query {q}: same bits, same refinement trace");
+    }
+}
+
+/// Every byte flip inside the dropped-mass section — the ε field, the
+/// `L⁻¹` masses, the `U⁻¹` masses, and the section CRC itself — must be
+/// detected as a typed error naming the section, never a silently
+/// altered exactness certificate.
+#[test]
+fn corrupt_dropped_mass_section_is_rejected() {
+    let (index, buf) = sample_sparsified_index();
+    let marks = section_marks(&index);
+    let start = mark(&marks, "estimator");
+    let end = mark(&marks, "dropped-mass");
+    assert!(end > start + 4, "the dropped-mass section must be non-empty");
+    for off in start..end {
+        let mut bad = buf.clone();
+        bad[off] ^= 0x10;
+        let err = KdashIndex::load(bad.as_slice())
+            .expect_err(&format!("flip at byte {off} of the dropped-mass section"));
+        assert!(!err.to_string().is_empty());
+    }
+    // The CRC-field flips specifically must name the section.
+    let mut bad = buf.clone();
+    bad[end - 1] ^= 0x01;
+    match KdashIndex::load(bad.as_slice()).unwrap_err() {
+        PersistError::ChecksumMismatch { section, .. } => {
+            assert_eq!(section.name(), "dropped-mass");
+        }
+        other => panic!("expected a dropped-mass checksum mismatch, got: {other}"),
+    }
+    // Truncation at and just before the section boundary.
+    for cut in [end - 1, end - 5, start + 3] {
+        assert!(KdashIndex::load(&buf[..cut]).is_err(), "cut at {cut} must fail");
+    }
+}
+
+/// Real v4 bytes (pre-sparsification format) load as the dense-exact
+/// tier: ε = 0, no dropped mass, no refinement — and answer queries
+/// bit-identically to the in-memory index they came from.
+#[test]
+fn v4_files_load_as_dense_exact() {
+    let (index, _) = sample_index();
+    let mut v4 = Vec::new();
+    index.save_v4(&mut v4).unwrap();
+    let (loaded, info) = KdashIndex::load_with_info(v4.as_slice()).unwrap();
+    assert_eq!(info.version, 4);
+    assert!(info.checksummed, "v4 is checksummed");
+    assert_eq!(loaded.drop_tolerance(), 0.0);
+    assert!(!loaded.is_sparsified());
+    assert!(!loaded.needs_refinement());
+    assert_eq!(loaded.dropped_mass(), 0.0);
+    assert!(IndexAudit::run(&loaded).is_clean());
+    for q in (0..30u32).step_by(7) {
+        let a = index.top_k(q, 6).unwrap();
+        let b = loaded.top_k(q, 6).unwrap();
+        assert_eq!(a.items, b.items, "query {q}");
+        assert_eq!(a.stats, b.stats, "query {q}");
+    }
+}
+
+/// The legacy writers refuse indexes they cannot represent: v1 and v4
+/// both reject a sparsified-tier index instead of silently discarding
+/// the drop tolerance and the masses the exactness contract depends on.
+#[test]
+fn legacy_formats_reject_sparsified_indexes() {
+    let (index, _) = sample_sparsified_index();
+    assert!(index.save_v1(&mut Vec::new()).is_err(), "v1 must reject a sparsified index");
+    assert!(index.save_v4(&mut Vec::new()).is_err(), "v4 must reject a sparsified index");
 }
 
 /// Checksum failures carry the section name and the byte offset of the
