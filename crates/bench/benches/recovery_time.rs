@@ -1,0 +1,306 @@
+//! Durability benchmark for the write-ahead journal (PR 9): what the
+//! fsync-before-ack tax costs per apply, what recovery costs as a
+//! function of journal length, and what a checkpoint adds over a plain
+//! atomic save.
+//!
+//! Three series, all on the same RMAT index:
+//!
+//! * **journal fsync tax** — the same single-edit batches stream through
+//!   a plain engine and a journaled engine; per apply the bench reports
+//!   the journaled total, the `journal_time` component (encode + append
+//!   + fsync), and the tax as a fraction of the apply. The batches are
+//!   in-degree-0-source inserts (the cheap, provably-tiny-reach class),
+//!   so the tax is measured against the *fastest* applies — its
+//!   worst-case fraction, not an average diluted by slow re-solves.
+//! * **recovery vs journal length** — for each queue length J: snapshot
+//!   at epoch 0, journal J acknowledged batches, "crash" (drop the
+//!   engine), then `DynamicIndex::recover`. Reported: full recovery
+//!   wall time (snapshot load excluded, attach + replay included), the
+//!   replay component, and the live-apply wall time the same batches
+//!   cost before the crash — replay is one coalesced pass, so it is
+//!   expected to *beat* the live sequential cost at larger J.
+//! * **checkpoint vs plain save** — `checkpoint()` (atomic save + fsync
+//!   + journal truncation through a rename) against `save_atomic` alone;
+//!   the difference is the price of resetting the journal.
+//!
+//! Like the other update benches this measures direct wall-clock time
+//! (no criterion warm-up: each trial mutates durable state).
+//!
+//! Environment knobs:
+//!
+//! * `KDASH_BENCH_SCALE`      — RMAT scale (default 12 ⇒ 4,096 nodes).
+//! * `KDASH_RECOVERY_TRIALS`  — trials per series (default 5).
+//! * `KDASH_RECOVERY_QUEUES`  — comma-separated journal lengths for the
+//!   recovery series (default `1,4,16,64`).
+//! * `KDASH_RECOVERY_THREADS` — re-solve workers (default 1).
+//!
+//! Headline numbers land in `BENCH_PR9.json` at the repo root.
+
+use kdash_core::{save_atomic, IndexBuilder, KdashIndex};
+use kdash_datagen::{rmat, RmatParams};
+use kdash_dynamic::{DynamicIndex, Journal, UpdateBatch};
+use kdash_graph::{CsrGraph, EdgeEdit, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => v.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs[xs.len() / 2]
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Single-edge insert batches from in-degree-0 sources: the cheap
+/// tiny-reach class, so per-apply times are dominated by the constant
+/// per-pass costs and the journal tax shows at its *largest* fraction.
+fn fresh_source_batches(graph: &CsrGraph, count: usize, seed: u64) -> Vec<UpdateBatch> {
+    let n = graph.num_nodes();
+    let mut in_degree = vec![0usize; n];
+    let mut edge_set: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for (s, d, _) in graph.edges() {
+        in_degree[d as usize] += 1;
+        edge_set.insert((s, d));
+    }
+    let sources: Vec<NodeId> =
+        (0..n as NodeId).filter(|&v| in_degree[v as usize] == 0).collect();
+    assert!(
+        !sources.is_empty(),
+        "RMAT at this scale always leaves in-degree-0 nodes; found none"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batches = Vec::with_capacity(count);
+    let mut i = 0usize;
+    while batches.len() < count {
+        let src = sources[i % sources.len()];
+        i += 1;
+        let dst = rng.gen_range(0..n as NodeId);
+        if src == dst || edge_set.contains(&(src, dst)) {
+            continue;
+        }
+        edge_set.insert((src, dst));
+        batches.push(
+            UpdateBatch::new(vec![EdgeEdit::Insert {
+                src,
+                dst,
+                weight: rng.gen_range(0.5..2.0),
+            }])
+            .expect("generated edit is valid"),
+        );
+    }
+    batches
+}
+
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdash-recovery-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    dir
+}
+
+/// Journal fsync tax: identical batches through a plain and a journaled
+/// engine; the per-apply delta and the measured `journal_time` bracket
+/// the durability cost.
+fn series_fsync_tax(
+    index: &KdashIndex,
+    batches: &[UpdateBatch],
+    threads: usize,
+    dir: &Path,
+) {
+    println!("\n== series: journal fsync tax (per-ack append+fsync) ==");
+    let snapshot = dir.join("tax.kdash");
+    save_atomic(index, &snapshot).expect("save");
+    let journal =
+        Journal::create(Journal::sidecar_path(&snapshot), index.update_epoch()).expect("journal");
+    let mut plain = DynamicIndex::new(index.clone()).expect("attach").threads(threads);
+    let mut journaled = DynamicIndex::new(index.clone())
+        .expect("attach")
+        .journaled(journal)
+        .expect("journaled")
+        .threads(threads);
+
+    let (mut t_plain, mut t_journaled, mut t_tax) = (Vec::new(), Vec::new(), Vec::new());
+    for (i, batch) in batches.iter().enumerate() {
+        let t = Instant::now();
+        plain.apply(batch).expect("plain apply");
+        let plain_s = secs(t.elapsed());
+        let t = Instant::now();
+        let report = journaled.apply(batch).expect("journaled apply");
+        let journaled_s = secs(t.elapsed());
+        let tax_s = secs(report.journal_time);
+        println!(
+            "apply {:<3} plain {:>9.2?} journaled {:>9.2?} journal component {:>9.2?} \
+             ({:.1}% of the journaled apply)",
+            i + 1,
+            Duration::from_secs_f64(plain_s),
+            Duration::from_secs_f64(journaled_s),
+            report.journal_time,
+            100.0 * tax_s / journaled_s.max(1e-12),
+        );
+        t_plain.push(plain_s);
+        t_journaled.push(journaled_s);
+        t_tax.push(tax_s);
+    }
+    let (mp, mj, mt) = (median(&mut t_plain), median(&mut t_journaled), median(&mut t_tax));
+    println!(
+        "medians: plain {mp:.6}s, journaled {mj:.6}s, journal component {mt:.6}s \
+         ({:.1}% of the journaled apply; journaled/plain = {:.3}x)",
+        100.0 * mt / mj.max(1e-12),
+        mj / mp.max(1e-12),
+    );
+}
+
+/// Recovery wall time as a function of journal length, vs the live
+/// sequential apply cost of the same acknowledged batches.
+fn series_recovery(
+    index: &KdashIndex,
+    graph: &CsrGraph,
+    queues: &[usize],
+    trials: usize,
+    threads: usize,
+    dir: &Path,
+) {
+    println!("\n== series: recovery vs journal length ==");
+    for &len in queues {
+        let (mut live, mut recover, mut replay) = (Vec::new(), Vec::new(), Vec::new());
+        for trial in 0..trials {
+            let case = dir.join(format!("recover-{len}-{trial}"));
+            std::fs::create_dir_all(&case).expect("case dir");
+            let snapshot = case.join("r.kdash");
+            save_atomic(index, &snapshot).expect("save");
+            let journal = Journal::create(Journal::sidecar_path(&snapshot), index.update_epoch())
+                .expect("journal");
+            let mut engine = DynamicIndex::new(index.clone())
+                .expect("attach")
+                .journaled(journal)
+                .expect("journaled")
+                .threads(threads);
+            let batches = fresh_source_batches(graph, len, 1000 + trial as u64);
+            let t = Instant::now();
+            for batch in &batches {
+                engine.apply(batch).expect("live apply");
+            }
+            let live_s = secs(t.elapsed());
+            drop(engine); // crash: acked epochs live only in the journal
+
+            let loaded = KdashIndex::load(std::io::BufReader::new(
+                std::fs::File::open(&snapshot).expect("snapshot"),
+            ))
+            .expect("load");
+            let t = Instant::now();
+            let (recovered, report) =
+                DynamicIndex::recover(loaded, Journal::sidecar_path(&snapshot))
+                    .expect("recover");
+            let recover_s = secs(t.elapsed());
+            assert_eq!(recovered.index().update_epoch(), len as u64);
+            live.push(live_s);
+            recover.push(recover_s);
+            replay.push(secs(report.replay_time));
+            let _ = std::fs::remove_dir_all(&case);
+        }
+        println!(
+            "journal length {len:>3}: live apply median {:.4}s, recovery median {:.4}s \
+             (replay component {:.4}s; recovery/live = {:.3}x)",
+            median(&mut live),
+            median(&mut recover),
+            median(&mut replay),
+            {
+                let (mut r, mut l) = (recover.clone(), live.clone());
+                median(&mut r) / median(&mut l).max(1e-12)
+            },
+        );
+    }
+}
+
+/// Checkpoint (atomic save + journal truncation) vs plain atomic save.
+fn series_checkpoint(
+    index: &KdashIndex,
+    graph: &CsrGraph,
+    trials: usize,
+    threads: usize,
+    dir: &Path,
+) {
+    println!("\n== series: checkpoint vs plain save_atomic ==");
+    let (mut plain, mut checkpointed, mut truncation) = (Vec::new(), Vec::new(), Vec::new());
+    for trial in 0..trials {
+        let snapshot = dir.join(format!("ckpt-{trial}.kdash"));
+        let t = Instant::now();
+        save_atomic(index, &snapshot).expect("save");
+        plain.push(secs(t.elapsed()));
+
+        let journal = Journal::create(Journal::sidecar_path(&snapshot), index.update_epoch())
+            .expect("journal");
+        let mut engine = DynamicIndex::new(index.clone())
+            .expect("attach")
+            .journaled(journal)
+            .expect("journaled")
+            .threads(threads);
+        let batches = fresh_source_batches(graph, 2, 2000 + trial as u64);
+        for batch in &batches {
+            engine.apply(batch).expect("apply");
+        }
+        let t = Instant::now();
+        engine.checkpoint(&snapshot).expect("checkpoint");
+        checkpointed.push(secs(t.elapsed()));
+
+        // The truncation alone (header rewrite via tmp + fsync + rename),
+        // isolated from the snapshot save's fsync variance.
+        let mut lone =
+            Journal::create(dir.join(format!("ckpt-{trial}.lone.journal")), 0).expect("journal");
+        let t = Instant::now();
+        lone.checkpoint(0).expect("truncate");
+        truncation.push(secs(t.elapsed()));
+    }
+    // The checkpoint ≈ save + truncation; the gap between the first two
+    // medians is dominated by save_atomic's own fsync run-to-run
+    // variance, which is why the truncation is also measured alone.
+    println!(
+        "medians: save_atomic {:.4}s, checkpoint {:.4}s, journal truncation alone {:.4}s",
+        median(&mut plain),
+        median(&mut checkpointed),
+        median(&mut truncation),
+    );
+}
+
+fn main() {
+    let scale = env_usize("KDASH_BENCH_SCALE", 12) as u32;
+    let trials = env_usize("KDASH_RECOVERY_TRIALS", 5);
+    let queues = env_list("KDASH_RECOVERY_QUEUES", &[1, 4, 16, 64]);
+    let threads = env_usize("KDASH_RECOVERY_THREADS", 1);
+
+    let graph = rmat(scale, (1usize << scale) * 4, RmatParams::default(), 42);
+    println!(
+        "RMAT scale {scale}: {} nodes, {} edges; {trials} trial(s), queues {queues:?}, \
+         {threads} re-solve worker(s)",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let t = Instant::now();
+    let index = IndexBuilder::new().threads(0).build(&graph).expect("build");
+    println!("index built in {:.2?}", t.elapsed());
+    let dir = bench_dir();
+
+    let tax_batches = fresh_source_batches(&graph, trials.max(3), 7);
+    series_fsync_tax(&index, &tax_batches, threads, &dir);
+    series_recovery(&index, &graph, &queues, trials, threads, &dir);
+    series_checkpoint(&index, &graph, trials, threads, &dir);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

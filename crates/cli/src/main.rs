@@ -6,8 +6,9 @@
 //! kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...]
 //!              [--kernel auto] [--pruning on]
 //! kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]
-//!              [--coalesce] [--dry-run]
-//! kdash verify <index.kdash> [--factors]
+//!              [--coalesce] [--dry-run] [--journal]
+//! kdash recover <index.kdash> [--journal PATH] [--out FILE]
+//! kdash verify <index.kdash> [--factors | --journal]
 //! kdash info   <index.kdash>
 //! kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]
 //! ```
@@ -51,6 +52,22 @@
 //! scheduled-factor / inverse-reach fractions of that coalesced pass and
 //! exits without modifying or writing anything.
 //!
+//! `--journal` makes the update **durable before it is acknowledged**:
+//! every batch is appended and fsynced to the sidecar write-ahead log
+//! `<index>.journal` *before* its patch installs, so a crash at any byte
+//! loses nothing that was acked. If the sidecar already holds records
+//! beyond the snapshot (a previous run crashed before checkpointing),
+//! the update **auto-recovers first** — replaying the journal in one
+//! coalesced pass, bit-identical to the pre-crash state — then applies
+//! the new edits. Saving back to the index path checkpoints: the fresh
+//! snapshot lands atomically and the journal truncates to empty.
+//!
+//! `recover` runs that replay standalone after a crash: load the last
+//! good snapshot, scan the journal (tolerating a torn tail — the first
+//! bad frame truncates the log, never panics), replay the surviving
+//! records, and checkpoint. `verify --journal` checks the sidecar's
+//! frame CRCs and epoch contiguity without loading the index at all.
+//!
 //! `verify` is the operational fsck: it loads the index (which already
 //! validates every per-section checksum of the v4 format) and then runs
 //! the deep structural audit of `kdash_core::audit` — triangularity of
@@ -75,10 +92,11 @@ use kdash_core::{
     NodeOrdering, RowLayout, Searcher,
 };
 use kdash_datagen::DatasetProfile;
-use kdash_dynamic::{DynamicIndex, UpdateBatch};
+use kdash_dynamic::{DynamicIndex, Journal, RecoveryReport, UpdateBatch};
 use kdash_graph::io::read_edge_list;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -88,6 +106,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("update") => cmd_update(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
@@ -116,8 +135,9 @@ fn print_usage() {
          \x20 kdash query  <index.kdash> <node> [--k 5] [--set n1,n2,...] [--theta T]\n\
          \x20              [--kernel auto] [--pruning on]\n\
          \x20 kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]\n\
-         \x20              [--coalesce] [--dry-run]\n\
-         \x20 kdash verify <index.kdash> [--factors]\n\
+         \x20              [--coalesce] [--dry-run] [--journal]\n\
+         \x20 kdash recover <index.kdash> [--journal PATH] [--out FILE]\n\
+         \x20 kdash verify <index.kdash> [--factors | --journal]\n\
          \x20 kdash info   <index.kdash>\n\
          \x20 kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
          \n\
@@ -133,7 +153,11 @@ fn print_usage() {
          EDITS:     one edit per line: '+ src dst w' insert, '- src dst' delete,\n\
          \x20          '= src dst w' reweight; blank lines separate atomic batches;\n\
          \x20          --coalesce merges all batches into one pass (bit-identical),\n\
-         \x20          --dry-run prints the predicted footprint without mutating"
+         \x20          --dry-run prints the predicted footprint without mutating\n\
+         JOURNAL:   update --journal fsyncs each batch to <index>.journal before its\n\
+         \x20          patch installs (auto-recovering any pending records first);\n\
+         \x20          recover replays a journal after a crash; verify --journal\n\
+         \x20          checks frame CRCs and epoch contiguity without loading the index"
     );
 }
 
@@ -369,14 +393,38 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One human-readable line per interesting fact about a journal replay,
+/// shared by `update --journal` (auto-recovery) and `kdash recover`.
+fn print_recovery(report: &RecoveryReport) {
+    println!(
+        "recovered epoch {} -> {}: replayed {} batch(es) ({} edits) in {:.2?}, skipped {} \
+         already-checkpointed record(s)",
+        report.snapshot_epoch,
+        report.final_epoch,
+        report.replayed_batches,
+        report.replayed_edits,
+        report.replay_time,
+        report.skipped_records,
+    );
+    if report.header_repaired {
+        println!("journal header was torn — repaired in place");
+    }
+    if let Some(torn) = &report.torn_tail {
+        println!("torn tail truncated (mid-append crash): {torn}");
+    }
+}
+
 fn cmd_update(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args, &["coalesce", "dry-run"])?;
-    reject_unknown_flags(&flags, &["index", "edits", "out", "threads", "coalesce", "dry-run"])?;
+    let (pos, flags) = parse_flags(args, &["coalesce", "dry-run", "journal"])?;
+    reject_unknown_flags(
+        &flags,
+        &["index", "edits", "out", "threads", "coalesce", "dry-run", "journal"],
+    )?;
     if !pos.is_empty() {
         return Err(format!("unexpected positional argument '{}'", pos[0]));
     }
     let usage = "usage: kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] \
-                 [--threads 1] [--coalesce] [--dry-run]";
+                 [--threads 1] [--coalesce] [--dry-run] [--journal]";
     let index_path = flag(&flags, "index").ok_or(usage)?;
     let edits_path = flag(&flags, "edits").ok_or(usage)?;
     let out_path = flag(&flags, "out").unwrap_or(index_path);
@@ -384,6 +432,8 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         flag(&flags, "threads").unwrap_or("1").parse().map_err(|_| "invalid --threads")?;
     let coalesce = flag(&flags, "coalesce").is_some();
     let dry_run = flag(&flags, "dry-run").is_some();
+    let journaled = flag(&flags, "journal").is_some();
+    let journal_path = Journal::sidecar_path(index_path);
 
     let index = load_index(index_path)?;
     println!(
@@ -392,6 +442,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         index.stats().num_edges,
         index.update_epoch()
     );
+    let snapshot_epoch = index.update_epoch();
     let text = std::fs::read_to_string(edits_path).map_err(|e| format!("read {edits_path}: {e}"))?;
     let batches = UpdateBatch::parse_stream(&text).map_err(|e| e.to_string())?;
     if batches.is_empty() {
@@ -399,10 +450,51 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     }
 
     let t_attach = Instant::now();
-    let mut dynamic = DynamicIndex::new(index).map_err(|e| e.to_string())?.threads(threads);
+    let mut dynamic = if journaled && !dry_run {
+        // Journaled path: an existing sidecar may hold acknowledged
+        // batches a crash kept out of the snapshot — replay them before
+        // touching the new edit stream, so the engine starts from the
+        // exact pre-crash state.
+        if journal_path.exists() {
+            let (engine, report) = DynamicIndex::recover(index, &journal_path)
+                .map_err(|e| format!("recover {}: {e}", journal_path.display()))?;
+            if report.replayed_batches > 0 || report.torn_tail.is_some() || report.header_repaired
+            {
+                print_recovery(&report);
+            }
+            engine
+        } else {
+            let journal = Journal::create(&journal_path, snapshot_epoch)
+                .map_err(|e| format!("create {}: {e}", journal_path.display()))?;
+            println!("journaling to {} (checkpoint epoch {})", journal_path.display(), snapshot_epoch);
+            DynamicIndex::new(index)
+                .map_err(|e| e.to_string())?
+                .journaled(journal)
+                .map_err(|e| e.to_string())?
+        }
+    } else {
+        DynamicIndex::new(index).map_err(|e| e.to_string())?
+    }
+    .threads(threads);
     println!("attached update engine (factorization) in {:.2?}", t_attach.elapsed());
 
     if dry_run {
+        // A dry run must not write — not even journal frames — but a
+        // pending journal silently changes what a real run would do, so
+        // say so.
+        if journaled && journal_path.exists() {
+            if let Ok(scan) = Journal::scan_path(&journal_path) {
+                if scan.tail_epoch() > snapshot_epoch {
+                    println!(
+                        "note: {} holds records up to epoch {} (snapshot is at {}) — a real \
+                         --journal run replays them before applying these edits",
+                        journal_path.display(),
+                        scan.tail_epoch(),
+                        snapshot_epoch,
+                    );
+                }
+            }
+        }
         // Predict the footprint of the whole stream as one coalesced
         // pass — no mutation, no save.
         let p = dynamic.predict(&batches).map_err(|e| e.to_string())?;
@@ -469,26 +561,95 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let index = dynamic.into_index();
     // --out defaults to the input path: truncating the only copy of a
     // multi-minute build before the new bytes are safely down would lose
     // the index on a failed save, so the write must be atomic + durable.
-    save_atomic(&index, out_path).map_err(|e| format!("write {out_path}: {e}"))?;
+    if journaled && out_path == index_path {
+        // Checkpoint: fresh snapshot down atomically, then the journal
+        // truncates — its records are folded in and no longer needed.
+        dynamic.checkpoint(out_path).map_err(|e| format!("checkpoint {out_path}: {e}"))?;
+        let index = dynamic.into_index();
+        println!(
+            "wrote {out_path} ({} edges, update epoch {}); journal truncated at checkpoint",
+            index.stats().num_edges,
+            index.update_epoch()
+        );
+    } else {
+        let index = dynamic.into_index();
+        save_atomic(&index, out_path).map_err(|e| format!("write {out_path}: {e}"))?;
+        println!(
+            "wrote {out_path} ({} edges, update epoch {})",
+            index.stats().num_edges,
+            index.update_epoch()
+        );
+        if journaled {
+            // Saving elsewhere is not a checkpoint: the sidecar's
+            // records are what still protects the *original* index.
+            println!(
+                "note: {} left intact — its records still protect {}",
+                journal_path.display(),
+                index_path
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args, &[])?;
+    reject_unknown_flags(&flags, &["journal", "out"])?;
+    let [index_path] = pos.as_slice() else {
+        return Err("usage: kdash recover <index.kdash> [--journal PATH] [--out FILE]".into());
+    };
+    let journal_path =
+        flag(&flags, "journal").map(PathBuf::from).unwrap_or_else(|| Journal::sidecar_path(index_path));
+    let out_path = flag(&flags, "out").unwrap_or(index_path);
+
+    let index = load_index(index_path)?;
     println!(
-        "wrote {out_path} ({} edges, update epoch {})",
+        "loaded snapshot {index_path}: {} nodes, {} edges, update epoch {}",
+        index.num_nodes(),
         index.stats().num_edges,
         index.update_epoch()
     );
+    let (mut dynamic, report) = DynamicIndex::recover(index, &journal_path)
+        .map_err(|e| format!("recover {}: {e}", journal_path.display()))?;
+    print_recovery(&report);
+
+    if out_path == *index_path {
+        dynamic.checkpoint(out_path).map_err(|e| format!("checkpoint {out_path}: {e}"))?;
+        println!(
+            "wrote {out_path} (update epoch {}); journal truncated at checkpoint",
+            dynamic.index().update_epoch()
+        );
+    } else {
+        save_atomic(dynamic.index(), out_path).map_err(|e| format!("write {out_path}: {e}"))?;
+        println!(
+            "wrote {out_path} (update epoch {}); {} left intact — its records still protect \
+             {index_path}",
+            dynamic.index().update_epoch(),
+            journal_path.display(),
+        );
+    }
     Ok(())
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args, &["factors"])?;
-    reject_unknown_flags(&flags, &["factors"])?;
+    let (pos, flags) = parse_flags(args, &["factors", "journal"])?;
+    reject_unknown_flags(&flags, &["factors", "journal"])?;
     let check_factors = flag(&flags, "factors").is_some();
+    let check_journal = flag(&flags, "journal").is_some();
     let [index_path] = pos.as_slice() else {
-        return Err("usage: kdash verify <index.kdash> [--factors]".into());
+        return Err("usage: kdash verify <index.kdash> [--factors | --journal]".into());
     };
+    if check_journal {
+        if check_factors {
+            return Err("--factors audits the loaded index; --journal inspects only the \
+                        sidecar journal — pick one"
+                .into());
+        }
+        return verify_journal(index_path);
+    }
 
     // Stage 1 — load. The v4 loader verifies every per-section CRC32 and
     // the whole-file footer while parsing, plus all structural
@@ -576,6 +737,64 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `kdash verify --journal` — check the sidecar write-ahead log without
+/// loading (or even having) the index: header + frame CRCs, payload
+/// decode, and epoch contiguity, exactly the scan recovery would run.
+fn verify_journal(index_path: &str) -> Result<(), String> {
+    let path = Journal::sidecar_path(index_path);
+    let t = Instant::now();
+    let scan = Journal::scan_path(&path).map_err(|e| e.to_string())?;
+    println!(
+        "scanned {} in {:.2?}: {} of {} bytes intact",
+        path.display(),
+        t.elapsed(),
+        scan.good_bytes,
+        scan.file_bytes,
+    );
+    match scan.checkpoint_epoch {
+        Some(epoch) => println!("header ok, checkpoint epoch {epoch}"),
+        None => println!("header TORN (checkpoint epoch unreadable)"),
+    }
+    match (scan.first_epoch, scan.last_epoch) {
+        (Some(first), Some(last)) => println!(
+            "{} intact record(s), {} edits, epochs {first}..={last} (contiguous)",
+            scan.records, scan.edits,
+        ),
+        _ => println!("no intact records (journal is empty)"),
+    }
+    if let Some(torn) = &scan.torn {
+        println!(
+            "TORN at byte {}: {} — recovery replays the {} record(s) before this point and \
+             truncates the rest",
+            torn.offset, torn.detail, scan.records,
+        );
+    }
+    // Machine-readable summary (one line, stable keys) for scripting.
+    println!(
+        r#"{{"journal":"{}","header_ok":{},"checkpoint_epoch":{},"records":{},"edits":{},"tail_epoch":{},"good_bytes":{},"file_bytes":{},"torn":{}}}"#,
+        path.display(),
+        scan.header_ok,
+        scan.checkpoint_epoch.map_or("null".to_string(), |e| e.to_string()),
+        scan.records,
+        scan.edits,
+        scan.tail_epoch(),
+        scan.good_bytes,
+        scan.file_bytes,
+        scan.torn.is_some(),
+    );
+    if scan.header_ok && scan.torn.is_none() {
+        println!("verify: clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "journal damaged ({}) — recovery still succeeds with the intact prefix, but the \
+             bytes past offset {} are lost",
+            if scan.header_ok { "torn tail" } else { "torn header" },
+            scan.good_bytes,
+        ))
+    }
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args, &[])?;
     reject_unknown_flags(&flags, &[])?;
@@ -612,6 +831,33 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         );
     } else {
         println!("tier               dense-exact");
+    }
+    let journal_path = Journal::sidecar_path(index_path);
+    if journal_path.exists() {
+        match Journal::scan_path(&journal_path) {
+            Ok(scan) => {
+                println!("journal            {}", journal_path.display());
+                println!(
+                    "journal records    {} ({} edits, checkpoint epoch {})",
+                    scan.records,
+                    scan.edits,
+                    scan.checkpoint_epoch.map_or("torn".to_string(), |e| e.to_string()),
+                );
+                if let Some(torn) = &scan.torn {
+                    println!("journal damage     torn at byte {}: {}", torn.offset, torn.detail);
+                }
+                let pending = scan.tail_epoch().saturating_sub(index.update_epoch());
+                if pending > 0 {
+                    println!(
+                        "journal pending    {pending} record(s) beyond this snapshot — run \
+                         'kdash recover {index_path}' to replay them"
+                    );
+                } else {
+                    println!("journal pending    none (snapshot is current)");
+                }
+            }
+            Err(e) => println!("journal            {} (unreadable: {e})", journal_path.display()),
+        }
     }
     Ok(())
 }

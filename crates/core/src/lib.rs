@@ -184,7 +184,14 @@
 //! * **Crash-safe writes** — [`persist::save_atomic`] writes a temp file,
 //!   fsyncs it, and renames it over the destination (then fsyncs the
 //!   directory), so an interrupted save leaves the previous index intact.
-//!   `kdash build` and `kdash update --out` both go through it.
+//!   `kdash build` and `kdash update --out` both go through it. Transient
+//!   failures (`EINTR`-class) are retried with bounded backoff; anything
+//!   else surfaces as a typed [`persist::PersistError::Io`] naming the
+//!   failing [stage](persist::IoStage) (tmp-write / fsync / rename /
+//!   dir-fsync). An fsync that reports an *I/O error* is never retried
+//!   (only `EINTR`-class interruptions are): once the kernel has
+//!   reported write-back failure, dirty pages may already be gone, and
+//!   retry-until-ok would convert data loss into a success report.
 //! * **Corruption detection** — the v4 on-disk format checksums every
 //!   section (graph, `L⁻¹`, `U⁻¹`, row stats, estimator, trailer) with
 //!   CRC32 plus a whole-file footer; [`KdashIndex::load`] reports a typed
@@ -208,10 +215,47 @@
 //!   entries, and wall clock per query; a query that would exceed a
 //!   ceiling aborts with a typed [`KdashError::BudgetExceeded`] carrying
 //!   its [`SearchStats`] — never a silently truncated "exact" answer.
+//!
+//! ### Durability contract (journaled updates)
+//!
+//! With a sidecar write-ahead journal attached (`kdash-dynamic`'s
+//! journaled mode, `kdash update --journal`), the update path promises:
+//!
+//! * **After an acknowledged apply** — the batch's journal frame (length
+//!   + CRC32 + epoch) was written *and fsynced* before the in-memory
+//!   patch was installed, so a crash at any later instant loses nothing:
+//!   recovery replays the frame onto the last snapshot and lands on an
+//!   index bit-identical to the pre-crash one. If the journal write
+//!   itself fails, the apply returns [`KdashError::JournalFailed`] and
+//!   the index is *not* modified — acknowledgement and durability cannot
+//!   disagree.
+//! * **After a checkpoint** — `save_atomic` has durably replaced the
+//!   snapshot (old-or-new atomicity, as above) and only then was the
+//!   journal truncated — itself atomically, by renaming a fresh
+//!   header-only journal into place. A crash between the two steps
+//!   leaves snapshot *and* journal records; recovery skips frames at or
+//!   below the snapshot's epoch, so replay is idempotent.
+//! * **After a torn tail** — a crash mid-append leaves a prefix of a
+//!   frame. Recovery (and reopening for append) scans frames, stops at
+//!   the first bad length/CRC/epoch, truncates the tail, and replays
+//!   only the intact prefix — typed errors throughout, never a panic,
+//!   and never a frame acknowledged but not replayed (the torn frame was
+//!   by construction never acknowledged). Epochs inside the journal must
+//!   be contiguous and ascending; a gap above the snapshot epoch means
+//!   acknowledged records were lost out-of-band and recovery refuses
+//!   with a typed error rather than silently skipping history.
+//!
+//! The whole contract is enforced by a crash-point sweep in
+//! `tests/failure_injection.rs`: a [`fault::CrashPlan`] kills the
+//! pipeline at *every* injectable point (each byte of each write, each
+//! fsync, rename and truncate) and recovery must produce an
+//! [`IndexAudit`]-clean index, bit-identical to the live-apply state at
+//! a well-defined epoch.
 
 pub mod audit;
 pub mod batch;
 pub mod estimator;
+pub mod fault;
 pub mod ordering;
 pub mod persist;
 pub mod pipeline;
@@ -226,7 +270,8 @@ pub use batch::{
 };
 pub use estimator::{ArbitraryOrderBound, LayerEstimator};
 pub use ordering::{compute_ordering, compute_ordering_with_stats, NodeOrdering, OrderingStats};
-pub use persist::{save_atomic, LoadInfo, PersistError};
+pub use fault::{CrashPlan, FaultInjector, NoFaults, WriteRuling};
+pub use persist::{save_atomic, save_atomic_with, IoStage, LoadInfo, PersistError};
 pub use pipeline::{BuildReport, BuildStage, IndexBuilder, StageTiming};
 pub use precompute::{IndexOptions, KdashIndex};
 #[doc(hidden)]
@@ -280,6 +325,15 @@ pub enum KdashError {
     /// rather than a silently mis-ordered one. A dense-exact index
     /// (`drop_tolerance = 0`) never takes this path.
     RefinementFailed { iterations: usize, residual: f64, gap: f64 },
+    /// A durability operation on the attached update journal failed
+    /// before the patch was installed: the in-memory index is unchanged
+    /// and the durable journal prefix still ends at the last
+    /// acknowledged batch (a torn partial frame is healed in place or
+    /// skipped by recovery). `detail` renders the underlying journal
+    /// error; the rich typed form lives in `kdash-dynamic`'s
+    /// `JournalError` (this enum is `Clone + PartialEq`, so it cannot
+    /// carry the `io::Error` itself).
+    JournalFailed { detail: String },
 }
 
 impl std::fmt::Display for KdashError {
@@ -326,6 +380,9 @@ impl std::fmt::Display for KdashError {
                      (tied or near-tied proximities)",
                     2.0 * residual
                 )
+            }
+            KdashError::JournalFailed { detail } => {
+                write!(f, "update journal failure (index not modified): {detail}")
             }
         }
     }

@@ -52,7 +52,7 @@ use crate::{KdashIndex, NodeOrdering};
 use kdash_graph::{CsrGraph, Permutation};
 use kdash_sparse::{BlockedCsr, CscMatrix, CsrMatrix, ProximityStore, RowLayout, RowStat};
 use std::fs::{self, File};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"KDASHIDX";
@@ -122,6 +122,47 @@ impl std::fmt::Display for Section {
     }
 }
 
+/// The phase of a persistence operation an I/O failure occurred in.
+///
+/// [`save_atomic`] is a four-step protocol (write the temp file, fsync
+/// it, rename it over the destination, fsync the directory) and the
+/// right operator response differs per step — a full disk at tmp-write
+/// is routine, a failed rename means the destination directory itself is
+/// suspect — so [`PersistError::Io`] names the step instead of handing
+/// back a bare `io::Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStage {
+    /// Reading an index file (load path).
+    Read,
+    /// Serialising into the temporary `<path>.tmp` file.
+    TmpWrite,
+    /// Fsyncing the fully-written temporary file.
+    Fsync,
+    /// Renaming the temporary file over the destination.
+    Rename,
+    /// Fsyncing the parent directory to make the rename durable.
+    DirFsync,
+}
+
+impl IoStage {
+    /// Stable lowercase name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoStage::Read => "read",
+            IoStage::TmpWrite => "tmp-write",
+            IoStage::Fsync => "fsync",
+            IoStage::Rename => "rename",
+            IoStage::DirFsync => "dir-fsync",
+        }
+    }
+}
+
+impl std::fmt::Display for IoStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Why an index file failed to load. Every failure names the section it
 /// was detected in and (where meaningful) the byte offset, so an operator
 /// can tell a truncated copy from a flipped sector from a version skew.
@@ -129,8 +170,16 @@ impl std::fmt::Display for Section {
 pub enum PersistError {
     /// An underlying I/O failure that is not a malformed file (e.g. a
     /// read permission error). End-of-file inside a section is reported
-    /// as [`Corrupt`](Self::Corrupt) instead.
-    Io(io::Error),
+    /// as [`Corrupt`](Self::Corrupt) instead. `stage` names the phase of
+    /// the protocol that failed — on the save path, after transient
+    /// (`EINTR`-class) failures were already retried with bounded
+    /// backoff.
+    Io {
+        /// The protocol step the failure occurred in.
+        stage: IoStage,
+        /// The underlying error.
+        error: io::Error,
+    },
     /// The file does not start with the `KDASHIDX` magic.
     BadMagic,
     /// The file's format version is outside the supported range.
@@ -164,7 +213,7 @@ pub enum PersistError {
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Io { stage, error } => write!(f, "i/o error during {stage}: {error}"),
             PersistError::BadMagic => write!(f, "bad magic — not a K-dash index file"),
             PersistError::UnsupportedVersion(v) => {
                 write!(f, "unsupported index version {v} (this build reads 1..={VERSION})")
@@ -186,7 +235,7 @@ impl std::fmt::Display for PersistError {
 impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            PersistError::Io(e) => Some(e),
+            PersistError::Io { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -194,7 +243,7 @@ impl std::error::Error for PersistError {
 
 impl From<io::Error> for PersistError {
     fn from(e: io::Error) -> Self {
-        PersistError::Io(e)
+        PersistError::Io { stage: IoStage::Read, error: e }
     }
 }
 
@@ -208,6 +257,11 @@ pub struct LoadInfo {
     /// for v1–v3 legacy files — structurally validated but not protected
     /// against silent bit rot; re-save to upgrade.
     pub checksummed: bool,
+    /// The update epoch the snapshot was taken at (0 for an index that
+    /// was never incrementally updated). Recovery tooling compares this
+    /// against a sidecar journal's epoch range without re-deriving it
+    /// from the index.
+    pub update_epoch: u64,
 }
 
 fn corrupt(section: Section, offset: u64, detail: impl Into<String>) -> PersistError {
@@ -256,6 +310,16 @@ impl Crc32 {
     fn value(&self) -> u32 {
         self.0 ^ 0xFFFF_FFFF
     }
+}
+
+/// One-shot CRC32 (IEEE 802.3) of `bytes` — the same table-driven
+/// implementation that checksums index sections, exported so sibling
+/// formats (the `kdash-dynamic` update journal) frame their records
+/// with bit-identical checksums instead of a second implementation.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.value()
 }
 
 /// A writer that tracks the running whole-file and per-section CRCs and
@@ -347,7 +411,7 @@ impl<R: Read> SectionReader<R> {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 corrupt(section, at, "unexpected end of file")
             } else {
-                PersistError::Io(e)
+                PersistError::from(e)
             }
         })?;
         self.file.update(buf);
@@ -367,7 +431,7 @@ impl<R: Read> SectionReader<R> {
                 if e.kind() == io::ErrorKind::UnexpectedEof {
                     corrupt(section, at, "unexpected end of file in checksum field")
                 } else {
-                    PersistError::Io(e)
+                    PersistError::from(e)
                 }
             })?;
             self.file.update(&b);
@@ -398,7 +462,7 @@ impl<R: Read> SectionReader<R> {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 corrupt(Section::Footer, at, "unexpected end of file in footer")
             } else {
-                PersistError::Io(e)
+                PersistError::from(e)
             }
         })?;
         self.offset += 12;
@@ -917,7 +981,10 @@ impl KdashIndex {
             uinv_dropped,
         )
         .map_err(|e| corrupt(Section::Index, end, format!("inconsistent index components: {e}")))?;
-        Ok((index, LoadInfo { version, checksummed: version >= VERSION_CHECKSUMMED }))
+        Ok((
+            index,
+            LoadInfo { version, checksummed: version >= VERSION_CHECKSUMMED, update_epoch },
+        ))
     }
 }
 
@@ -925,34 +992,74 @@ impl KdashIndex {
 /// and fsync, rename over the destination, then fsync the parent
 /// directory (best effort) so the rename itself is durable. A crash at
 /// any point leaves either the old file or the new one — never a
-/// half-written index. On error the temp file is removed.
-pub fn save_atomic<P: AsRef<Path>>(index: &KdashIndex, path: P) -> io::Result<()> {
+/// half-written index. Transient failures (`EINTR`-class) are retried
+/// with bounded backoff; everything else returns a typed
+/// [`PersistError::Io`] naming the failing [`IoStage`]. On error the
+/// temp file is removed.
+pub fn save_atomic<P: AsRef<Path>>(index: &KdashIndex, path: P) -> Result<(), PersistError> {
+    save_atomic_with(index, path, &crate::fault::NoFaults)
+}
+
+/// [`save_atomic`] with an injectable fault layer: every write, fsync
+/// and rename consults `faults` first, so a crash-point sweep can tear
+/// the protocol at any byte and assert the old-or-new guarantee. With
+/// [`NoFaults`](crate::fault::NoFaults) this *is* the production path —
+/// there is deliberately only one implementation of the protocol.
+///
+/// An injected crash skips the temp-file cleanup (a dead process does
+/// not clean up either), leaving faithful crash debris for recovery
+/// tests; real errors still remove the temp file.
+pub fn save_atomic_with<P: AsRef<Path>>(
+    index: &KdashIndex,
+    path: P,
+    faults: &dyn crate::fault::FaultInjector,
+) -> Result<(), PersistError> {
+    use crate::fault::{injected_write, is_injected_crash, retry_transient, sync_parent_dir};
+
     let path = path.as_ref();
     let mut tmp_name = path.as_os_str().to_os_string();
     tmp_name.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp_name);
 
+    // Serialise into memory first so the file sees exactly one write
+    // call — that gives the fault layer clean torn-prefix semantics
+    // (crash after byte k of the file, for every k).
+    let mut bytes = Vec::new();
+    index.save(&mut bytes).map_err(|error| PersistError::Io { stage: IoStage::TmpWrite, error })?;
+
+    let tmp_label = tmp.display().to_string();
     let result = (|| {
-        let mut w = BufWriter::new(File::create(&tmp)?);
-        index.save(&mut w)?;
-        w.flush()?;
-        let file = w.into_inner().map_err(|e| e.into_error())?;
-        file.sync_all()?;
+        // Each retry recreates the temp file from scratch, so a torn
+        // first attempt cannot leave stale bytes beyond the new write.
+        let file = retry_transient(|| {
+            let mut f = File::create(&tmp)?;
+            injected_write(faults, &tmp_label, &mut f, &bytes)?;
+            Ok(f)
+        })
+        .map_err(|error| PersistError::Io { stage: IoStage::TmpWrite, error })?;
+        retry_transient(|| {
+            faults.before_fsync(&tmp_label)?;
+            file.sync_all()
+        })
+        .map_err(|error| PersistError::Io { stage: IoStage::Fsync, error })?;
         drop(file);
-        fs::rename(&tmp, path)?;
-        // Durability of the rename: fsync the containing directory.
-        // Best effort — some filesystems refuse directory fsync.
-        let parent = match path.parent() {
-            Some(p) if !p.as_os_str().is_empty() => p,
-            _ => Path::new("."),
-        };
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
-        }
+        let path_label = path.display().to_string();
+        retry_transient(|| {
+            faults.before_rename(&tmp_label, &path_label)?;
+            fs::rename(&tmp, path)
+        })
+        .map_err(|error| PersistError::Io { stage: IoStage::Rename, error })?;
+        // Durability of the rename: fsync the containing directory
+        // (filesystems that refuse directory fsync are tolerated inside
+        // the helper).
+        sync_parent_dir(path, faults)
+            .map_err(|error| PersistError::Io { stage: IoStage::DirFsync, error })?;
         Ok(())
     })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
+    if let Err(PersistError::Io { error, .. }) = &result {
+        if !is_injected_crash(error) {
+            let _ = fs::remove_file(&tmp);
+        }
     }
     result
 }
@@ -1241,12 +1348,12 @@ mod tests {
         let mut v4 = Vec::new();
         index.save(&mut v4).unwrap();
         let (_, info) = KdashIndex::load_with_info(v4.as_slice()).unwrap();
-        assert_eq!(info, LoadInfo { version: 5, checksummed: true });
+        assert_eq!(info, LoadInfo { version: 5, checksummed: true, update_epoch: 0 });
 
         let mut v1 = Vec::new();
         index.save_v1(&mut v1).unwrap();
         let (_, info) = KdashIndex::load_with_info(v1.as_slice()).unwrap();
-        assert_eq!(info, LoadInfo { version: 1, checksummed: false });
+        assert_eq!(info, LoadInfo { version: 1, checksummed: false, update_epoch: 0 });
     }
 
     #[test]

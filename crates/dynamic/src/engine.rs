@@ -34,7 +34,9 @@
 //! one). [`DynamicIndex::predict`] runs the analysis stages alone and
 //! reports the predicted dirty fractions without mutating anything.
 
+use crate::journal::{Journal, JournalError, RecoveryReport};
 use crate::{KdashError, Result, UpdateBatch};
+use kdash_core::persist::save_atomic_with;
 use kdash_core::{IndexPatch, KdashIndex};
 use kdash_graph::{EdgeEdit, NodeId};
 use kdash_sparse::{
@@ -43,6 +45,7 @@ use kdash_sparse::{
     Triangle,
 };
 use std::collections::HashMap;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// What one applied batch did, stage by stage — the freshness audit
@@ -109,6 +112,10 @@ pub struct UpdateReport {
     pub splice_time: Duration,
     /// Estimator-refresh + commit time.
     pub estimator_time: Duration,
+    /// Write-ahead journal append + fsync time (zero when journaled
+    /// mode is off) — the durability tax the `recovery_time` bench
+    /// series measures.
+    pub journal_time: Duration,
 }
 
 impl UpdateReport {
@@ -121,6 +128,7 @@ impl UpdateReport {
             + self.resolve_time
             + self.splice_time
             + self.estimator_time
+            + self.journal_time
     }
 
     /// Fraction of `L⁻¹` columns the update had to re-solve.
@@ -188,7 +196,7 @@ impl UpdatePrediction {
 /// A [`KdashIndex`] plus the live LU factors of its system matrix —
 /// everything needed to patch the stored inverses in place. See the
 /// crate docs for the exactness argument.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DynamicIndex {
     index: KdashIndex,
     /// Factors of `W` for the *current* graph — but only when the index
@@ -202,6 +210,26 @@ pub struct DynamicIndex {
     threads: usize,
     /// Run the full structural audit after every committed batch.
     verify_after_apply: bool,
+    /// The write-ahead journal, when journaled mode is on
+    /// ([`Self::journaled`]).
+    journal: Option<Journal>,
+}
+
+/// Cloning duplicates the in-memory engine state but **detaches the
+/// journal**: two engines appending interleaved epochs to one journal
+/// file could not both be telling the truth about durability. The clone
+/// is a plain un-journaled engine; attach a separate journal explicitly
+/// if the copy needs one.
+impl Clone for DynamicIndex {
+    fn clone(&self) -> Self {
+        DynamicIndex {
+            index: self.index.clone(),
+            factors: self.factors.clone(),
+            threads: self.threads,
+            verify_after_apply: self.verify_after_apply,
+            journal: None,
+        }
+    }
 }
 
 impl DynamicIndex {
@@ -232,7 +260,8 @@ impl DynamicIndex {
                 Some(kdash_sparse::sparse_lu(&w)?)
             }
         };
-        let engine = DynamicIndex { index, factors, threads: 1, verify_after_apply: false };
+        let engine =
+            DynamicIndex { index, factors, threads: 1, verify_after_apply: false, journal: None };
         engine.probe_consistency()?;
         Ok(engine)
     }
@@ -329,6 +358,132 @@ impl DynamicIndex {
     pub fn verify_after_apply(mut self, verify: bool) -> Self {
         self.verify_after_apply = verify;
         self
+    }
+
+    /// Turns on journaled mode: every subsequent [`apply`](Self::apply)
+    /// / [`apply_coalesced`](Self::apply_coalesced) appends its batches
+    /// to `journal` and fsyncs **before** installing the patch, so an
+    /// acknowledged apply is durable by definition (see the
+    /// [`journal`](crate::journal) module for the full contract).
+    ///
+    /// The journal's tail epoch must equal the index's current epoch —
+    /// attaching a journal that is ahead (unreplayed records) or behind
+    /// (stale truncation) would let acknowledgement and durability
+    /// disagree, so it fails with
+    /// [`JournalError::EpochMismatch`]; run [`Self::recover`] instead.
+    pub fn journaled(mut self, journal: Journal) -> std::result::Result<Self, JournalError> {
+        if journal.last_epoch() != self.index.update_epoch() {
+            return Err(JournalError::EpochMismatch {
+                journal: journal.last_epoch(),
+                index: self.index.update_epoch(),
+            });
+        }
+        self.journal = Some(journal);
+        Ok(self)
+    }
+
+    /// The attached journal, when journaled mode is on.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Checkpoints journaled state: persists the index to `path` via
+    /// the atomic save protocol, then truncates the journal (itself
+    /// atomically — rename of a fresh header-only journal). A crash
+    /// between the two steps leaves snapshot *and* records; recovery
+    /// skips the already-contained records, so nothing is applied
+    /// twice. Requires journaled mode
+    /// ([`JournalError::NotJournaled`] otherwise).
+    pub fn checkpoint<P: AsRef<Path>>(&mut self, path: P) -> std::result::Result<(), JournalError> {
+        let journal = self.journal.as_mut().ok_or(JournalError::NotJournaled)?;
+        let faults = std::sync::Arc::clone(journal.fault_injector());
+        save_atomic_with(&self.index, path, faults.as_ref())?;
+        journal.checkpoint(self.index.update_epoch())
+    }
+
+    /// Deterministic crash recovery: rebuilds the journaled engine from
+    /// a snapshot plus its sidecar journal.
+    ///
+    /// Scans the journal tolerating a torn tail (a crash mid-append
+    /// truncates at the first bad frame — typed handling, never a
+    /// panic), replays every intact record above the snapshot's epoch
+    /// in **one coalesced pass** — bit-identical to having applied them
+    /// live, the property `tests/failure_injection.rs` pins with
+    /// `check_index_bit_identity` — and reattaches the (healed) journal
+    /// for further journaled applies. Records at or below the
+    /// snapshot's epoch are skipped (a crash between snapshot save and
+    /// journal truncation leaves both; replay is idempotent), and a
+    /// journal strictly *behind* the snapshot (updates ran without
+    /// journaling) is resynced by truncating it at the snapshot epoch.
+    /// Surviving records that *skip* epochs above the snapshot mean
+    /// acknowledged history was lost out-of-band:
+    /// [`JournalError::EpochGap`], never a silent skip.
+    pub fn recover<P: AsRef<Path>>(
+        index: KdashIndex,
+        journal_path: P,
+    ) -> std::result::Result<(DynamicIndex, RecoveryReport), JournalError> {
+        Self::recover_with(index, journal_path, std::sync::Arc::new(kdash_core::NoFaults))
+    }
+
+    /// [`Self::recover`] with an injectable fault layer for the
+    /// reattached journal (see [`kdash_core::fault`]). Recovery's own
+    /// reads are not fault-injected — the sweep injects faults while
+    /// *writing* state and asserts recovery afterwards.
+    pub fn recover_with<P: AsRef<Path>>(
+        index: KdashIndex,
+        journal_path: P,
+        faults: std::sync::Arc<dyn kdash_core::FaultInjector>,
+    ) -> std::result::Result<(DynamicIndex, RecoveryReport), JournalError> {
+        let t = Instant::now();
+        let snapshot_epoch = index.update_epoch();
+        let (records, scan) = Journal::read_records(journal_path.as_ref())?;
+
+        let mut skipped = 0usize;
+        let mut replay: Vec<UpdateBatch> = Vec::new();
+        for (epoch, batch) in records {
+            if epoch <= snapshot_epoch {
+                skipped += 1;
+            } else {
+                if replay.is_empty() && epoch != snapshot_epoch + 1 {
+                    return Err(JournalError::EpochGap {
+                        snapshot: snapshot_epoch,
+                        first_record: epoch,
+                    });
+                }
+                replay.push(batch);
+            }
+        }
+
+        let mut engine = DynamicIndex::new(index)?;
+        let replayed_batches = replay.len();
+        let replayed_edits = replay.iter().map(|b| b.len()).sum();
+        if !replay.is_empty() {
+            engine.apply_coalesced(&replay)?;
+        }
+
+        // Reattach for further journaled applies; opening heals the
+        // torn tail and a damaged header. A journal strictly behind the
+        // recovered epoch (snapshot newer than its sidecar) restarts
+        // from the snapshot.
+        let mut journal = Journal::open_with(journal_path.as_ref(), faults)?;
+        if journal.last_epoch() < engine.index.update_epoch() {
+            journal.checkpoint(engine.index.update_epoch())?;
+        }
+        let report = RecoveryReport {
+            snapshot_epoch,
+            final_epoch: engine.index.update_epoch(),
+            replayed_batches,
+            replayed_edits,
+            skipped_records: skipped,
+            torn_tail: scan
+                .torn
+                .as_ref()
+                .map(|t| format!("{} (byte {})", t.detail, t.offset)),
+            header_repaired: !scan.header_ok,
+            replay_time: t.elapsed(),
+        };
+        let engine = engine.journaled(journal)?;
+        Ok((engine, report))
     }
 
     /// The maintained index.
@@ -558,9 +713,25 @@ impl DynamicIndex {
             nnz_u,
             epochs: batches.len() as u64,
         };
+        report.estimator_time = t.elapsed();
+        // Write-ahead: the batches become durable (appended + fsynced)
+        // strictly before the patch is installed. On journal failure
+        // the patch is dropped and the index stays at its old epoch —
+        // acknowledgement and durability cannot disagree. (If the
+        // install below were ever to fail, the journal would be ahead
+        // of the index; recovery replays the surplus records, so even
+        // that window converges to the correct state.)
+        if let Some(journal) = self.journal.as_mut() {
+            let t = Instant::now();
+            journal
+                .append_batches(batches, self.index.update_epoch() + 1)
+                .map_err(|e| KdashError::JournalFailed { detail: e.to_string() })?;
+            report.journal_time = t.elapsed();
+        }
+        let t = Instant::now();
         self.index.install_patch(patch)?;
         self.factors = engine_factors;
-        report.estimator_time = t.elapsed();
+        report.estimator_time += t.elapsed();
         if self.verify_after_apply {
             kdash_core::IndexAudit::run_with_factors(&self.index, self.factors.as_ref())
                 .into_result()?;

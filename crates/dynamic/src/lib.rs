@@ -101,12 +101,56 @@
 //! = 3 4 0.5      # reweight 3 -> 4
 //! - 7 8          # delete 7 -> 8
 //! ```
+//!
+//! ## Durability: the write-ahead journal
+//!
+//! Applies mutate memory; a crash between snapshots would silently lose
+//! every acknowledged batch. Journaled mode closes that hole with a
+//! sidecar write-ahead log (see the [`journal`] module for format and
+//! contract): each batch's frame is appended and fsynced *before* the
+//! patch is installed, a [`DynamicIndex::checkpoint`] persists the
+//! snapshot via `save_atomic` and truncates the journal, and
+//! [`DynamicIndex::recover`] rebuilds the pre-crash state — replaying
+//! the journal's surviving records in one coalesced pass, so the
+//! recovered index is **bit-identical** to the one that crashed,
+//! tolerating a torn tail from a mid-append crash without panicking.
+//!
+//! ```no_run
+//! use kdash_core::KdashIndex;
+//! use kdash_dynamic::{journal::Journal, DynamicIndex, UpdateBatch};
+//! use kdash_graph::EdgeEdit;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let index: KdashIndex = unimplemented!();
+//! // Journal acknowledged updates next to the snapshot...
+//! kdash_core::save_atomic(&index, "graph.kdash")?;
+//! let journal = Journal::create(Journal::sidecar_path("graph.kdash"), index.update_epoch())?;
+//! let mut dynamic = DynamicIndex::new(index)?.journaled(journal)?;
+//! let batch = UpdateBatch::new(vec![EdgeEdit::Insert { src: 0, dst: 1, weight: 1.0 }])?;
+//! dynamic.apply(&batch)?;            // durable in the journal before it is acknowledged
+//!
+//! // ...crash here, any time, at any byte...
+//!
+//! let snapshot = KdashIndex::load(std::fs::File::open("graph.kdash")?)?;
+//! let (mut recovered, report) =
+//!     DynamicIndex::recover(snapshot, Journal::sidecar_path("graph.kdash"))?;
+//! assert_eq!(report.final_epoch, recovered.index().update_epoch());
+//! recovered.checkpoint("graph.kdash")?; // fold the journal into a fresh snapshot
+//! # Ok(()) }
+//! ```
+//!
+//! The CLI surfaces the same flow as `kdash update --journal` (which
+//! auto-recovers a pending journal before applying) and
+//! `kdash recover`; `kdash verify --journal` and `kdash info` inspect a
+//! journal without loading the index.
 
 pub mod batch;
 pub mod engine;
+pub mod journal;
 
 pub use batch::UpdateBatch;
 pub use engine::{DynamicIndex, UpdatePrediction, UpdateReport};
+pub use journal::{Journal, JournalError, JournalScan, RecoveryReport};
 
 /// This crate surfaces errors through the core error type: graph-level
 /// edit failures (unknown nodes, absent edges, duplicate inserts, bad
