@@ -1,0 +1,375 @@
+//! Serving-tier benchmark for the epoch-snapshot read path (PR 10):
+//! what the `kdash-serve` stack delivers under a closed-loop query load,
+//! what concurrent epoch swaps cost the readers, and where admission
+//! control starts shedding.
+//!
+//! Four series, all on the same RMAT index:
+//!
+//! * **read-only throughput vs workers** — closed-loop reader clients
+//!   against worker pools of 1/2/4; reported per pool: queries served,
+//!   throughput, p50/p99 latency. On a single-core container extra
+//!   workers cannot scale (they time-slice one CPU) — the series then
+//!   documents the *overhead* of oversubscription, not speedup.
+//! * **mixed latency vs update rate** — the same closed-loop read load
+//!   while a writer applies single-edge batches at a paced rate
+//!   (0 = the read-only baseline). The steady series uses the
+//!   tiny-reach edit class (inserts from in-degree-0 sources, the
+//!   ~ms-apply class of `recovery_time.rs`); the acceptance bar — read
+//!   p99 under write load within 2× the read-only p99 at the same
+//!   offered load — is measured there. One extra trial uses
+//!   uniform-random (heavy-reach) edges, where a single apply can cost
+//!   seconds of CPU: on one core that apply starves the readers
+//!   outright, bounding what *any* snapshot scheme can promise without
+//!   a second core for the writer.
+//! * **freshness lag distribution** — per-query lag samples (acked
+//!   epochs behind) and swap-install latency from the mixed runs; lag
+//!   is non-zero only inside the swap-install window.
+//! * **shed threshold sweep** — an open-loop submitter floods the queue
+//!   past one worker's drain rate at several queue capacities; reported:
+//!   offered, shed rate, worst queue depth. Every rejection is the typed
+//!   `Overloaded` error, never a panic or a hang.
+//!
+//! Direct wall-clock measurement (no criterion: each trial spins up
+//! threads and mutates engine state).
+//!
+//! Environment knobs:
+//!
+//! * `KDASH_BENCH_SCALE`     — RMAT scale (default 12 ⇒ 4,096 nodes).
+//! * `KDASH_SERVE_SECONDS`   — seconds per closed-loop trial (default 2).
+//! * `KDASH_SERVE_WORKERS`   — comma list for the worker sweep
+//!   (default `1,2,4`).
+//! * `KDASH_SERVE_CLIENTS`   — closed-loop reader threads (default 2).
+//! * `KDASH_SERVE_RATES`     — writes/second for the mixed series
+//!   (default `0,5,20`).
+//! * `KDASH_SERVE_QUEUES`    — queue capacities for the shed sweep
+//!   (default `4,16,64`).
+//!
+//! Headline numbers land in `BENCH_PR10.json` at the repo root.
+
+use kdash_core::KdashIndex;
+use kdash_core::IndexBuilder;
+use kdash_datagen::{rmat, RmatParams};
+use kdash_dynamic::{DynamicIndex, UpdateBatch};
+use kdash_graph::EdgeEdit;
+use kdash_serve::{EpochWriter, MetricsSnapshot, ServeError, ServeLoop, ServeOptions};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => v.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// The write workload's edit class. A single-edge apply's cost is set by
+/// its dirty reach, and on one core the writer's CPU time is stolen
+/// straight from the readers — so the class choice *is* the contention
+/// model.
+#[derive(Clone, Copy)]
+enum EditClass {
+    /// Inserts from in-degree-0 sources (the provably-tiny-reach class
+    /// of `recovery_time.rs`): ~ms applies, the steady-drip OLTP shape.
+    TinyReach,
+    /// Uniform random edges: a core insert can dirty most of the index
+    /// (seconds of CPU at this scale) — the starvation worst case.
+    HeavyReach,
+}
+
+/// Fresh inserts (checked against the current permuted graph) and
+/// deletes from the pool this run inserted — always a valid batch.
+fn synthetic_batch(
+    rng: &mut StdRng,
+    inserted: &mut Vec<(u32, u32)>,
+    index: &KdashIndex,
+    class: EditClass,
+    fresh_sources: &[u32],
+) -> UpdateBatch {
+    let n = index.num_nodes() as u32;
+    let edit = loop {
+        if !inserted.is_empty() && (inserted.len() >= 32 || rng.gen_bool(0.5)) {
+            let at = rng.gen_range(0..inserted.len());
+            let (src, dst) = inserted.swap_remove(at);
+            break EdgeEdit::Delete { src, dst };
+        }
+        let src = match class {
+            EditClass::TinyReach => fresh_sources[rng.gen_range(0..fresh_sources.len())],
+            EditClass::HeavyReach => rng.gen_range(0..n),
+        };
+        let dst = rng.gen_range(0..n);
+        let perm = index.permutation();
+        if src == dst || index.permuted_graph().has_edge(perm.new_of(src), perm.new_of(dst)) {
+            continue;
+        }
+        inserted.push((src, dst));
+        break EdgeEdit::Insert { src, dst, weight: 1.0 };
+    };
+    UpdateBatch::new(vec![edit]).expect("valid synthetic edit")
+}
+
+/// Nodes with in-degree 0 in `graph` — inserting *out of* one keeps its
+/// factor column's reach tiny (see `recovery_time.rs`).
+fn in_degree_zero_sources(graph: &kdash_graph::CsrGraph) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut in_degree = vec![0usize; n];
+    for (_, d, _) in graph.edges() {
+        in_degree[d as usize] += 1;
+    }
+    (0..n as u32).filter(|&v| in_degree[v as usize] == 0).collect()
+}
+
+struct TrialOut {
+    reads: u64,
+    elapsed: f64,
+    writes_acked: u64,
+    metrics: MetricsSnapshot,
+}
+
+/// One closed-loop trial: `clients` reader threads issue blocking
+/// queries as fast as answers come back; a writer applies single-edge
+/// batches at `writes_per_sec` (0 = read-only).
+fn run_closed_loop(
+    base: &KdashIndex,
+    workers: usize,
+    clients: usize,
+    seconds: f64,
+    writes_per_sec: f64,
+    class: EditClass,
+    fresh_sources: &[u32],
+    seed: u64,
+) -> TrialOut {
+    let n = base.num_nodes() as u32;
+    let engine = DynamicIndex::new(base.clone()).expect("attach engine");
+    let (mut writer, store) = EpochWriter::new(engine);
+    let serve_loop = ServeLoop::start(
+        Arc::clone(&store),
+        ServeOptions { workers, queue_capacity: 1024, max_batch: 32, ..Default::default() },
+    )
+    .expect("start loop");
+    writer.attach_metrics(serve_loop.metrics());
+
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(seconds);
+    let mut writes_acked = 0u64;
+
+    std::thread::scope(|scope| {
+        let serve_ref = &serve_loop;
+        let stop_ref = &stop;
+        let reads_ref = &reads;
+        for c in 0..clients {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xC11E_0000 + c as u64));
+            scope.spawn(move || {
+                while !stop_ref.load(Ordering::Acquire) {
+                    let q = rng.gen_range(0..n);
+                    if serve_ref.query_blocking(q, 10).is_ok() {
+                        reads_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5712E);
+        let mut inserted = Vec::new();
+        let interval = if writes_per_sec > 0.0 {
+            Some(Duration::from_secs_f64(1.0 / writes_per_sec))
+        } else {
+            None
+        };
+        let mut next_write = started;
+        while Instant::now() < deadline {
+            match interval {
+                None => std::thread::sleep(Duration::from_millis(5)),
+                Some(step) => {
+                    if Instant::now() < next_write {
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    let batch = synthetic_batch(
+                        &mut rng,
+                        &mut inserted,
+                        writer.engine().index(),
+                        class,
+                        fresh_sources,
+                    );
+                    if writer.apply(&batch).is_ok() {
+                        writes_acked += 1;
+                    }
+                    next_write += step;
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = serve_loop.metrics().snapshot();
+    serve_loop.shutdown();
+    TrialOut { reads: reads.load(Ordering::Relaxed), elapsed, writes_acked, metrics }
+}
+
+/// One open-loop shed trial: a submitter floods `submit` without waiting
+/// for answers while one worker drains; admission control does the rest.
+fn run_shed_sweep(base: &KdashIndex, queue_capacity: usize, seconds: f64, seed: u64) -> TrialOut {
+    let n = base.num_nodes() as u32;
+    let engine = DynamicIndex::new(base.clone()).expect("attach engine");
+    let (_writer, store) = EpochWriter::new(engine);
+    let serve_loop = ServeLoop::start(
+        Arc::clone(&store),
+        ServeOptions { workers: 1, queue_capacity, max_batch: 8, ..Default::default() },
+    )
+    .expect("start loop");
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(seconds);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pending = Vec::new();
+    while Instant::now() < deadline {
+        let q = rng.gen_range(0..n);
+        match serve_loop.submit(q, 10) {
+            Ok(p) => pending.push(p),
+            Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+        // Harvest finished requests so the pending list stays bounded.
+        if pending.len() >= 4096 {
+            pending = pending.into_iter().filter_map(|p| p.try_wait().err()).collect();
+        }
+    }
+    for p in pending {
+        let _ = p.wait();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = serve_loop.metrics().snapshot();
+    serve_loop.shutdown();
+    TrialOut { reads: metrics.completed, elapsed, writes_acked: 0, metrics }
+}
+
+fn main() {
+    let scale = env_usize("KDASH_BENCH_SCALE", 12);
+    let seconds = env_f64("KDASH_SERVE_SECONDS", 2.0);
+    let worker_sweep = env_list("KDASH_SERVE_WORKERS", &[1, 2, 4]);
+    let clients = env_usize("KDASH_SERVE_CLIENTS", 2);
+    let rates = env_list("KDASH_SERVE_RATES", &[0, 5, 20]);
+    let queues = env_list("KDASH_SERVE_QUEUES", &[4, 16, 64]);
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let graph = rmat(scale as u32, (1usize << scale) * 8, RmatParams::default(), 42);
+    let index = IndexBuilder::new().threads(0).build(&graph).expect("build index");
+    let fresh_sources = in_degree_zero_sources(&graph);
+    println!(
+        "serving_tier: RMAT scale {scale} ({} nodes, {} edges), {cores} hardware thread(s), \
+         {clients} closed-loop client(s), {seconds}s per trial",
+        graph.num_nodes(),
+        graph.num_edges(),
+    );
+    if cores == 1 {
+        println!(
+            "NOTE: single hardware thread — worker counts above 1 time-slice one CPU; the \
+             worker sweep measures oversubscription overhead, not scaling"
+        );
+    }
+
+    println!("\n== read-only throughput vs workers ==");
+    for &w in &worker_sweep {
+        let t = run_closed_loop(
+            &index,
+            w,
+            clients,
+            seconds,
+            0.0,
+            EditClass::TinyReach,
+            &fresh_sources,
+            1000 + w as u64,
+        );
+        println!(
+            "workers {w}: {} reads in {:.2}s -> {:.0}/s, p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms \
+             (mean batch {:.2})",
+            t.reads,
+            t.elapsed,
+            t.reads as f64 / t.elapsed,
+            t.metrics.latency_p50_ms,
+            t.metrics.latency_p99_ms,
+            t.metrics.latency_p999_ms,
+            t.metrics.mean_batch,
+        );
+    }
+
+    println!("\n== mixed latency + freshness lag vs update rate (workers 1, tiny-reach edits) ==");
+    fn report_mixed(label: &str, t: &TrialOut, baseline_p99: Option<f64>) {
+        let vs_baseline = baseline_p99
+            .map(|b| format!("{:.2}x read-only p99", t.metrics.latency_p99_ms / b.max(1e-9)))
+            .unwrap_or_else(|| "baseline".into());
+        println!(
+            "{label}: {} reads ({:.0}/s), {} writes acked, p50 {:.3}ms p99 {:.3}ms \
+             ({vs_baseline}), lag p50 {} max {} mean {:.3}, swaps {} (p50 {:.3}ms max {:.3}ms)",
+            t.reads,
+            t.reads as f64 / t.elapsed,
+            t.writes_acked,
+            t.metrics.latency_p50_ms,
+            t.metrics.latency_p99_ms,
+            t.metrics.freshness_lag_p50,
+            t.metrics.freshness_lag_max,
+            t.metrics.freshness_lag_mean,
+            t.metrics.swaps,
+            t.metrics.swap_p50_ms,
+            t.metrics.swap_max_ms,
+        );
+    }
+    let mut baseline_p99 = None;
+    for &rate in &rates {
+        let t = run_closed_loop(
+            &index,
+            1,
+            clients,
+            seconds,
+            rate as f64,
+            EditClass::TinyReach,
+            &fresh_sources,
+            2000 + rate as u64,
+        );
+        report_mixed(&format!("rate {rate}/s"), &t, baseline_p99);
+        if rate == 0 {
+            baseline_p99 = Some(t.metrics.latency_p99_ms);
+        }
+    }
+    // The starvation worst case: uniform random edges can dirty most of
+    // the index, so on one core a single apply monopolises the CPU for
+    // seconds — readers stall not on any lock (there is none on the read
+    // path) but on cycles.
+    let heavy = run_closed_loop(
+        &index,
+        1,
+        clients,
+        seconds,
+        5.0,
+        EditClass::HeavyReach,
+        &fresh_sources,
+        2500,
+    );
+    report_mixed("rate 5/s HEAVY-reach", &heavy, baseline_p99);
+
+    println!("\n== shed threshold sweep (workers 1, open-loop submitter) ==");
+    for &q in &queues {
+        let t = run_shed_sweep(&index, q, seconds.min(1.0), 3000 + q as u64);
+        println!(
+            "queue {q}: offered {} ({:.0}/s), completed {}, shed {} ({:.2}%), worst depth {}",
+            t.metrics.submitted,
+            t.metrics.submitted as f64 / t.elapsed,
+            t.metrics.completed,
+            t.metrics.shed,
+            t.metrics.shed_rate() * 100.0,
+            t.metrics.max_queue_depth,
+        );
+    }
+}

@@ -8,6 +8,9 @@
 //! kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]
 //!              [--coalesce] [--dry-run] [--journal]
 //! kdash recover <index.kdash> [--journal PATH] [--out FILE]
+//! kdash serve  <index.kdash> --bench [--duration 5] [--workers 0] [--mix 100:1]
+//!              [--clients 2] [--k 10] [--queue 1024] [--batch 32] [--seed 42]
+//!              [--journal]
 //! kdash verify <index.kdash> [--factors | --journal]
 //! kdash info   <index.kdash>
 //! kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]
@@ -62,6 +65,23 @@
 //! the new edits. Saving back to the index path checkpoints: the fresh
 //! snapshot lands atomically and the journal truncates to empty.
 //!
+//! `serve --bench` stands up the epoch-snapshot serving tier of
+//! `kdash-serve` **in process** and drives it with a synthetic
+//! closed-loop workload: `--clients` reader threads issue blocking
+//! top-`--k` queries against the `ServeLoop` worker pool while the main
+//! thread applies single-edge update batches through the `EpochWriter`,
+//! paced so reads:writes approaches `--mix R:W` (`--mix 100:0` is
+//! read-only). Readers always see a consistent pinned snapshot — every
+//! answer is bit-identical to a standalone query on that epoch's index —
+//! and the epoch swap happens off the serving path. `--journal` routes
+//! the writer through a scratch write-ahead journal (fsync per batch,
+//! auto-checkpoint when the journal exceeds the default record budget)
+//! so the durable write path is measured instead of the in-memory one;
+//! the scratch files live under the system temp dir and are removed on
+//! exit. The run prints progress lines and ends with one JSON summary
+//! line (throughput, latency quantiles, freshness lag, shed rate, swap
+//! latency) for scripting.
+//!
 //! `recover` runs that replay standalone after a crash: load the last
 //! good snapshot, scan the journal (tolerating a torn tail — the first
 //! bad frame truncates the log, never panics), replay the surviving
@@ -107,6 +127,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("update") => cmd_update(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
@@ -137,6 +158,9 @@ fn print_usage() {
          \x20 kdash update --index <index.kdash> --edits <edits.txt> [--out FILE] [--threads 1]\n\
          \x20              [--coalesce] [--dry-run] [--journal]\n\
          \x20 kdash recover <index.kdash> [--journal PATH] [--out FILE]\n\
+         \x20 kdash serve  <index.kdash> --bench [--duration 5] [--workers 0] [--mix 100:1]\n\
+         \x20              [--clients 2] [--k 10] [--queue 1024] [--batch 32] [--seed 42]\n\
+         \x20              [--journal]\n\
          \x20 kdash verify <index.kdash> [--factors | --journal]\n\
          \x20 kdash info   <index.kdash>\n\
          \x20 kdash gen    <profile> <edges.txt> [--nodes 2000] [--seed 42]\n\
@@ -157,7 +181,11 @@ fn print_usage() {
          JOURNAL:   update --journal fsyncs each batch to <index>.journal before its\n\
          \x20          patch installs (auto-recovering any pending records first);\n\
          \x20          recover replays a journal after a crash; verify --journal\n\
-         \x20          checks frame CRCs and epoch contiguity without loading the index"
+         \x20          checks frame CRCs and epoch contiguity without loading the index\n\
+         SERVE:     --bench drives the kdash-serve epoch-snapshot tier in process:\n\
+         \x20          --clients reader threads + one writer paced to --mix R:W;\n\
+         \x20          --journal measures the durable write path against scratch\n\
+         \x20          files in the temp dir; ends with one JSON summary line"
     );
 }
 
@@ -630,6 +658,292 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
             dynamic.index().update_epoch(),
             journal_path.display(),
         );
+    }
+    Ok(())
+}
+
+/// SplitMix64 — a tiny deterministic generator for the synthetic serve
+/// workload. Statistical quality is irrelevant here; reproducibility
+/// from `--seed` is the point.
+struct WorkloadRng(u64);
+
+impl WorkloadRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Picks the next synthetic edit: inserts fresh random edges (checked
+/// against the *current* permuted graph so a duplicate insert can never
+/// be generated) and deletes from the pool of edges this run inserted —
+/// so the driver never deletes an edge the loaded dataset owns and the
+/// graph stays within a bounded distance of the original.
+fn next_synthetic_edit(
+    rng: &mut WorkloadRng,
+    nodes: u64,
+    inserted: &mut Vec<(u32, u32)>,
+    index: &KdashIndex,
+) -> Option<kdash_graph::EdgeEdit> {
+    use kdash_graph::EdgeEdit;
+    if !inserted.is_empty() && (inserted.len() >= 64 || rng.next() & 1 == 0) {
+        let at = rng.below(inserted.len() as u64) as usize;
+        let (src, dst) = inserted.swap_remove(at);
+        return Some(EdgeEdit::Delete { src, dst });
+    }
+    let perm = index.permutation();
+    let graph = index.permuted_graph();
+    for _ in 0..64 {
+        let src = rng.below(nodes) as u32;
+        let dst = rng.below(nodes) as u32;
+        if src == dst || graph.has_edge(perm.new_of(src), perm.new_of(dst)) {
+            continue;
+        }
+        inserted.push((src, dst));
+        return Some(EdgeEdit::Insert { src, dst, weight: 1.0 });
+    }
+    None
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use kdash_serve::{EpochWriter, ServeError, ServeLoop, ServeOptions};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let (pos, flags) = parse_flags(args, &["bench", "journal"])?;
+    reject_unknown_flags(
+        &flags,
+        &["bench", "journal", "duration", "workers", "mix", "clients", "k", "queue", "batch",
+          "seed"],
+    )?;
+    let [index_path] = pos.as_slice() else {
+        return Err(
+            "usage: kdash serve <index.kdash> --bench [--duration 5] [--workers 0] \
+             [--mix 100:1] [--clients 2] [--k 10] [--queue 1024] [--batch 32] [--seed 42] \
+             [--journal]"
+                .into(),
+        );
+    };
+    if flag(&flags, "bench").is_none() {
+        return Err(
+            "kdash serve currently ships the in-process --bench driver only (no network \
+             listener); add --bench"
+                .into(),
+        );
+    }
+    let duration: f64 = flag(&flags, "duration")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|e| format!("bad --duration: {e}"))?;
+    if !(duration > 0.0) {
+        return Err("--duration must be positive".into());
+    }
+    let workers: usize =
+        flag(&flags, "workers").unwrap_or("0").parse().map_err(|e| format!("bad --workers: {e}"))?;
+    let clients: usize =
+        flag(&flags, "clients").unwrap_or("2").parse().map_err(|e| format!("bad --clients: {e}"))?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    let k: usize = flag(&flags, "k").unwrap_or("10").parse().map_err(|e| format!("bad --k: {e}"))?;
+    let queue: usize =
+        flag(&flags, "queue").unwrap_or("1024").parse().map_err(|e| format!("bad --queue: {e}"))?;
+    let batch: usize =
+        flag(&flags, "batch").unwrap_or("32").parse().map_err(|e| format!("bad --batch: {e}"))?;
+    let seed: u64 =
+        flag(&flags, "seed").unwrap_or("42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+    let mix = flag(&flags, "mix").unwrap_or("100:1");
+    let (mix_r, mix_w) = mix
+        .split_once(':')
+        .and_then(|(r, w)| Some((r.parse::<u64>().ok()?, w.parse::<u64>().ok()?)))
+        .ok_or_else(|| format!("bad --mix '{mix}' (expected READS:WRITES, e.g. 100:1)"))?;
+    if mix_r == 0 {
+        return Err("--mix needs a non-zero read share (writes are paced off reads)".into());
+    }
+    let journaled = flag(&flags, "journal").is_some();
+
+    let index = load_index(index_path)?;
+    let nodes = index.num_nodes() as u64;
+    if nodes == 0 {
+        return Err("index holds an empty graph; nothing to serve".into());
+    }
+    println!(
+        "serving {index_path}: {} nodes, {} edges, update epoch {}",
+        index.num_nodes(),
+        index.stats().num_edges,
+        index.update_epoch()
+    );
+
+    let mut engine = DynamicIndex::new(index).map_err(|e| format!("attach engine: {e}"))?;
+    // Journaled mode writes to scratch files: overwriting the *user's*
+    // snapshot from a benchmark (auto-checkpoint rewrites the index
+    // path) would be a hostile default.
+    let mut scratch: Option<PathBuf> = None;
+    if journaled {
+        let dir = std::env::temp_dir().join(format!("kdash-serve-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let snapshot = dir.join("serve-bench.kdash");
+        save_atomic(engine.index(), &snapshot)
+            .map_err(|e| format!("write scratch snapshot {}: {e}", snapshot.display()))?;
+        let journal_path = Journal::sidecar_path(&snapshot);
+        let journal = Journal::create(&journal_path, engine.index().update_epoch())
+            .map_err(|e| format!("create scratch journal {}: {e}", journal_path.display()))?;
+        engine = engine
+            .journaled(journal)
+            .map_err(|e| format!("attach journal: {e}"))?
+            .auto_checkpoint(&snapshot, kdash_dynamic::AUTO_CHECKPOINT_DEFAULT_RECORDS);
+        println!(
+            "journaled write path: fsync per batch to {}, auto-checkpoint past {} records",
+            journal_path.display(),
+            kdash_dynamic::AUTO_CHECKPOINT_DEFAULT_RECORDS,
+        );
+        scratch = Some(dir);
+    }
+
+    let (mut writer, store) = EpochWriter::new(engine);
+    let serve_loop = ServeLoop::start(
+        Arc::clone(&store),
+        ServeOptions { workers, queue_capacity: queue, max_batch: batch, ..Default::default() },
+    )
+    .map_err(|e| format!("start serve loop: {e}"))?;
+    writer.attach_metrics(serve_loop.metrics());
+    println!(
+        "serve loop up: {} workers, queue capacity {}, max batch {batch}, mix {mix_r}:{mix_w}, \
+         {clients} reader clients, {duration}s",
+        serve_loop.workers(),
+        serve_loop.queue_capacity(),
+    );
+
+    let reads_done = AtomicU64::new(0);
+    let read_failures = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let mut writes_acked = 0u64;
+    let mut writes_failed = 0u64;
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(duration);
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        let serve_ref = &serve_loop;
+        let reads_ref = &reads_done;
+        let fail_ref = &read_failures;
+        let stop_ref = &stop;
+        for c in 0..clients {
+            let mut rng = WorkloadRng(seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            scope.spawn(move || {
+                while !stop_ref.load(Ordering::Acquire) {
+                    let query = rng.below(nodes) as u32;
+                    match serve_ref.query_blocking(query, k) {
+                        Ok(_) => {
+                            reads_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Closed-loop clients back off on shed and retry;
+                        // the shed itself is already counted in metrics.
+                        Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                        Err(_) => {
+                            fail_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // The writer runs on this thread: applies are paced so the
+        // attempted-write count tracks reads * W/R, each apply prepares
+        // epoch N+1 off the serving path and swaps it in.
+        let mut rng = WorkloadRng(seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1));
+        let mut inserted: Vec<(u32, u32)> = Vec::new();
+        while Instant::now() < deadline {
+            let reads = reads_done.load(Ordering::Relaxed);
+            let attempted = writes_acked + writes_failed;
+            if mix_w == 0 || attempted * mix_r > reads * mix_w {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            let Some(edit) = next_synthetic_edit(&mut rng, nodes, &mut inserted, writer.engine().index())
+            else {
+                writes_failed += 1;
+                continue;
+            };
+            let batch = UpdateBatch::new(vec![edit]).map_err(|e| format!("build batch: {e}"))?;
+            match writer.apply(&batch) {
+                Ok(_) => writes_acked += 1,
+                Err(_) => writes_failed += 1,
+            }
+        }
+        stop.store(true, Ordering::Release);
+        Ok(())
+    })?;
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let final_epoch = store.epoch();
+    let final_lag = store.freshness_lag();
+    let workers_started = serve_loop.workers();
+    let metrics = serve_loop.metrics();
+    serve_loop.shutdown();
+
+    let reads = reads_done.load(Ordering::Relaxed);
+    let failures = read_failures.load(Ordering::Relaxed);
+    let m = metrics.snapshot();
+    println!(
+        "served {reads} reads in {elapsed:.2}s ({:.0}/s), {writes_acked} writes acked \
+         ({writes_failed} generator misses), final epoch {final_epoch}, freshness lag {final_lag}",
+        reads as f64 / elapsed,
+    );
+    println!(
+        "latency p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms max {:.3}ms, mean batch {:.2}, \
+         {} swaps (p50 {:.3}ms max {:.3}ms), shed {} ({:.2}%)",
+        m.latency_p50_ms,
+        m.latency_p99_ms,
+        m.latency_p999_ms,
+        m.latency_max_ms,
+        m.mean_batch,
+        m.swaps,
+        m.swap_p50_ms,
+        m.swap_max_ms,
+        m.shed,
+        m.shed_rate() * 100.0,
+    );
+    println!(
+        r#"{{"serve_bench":"{}","nodes":{},"duration_s":{:.3},"workers":{},"clients":{},"mix":"{}:{}","queue":{},"max_batch":{},"journaled":{},"reads":{},"read_failures":{},"read_throughput_per_s":{:.1},"writes_acked":{},"latency_p50_ms":{:.4},"latency_p99_ms":{:.4},"latency_p999_ms":{:.4},"latency_max_ms":{:.4},"mean_batch":{:.2},"freshness_lag_p50":{},"freshness_lag_max":{},"swaps":{},"swap_p50_ms":{:.4},"swap_max_ms":{:.4},"shed":{},"shed_rate":{:.6},"final_epoch":{}}}"#,
+        index_path,
+        nodes,
+        elapsed,
+        workers_started,
+        clients,
+        mix_r,
+        mix_w,
+        queue,
+        batch,
+        journaled,
+        reads,
+        failures,
+        reads as f64 / elapsed,
+        writes_acked,
+        m.latency_p50_ms,
+        m.latency_p99_ms,
+        m.latency_p999_ms,
+        m.latency_max_ms,
+        m.mean_batch,
+        m.freshness_lag_p50,
+        m.freshness_lag_max,
+        m.swaps,
+        m.swap_p50_ms,
+        m.swap_max_ms,
+        m.shed,
+        m.shed_rate(),
+        final_epoch,
+    );
+
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(&dir);
     }
     Ok(())
 }

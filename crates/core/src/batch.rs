@@ -225,6 +225,49 @@ fn run_one<'a>(
     }
 }
 
+/// A reusable single-query executor with the exact failure semantics of
+/// one [`batch_top_k_outcomes`] worker: per-query `catch_unwind`
+/// isolation, [`BatchOptions::budget`] enforcement, and a persistent
+/// [`Searcher`] that survives across calls (so the `O(n)` scratch
+/// buffers are paid once per executor, not once per query) but is
+/// discarded and rebuilt after a panic.
+///
+/// This is the building block the serving tier (`kdash-serve`) drains
+/// its request queue through: each worker thread pins an index epoch,
+/// wraps it in one `IsolatedExecutor`, and folds queued queries through
+/// [`run`](Self::run) — identical outcome semantics to submitting the
+/// same queries as one `batch_top_k_outcomes` batch, but without
+/// requiring the whole batch up front.
+pub struct IsolatedExecutor<'a> {
+    index: &'a KdashIndex,
+    options: BatchOptions,
+    searcher: Option<Searcher<'a>>,
+}
+
+impl<'a> IsolatedExecutor<'a> {
+    /// Creates an executor over `index`. The kernel selection in
+    /// `options` is resolved against the host up front — an unsupported
+    /// request fails typed here, never per query. (`options.threads` is
+    /// ignored: an executor *is* one worker.)
+    pub fn new(index: &'a KdashIndex, options: BatchOptions) -> Result<Self> {
+        options.kernel.resolve().map_err(KdashError::from)?;
+        Ok(IsolatedExecutor { index, options, searcher: None })
+    }
+
+    /// The index this executor queries.
+    pub fn index(&self) -> &'a KdashIndex {
+        self.index
+    }
+
+    /// Runs one query. Never panics: invalid input, an exceeded budget,
+    /// or a panic inside the search all come back as
+    /// [`BatchOutcome::Failed`], and the result of a completed query is
+    /// bit-identical to running it alone with the same kernel/budget.
+    pub fn run(&mut self, query: NodeId, k: usize) -> BatchOutcome {
+        run_one(self.index, &mut self.searcher, &self.options, query, 0, k, &|_, _| {})
+    }
+}
+
 /// The shared execution engine: claims queries off the stealing cursor,
 /// runs each through [`run_one`], and returns per-index outcome slots.
 /// With `abort_on_error` the cursor is poisoned on the first failure so

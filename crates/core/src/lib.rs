@@ -267,6 +267,7 @@ pub mod stats;
 pub use audit::{AuditFinding, AuditSection, IndexAudit};
 pub use batch::{
     batch_top_k, batch_top_k_outcomes, batch_top_k_with_kernel, BatchOptions, BatchOutcome,
+    IsolatedExecutor,
 };
 pub use estimator::{ArbitraryOrderBound, LayerEstimator};
 pub use ordering::{compute_ordering, compute_ordering_with_stats, NodeOrdering, OrderingStats};

@@ -45,8 +45,15 @@ use kdash_sparse::{
     Triangle,
 };
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// Default auto-checkpoint threshold (journal records), for
+/// [`DynamicIndex::auto_checkpoint`] callers that don't want to tune
+/// it: ~16 journaled batches is the measured recovery crossover
+/// (BENCH_PR9.json) where replaying the journal starts costing more
+/// than loading a fresh snapshot.
+pub const AUTO_CHECKPOINT_DEFAULT_RECORDS: u64 = 16;
 
 /// What one applied batch did, stage by stage — the freshness audit
 /// trail. All column counts are out of [`UpdateReport::num_columns`]
@@ -116,6 +123,13 @@ pub struct UpdateReport {
     /// mode is off) — the durability tax the `recovery_time` bench
     /// series measures.
     pub journal_time: Duration,
+    /// True when this apply tripped the auto-checkpoint policy
+    /// ([`DynamicIndex::auto_checkpoint`]): the index was snapshotted
+    /// and the journal truncated after the commit.
+    pub checkpointed: bool,
+    /// Auto-checkpoint time (atomic snapshot save + journal
+    /// truncation); zero unless [`Self::checkpointed`].
+    pub checkpoint_time: Duration,
 }
 
 impl UpdateReport {
@@ -129,6 +143,7 @@ impl UpdateReport {
             + self.splice_time
             + self.estimator_time
             + self.journal_time
+            + self.checkpoint_time
     }
 
     /// Fraction of `L⁻¹` columns the update had to re-solve.
@@ -213,6 +228,9 @@ pub struct DynamicIndex {
     /// The write-ahead journal, when journaled mode is on
     /// ([`Self::journaled`]).
     journal: Option<Journal>,
+    /// Auto-checkpoint policy: snapshot path + journal record
+    /// threshold ([`Self::auto_checkpoint`]); inert without a journal.
+    auto_checkpoint: Option<(PathBuf, u64)>,
 }
 
 /// Cloning duplicates the in-memory engine state but **detaches the
@@ -228,6 +246,9 @@ impl Clone for DynamicIndex {
             threads: self.threads,
             verify_after_apply: self.verify_after_apply,
             journal: None,
+            // The policy rides the journal: detached with it (two
+            // engines checkpointing to one snapshot path would race).
+            auto_checkpoint: None,
         }
     }
 }
@@ -260,8 +281,14 @@ impl DynamicIndex {
                 Some(kdash_sparse::sparse_lu(&w)?)
             }
         };
-        let engine =
-            DynamicIndex { index, factors, threads: 1, verify_after_apply: false, journal: None };
+        let engine = DynamicIndex {
+            index,
+            factors,
+            threads: 1,
+            verify_after_apply: false,
+            journal: None,
+            auto_checkpoint: None,
+        };
         engine.probe_consistency()?;
         Ok(engine)
     }
@@ -385,6 +412,24 @@ impl DynamicIndex {
     /// The attached journal, when journaled mode is on.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// Turns on the auto-checkpoint policy: after any journaled apply
+    /// that leaves **more than** `max_records` records in the journal,
+    /// the engine runs [`checkpoint`](Self::checkpoint) to `path`
+    /// automatically, so serving-mode journals (and with them, crash
+    /// recovery's replay time) stay bounded.
+    /// [`AUTO_CHECKPOINT_DEFAULT_RECORDS`] is the measured default.
+    ///
+    /// The checkpoint runs strictly *after* the commit: a checkpoint
+    /// failure surfaces as [`kdash_core::KdashError::JournalFailed`],
+    /// but the apply it rode on is already installed and durable (the
+    /// journal keeps its records; the next apply or an explicit
+    /// [`checkpoint`](Self::checkpoint) retries). Inert without a
+    /// journal, and detached by `clone()` along with it.
+    pub fn auto_checkpoint<P: Into<PathBuf>>(mut self, path: P, max_records: u64) -> Self {
+        self.auto_checkpoint = Some((path.into(), max_records));
+        self
     }
 
     /// Checkpoints journaled state: persists the index to `path` via
@@ -736,6 +781,25 @@ impl DynamicIndex {
             kdash_core::IndexAudit::run_with_factors(&self.index, self.factors.as_ref())
                 .into_result()?;
         }
+        // Auto-checkpoint policy: bound journal growth (and with it,
+        // recovery replay time) once the record count passes the
+        // threshold. Strictly after the commit — on checkpoint failure
+        // the apply is already installed and durable, the journal keeps
+        // its records, and the error says exactly that.
+        if let Some((path, max_records)) = self.auto_checkpoint.clone() {
+            if self.journal.as_ref().is_some_and(|j| j.records() > max_records) {
+                let t = Instant::now();
+                self.checkpoint(&path).map_err(|e| KdashError::JournalFailed {
+                    detail: format!(
+                        "auto-checkpoint to {} failed after a committed apply (the update \
+                         itself is installed and durable; the journal retains its records): {e}",
+                        path.display()
+                    ),
+                })?;
+                report.checkpoint_time = t.elapsed();
+                report.checkpointed = true;
+            }
+        }
         Ok(report)
     }
 
@@ -1034,6 +1098,53 @@ mod tests {
         dynamic
             .apply(&UpdateBatch::new(vec![EdgeEdit::Insert { src: 1, dst: 9, weight: 0.7 }]).unwrap())
             .unwrap();
+    }
+
+    /// Auto-checkpoint: once the journal holds more than the threshold,
+    /// the next committed apply snapshots and truncates it — and the
+    /// snapshot + healed journal recover to the same epoch.
+    #[test]
+    fn auto_checkpoint_bounds_the_journal() {
+        let dir = std::env::temp_dir()
+            .join(format!("kdash-auto-ckpt-{}-{}", std::process::id(), std::line!()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("index.kdash");
+        let journal_path = crate::Journal::sidecar_path(&snapshot);
+        let graph = chorded_ring(16);
+        let index = KdashIndex::build(&graph, IndexOptions::default()).unwrap();
+        kdash_core::save_atomic(&index, &snapshot).unwrap();
+        let journal = crate::Journal::create(&journal_path, 0).unwrap();
+        let mut dynamic = DynamicIndex::new(index)
+            .unwrap()
+            .journaled(journal)
+            .unwrap()
+            .auto_checkpoint(&snapshot, 2);
+
+        let mut checkpoints = 0;
+        for i in 0..6u32 {
+            let batch = UpdateBatch::new(vec![EdgeEdit::Insert {
+                src: i,
+                dst: (i + 5) % 16,
+                weight: 1.0,
+            }])
+            .unwrap();
+            let report = dynamic.apply(&batch).unwrap();
+            let records = dynamic.journal().unwrap().records();
+            assert!(records <= 3, "journal must stay bounded, holds {records} after apply {i}");
+            if report.checkpointed {
+                checkpoints += 1;
+                assert!(report.checkpoint_time > Duration::ZERO);
+                assert_eq!(records, 0, "a checkpoint truncates the journal");
+            }
+        }
+        assert_eq!(checkpoints, 2, "6 applies at threshold 2 checkpoint twice");
+        assert_eq!(dynamic.index().update_epoch(), 6);
+
+        // The auto-written snapshot + journal recover to the live epoch.
+        let loaded = KdashIndex::load(std::fs::File::open(&snapshot).unwrap()).unwrap();
+        let (recovered, _report) = DynamicIndex::recover(loaded, &journal_path).unwrap();
+        assert_eq!(recovered.index().update_epoch(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

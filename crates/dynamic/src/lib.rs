@@ -149,7 +149,9 @@ pub mod engine;
 pub mod journal;
 
 pub use batch::UpdateBatch;
-pub use engine::{DynamicIndex, UpdatePrediction, UpdateReport};
+pub use engine::{
+    DynamicIndex, UpdatePrediction, UpdateReport, AUTO_CHECKPOINT_DEFAULT_RECORDS,
+};
 pub use journal::{Journal, JournalError, JournalScan, RecoveryReport};
 
 /// This crate surfaces errors through the core error type: graph-level

@@ -1,0 +1,267 @@
+//! Bounded lock-free MPMC queue — the serving tier's request channel
+//! *and* its admission controller.
+//!
+//! This is the classic Vyukov array queue: a power-of-two ring of
+//! slots, each carrying a sequence number that encodes whose turn the
+//! slot is (producer round k writes when `seq == pos`, consumer round k
+//! reads when `seq == pos + 1`). Producers and consumers claim
+//! positions with a CAS on their respective cursors and then touch only
+//! their claimed slot, so contended submits never serialise behind a
+//! lock — and, critically for a serving loop, a descheduled producer
+//! can only delay *its own* slot's consumer, not close the queue.
+//!
+//! The bound doubles as admission control: [`MpmcQueue::push`] on a
+//! full ring fails immediately, handing the item back — the caller
+//! (see [`crate::ServeLoop::submit`]) turns that into a typed
+//! [`crate::ServeError::Overloaded`] instead of unbounded queueing
+//! latency.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One ring slot. `sequence` is the turn indicator; `value` is only
+/// read/written by the thread that won the CAS for this slot's
+/// position, which is what makes the `UnsafeCell` sound.
+struct Slot<T> {
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer FIFO queue.
+///
+/// Capacity is rounded up to the next power of two (and at least 2);
+/// [`capacity`](Self::capacity) reports the actual bound.
+pub struct MpmcQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+// SAFETY: the sequence-number protocol hands each slot to exactly one
+// thread at a time (the producer or consumer that CAS-claimed its
+// position), so values of any `Send` type can cross threads through
+// the ring; no `&T` is ever shared between threads.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Creates a queue holding at most `capacity` items (rounded up to
+    /// a power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// The admission bound: how many items the queue holds when full.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues `item`, or hands it back if the queue is full. Lock-free:
+    /// a failed CAS retries against the advanced cursor, never blocks.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let turn = seq.wrapping_sub(pos) as isize;
+            if turn == 0 {
+                // Our turn: claim the position, then we own the slot.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS for `pos` grants
+                        // exclusive write access to this slot until the
+                        // Release store below publishes it to consumers.
+                        unsafe { (*slot.value.get()).write(item) };
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if turn < 0 {
+                // The slot still holds the item from one lap ago: full.
+                return Err(item);
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let turn = seq.wrapping_sub(pos.wrapping_add(1)) as isize;
+            if turn == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS for `pos` grants
+                        // exclusive read access to the slot; the Acquire
+                        // load of `sequence` above synchronised with the
+                        // producer's Release store, so the value is
+                        // fully written.
+                        let item = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                        return Some(item);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if turn < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued items (the cursors are read
+    /// independently, so concurrent pushes/pops can skew this by the
+    /// number of in-flight operations — fine for gauges and shed
+    /// decisions, not a synchronisation primitive).
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.wrapping_sub(deq).min(self.capacity())
+    }
+
+    /// True when [`len`](Self::len) reads zero (same approximation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Slots own their items only between a push and the matching
+        // pop; drain so in-flight items are dropped exactly once.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = MpmcQueue::with_capacity(4);
+        assert_eq!(q.capacity(), 4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.push(99), Err(99), "full queue rejects");
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(MpmcQueue::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = MpmcQueue::with_capacity(2);
+        for lap in 0u64..1000 {
+            q.push(lap).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        const PER_PRODUCER: u64 = 2000;
+        const PRODUCERS: u64 = 3;
+        let q = Arc::new(MpmcQueue::with_capacity(16));
+        let sum = Arc::new(AtomicU64::new(0));
+        let popped = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut v = p * PER_PRODUCER + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            let popped = Arc::clone(&popped);
+            handles.push(std::thread::spawn(move || loop {
+                if let Some(v) = q.pop() {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                    popped.fetch_add(1, Ordering::Relaxed);
+                } else if popped.load(Ordering::Relaxed) == PRODUCERS * PER_PRODUCER {
+                    break;
+                } else {
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(popped.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2, "every item seen exactly once");
+    }
+
+    #[test]
+    fn drop_releases_inflight_items() {
+        // Arc strong counts witness the drops.
+        let payload = Arc::new(());
+        {
+            let q = MpmcQueue::with_capacity(8);
+            for _ in 0..5 {
+                q.push(Arc::clone(&payload)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&payload), 6);
+        }
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+}

@@ -154,7 +154,9 @@ fn hardened_files_stay_at_zero() {
     // library code — they are deliberately *not* in the allowlist. A
     // recovery path that can panic defeats its own purpose (journal.rs
     // and fault.rs run exactly when the process is picking up after a
-    // crash).
+    // crash), and the serving tier holds the same bar: a panic in a
+    // worker, the epoch store, or the metrics path takes down queries
+    // that admission control promised to answer.
     let root = workspace_root();
     for file in [
         "crates/core/src/persist.rs",
@@ -162,6 +164,11 @@ fn hardened_files_stay_at_zero() {
         "crates/core/src/audit.rs",
         "crates/core/src/fault.rs",
         "crates/dynamic/src/journal.rs",
+        "crates/serve/src/lib.rs",
+        "crates/serve/src/epoch.rs",
+        "crates/serve/src/metrics.rs",
+        "crates/serve/src/queue.rs",
+        "crates/serve/src/server.rs",
     ] {
         let source = std::fs::read_to_string(root.join(file)).unwrap();
         assert_eq!(panic_sites(&source), 0, "{file} must stay free of unwrap/expect");
